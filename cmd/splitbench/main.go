@@ -1,0 +1,176 @@
+// Command splitbench replays the paper's evaluation (§5): the six Table 2
+// scenarios through SPLIT, ClockWork, PREMA and RT-A, producing Figure 6
+// (latency violation rate curves), Figure 7 (per-model jitter), the Figure 1
+// and Figure 3 comparisons, and the design ablations.
+//
+// Usage:
+//
+//	splitbench -fig6 [-seeds 5] [-systems "SPLIT,REEF"]
+//	splitbench -fig7
+//	splitbench -fig1
+//	splitbench -fig3
+//	splitbench -table2
+//	splitbench -summary
+//	splitbench -ablation search|evenness|elastic|blocks|init|starvation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"split/internal/core"
+	"split/internal/model"
+	"split/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "splitbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments, writing results to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("splitbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		fig6     = fs.Bool("fig6", false, "print Figure 6 violation-rate curves")
+		fig7     = fs.Bool("fig7", false, "print Figure 7 per-model jitter")
+		fig3     = fs.Bool("fig3", false, "print Figure 3 full-vs-partial preemption")
+		fig1     = fs.Bool("fig1", false, "print the Figure 1 two-request comparison")
+		table2   = fs.Bool("table2", false, "print Table 2 scenarios")
+		stab     = fs.Bool("stability", false, "print the §5.1 hardware-tolerance stability sweep")
+		summary  = fs.Bool("summary", false, "print per-scenario QoS summaries")
+		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness")
+		systems  = fs.String("systems", "", "comma-separated system list for -fig6/-fig7/-summary (default: the paper's four; add REEF or Stream-Parallel here)")
+		seeds    = fs.Int("seeds", 1, "replications for -fig6/-fig7; >1 reports mean±std over seeds")
+		seed     = fs.Int64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cm := model.DefaultCostModel()
+	ran := false
+
+	sysList := core.DefaultSystems()
+	if *systems != "" {
+		sysList = nil
+		for _, name := range strings.Split(*systems, ",") {
+			sys, err := core.SystemByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			sysList = append(sysList, sys)
+		}
+	}
+
+	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab ||
+		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness"
+	var dep *core.Deployment
+	if needDeploy {
+		var err error
+		dep, err = core.DefaultPipeline().Deploy()
+		if err != nil {
+			return err
+		}
+	}
+
+	if *table2 {
+		ran = true
+		fmt.Fprintf(out, "%-12s %26s %6s\n", "Name", "Average arrival interval(λ)", "Load")
+		for _, s := range workload.Table2() {
+			fmt.Fprintf(out, "%-12s %25.0fms %6s\n", s.Name, s.MeanIntervalMs, s.Load)
+		}
+	}
+	if *fig6 {
+		ran = true
+		if *seeds > 1 {
+			fmt.Fprint(out, core.RenderFig6Aggregate(core.Fig6MultiSeed(dep, sysList, *seeds)))
+		} else {
+			cells := core.Fig6(dep, sysList, *seed)
+			fmt.Fprint(out, core.RenderFig6(cells))
+			fmt.Fprintln(out)
+			fmt.Fprint(out, core.RenderFig6Chart(cells, "Scenario4"))
+		}
+	}
+	if *fig7 {
+		ran = true
+		if *seeds > 1 {
+			fmt.Fprint(out, core.RenderFig7Aggregate(core.Fig7MultiSeed(dep, sysList, *seeds)))
+		} else {
+			fmt.Fprint(out, core.RenderFig7(core.Fig7(dep, sysList, *seed)))
+		}
+	}
+	if *fig3 {
+		ran = true
+		fmt.Fprint(out, core.RenderFig3(core.Fig3(dep, *seed)))
+	}
+	if *fig1 {
+		ran = true
+		fmt.Fprint(out, core.RenderFig1(core.Fig1(dep)))
+	}
+	if *stab {
+		ran = true
+		fmt.Fprint(out, core.RenderStability(core.StabilityExperiment(dep, nil, *seed)))
+	}
+	if *summary {
+		ran = true
+		for _, run := range dep.RunAllScenarios(sysList, *seed) {
+			fmt.Fprintf(out, "%-12s %s\n", run.Scenario.Name, run.Summary)
+		}
+	}
+	switch *ablation {
+	case "":
+	case "search":
+		ran = true
+		rows, err := core.SearchAblation(cm, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, core.RenderSearchAblation(rows))
+	case "evenness":
+		ran = true
+		rows, err := core.EvennessAblation(cm, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, core.RenderEvennessAblation(rows))
+	case "elastic":
+		ran = true
+		fmt.Fprint(out, core.RenderElasticAblation(core.ElasticAblation(dep, *seed)))
+	case "blocks":
+		ran = true
+		for _, name := range []string{"resnet50", "vgg19"} {
+			rows, err := core.BlockCountSweep(name, 8, cm, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, core.RenderBlockCountSweep(rows))
+		}
+	case "starvation":
+		ran = true
+		fmt.Fprint(out, core.RenderStarvationAblation(core.StarvationAblation(dep, *seed)))
+	case "burstiness":
+		ran = true
+		fmt.Fprint(out, core.RenderBurstinessAblation(core.BurstinessAblation(dep, *seed)))
+	case "init":
+		ran = true
+		rows, err := core.InitAblation(cm, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, core.RenderInitAblation(rows))
+	default:
+		return fmt.Errorf("unknown ablation %q", *ablation)
+	}
+
+	if !ran {
+		fs.Usage()
+		return fmt.Errorf("no action selected")
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestTable2Output(t *testing.T) {
+	out := runOK(t, "-table2")
+	for _, want := range []string{"Scenario1", "Scenario6", "160ms", "110ms", "High"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	out := runOK(t, "-fig1")
+	for _, want := range []string{"SPLIT", "ClockWork", "Stream-Parallel", "RT-A", "short RR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 missing %q", want)
+		}
+	}
+}
+
+func TestFig6CustomSystems(t *testing.T) {
+	out := runOK(t, "-fig6", "-systems", "SPLIT,REEF")
+	if !strings.Contains(out, "REEF") || !strings.Contains(out, "SPLIT") {
+		t.Errorf("custom systems missing:\n%s", out[:200])
+	}
+	if strings.Contains(out, "PREMA") {
+		t.Error("default systems leaked into custom run")
+	}
+}
+
+func TestFig6MultiSeedOutput(t *testing.T) {
+	out := runOK(t, "-fig6", "-seeds", "2", "-systems", "ClockWork")
+	if !strings.Contains(out, "2 seeds") || !strings.Contains(out, "±") {
+		t.Errorf("multi-seed rendering wrong:\n%s", out[:200])
+	}
+}
+
+func TestStarvationAblationOutput(t *testing.T) {
+	out := runOK(t, "-ablation", "starvation")
+	if !strings.Contains(out, "guard RR") || !strings.Contains(out, "off") {
+		t.Errorf("starvation output wrong:\n%s", out)
+	}
+}
+
+func TestBlocksAblationOutput(t *testing.T) {
+	out := runOK(t, "-ablation", "blocks")
+	if !strings.Contains(out, "E[wait] GA") || strings.Count(out, "resnet50") < 8 {
+		t.Errorf("blocks ablation output wrong:\n%s", out[:200])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-ablation", "bogus"}, &b); err == nil {
+		t.Error("bogus ablation accepted")
+	}
+	if err := run([]string{"-fig6", "-systems", "NotASystem"}, &b); err == nil {
+		t.Error("bogus system accepted")
+	}
+}

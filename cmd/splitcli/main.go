@@ -1,0 +1,209 @@
+// Command splitcli is the client for splitd: it sends single inference
+// requests or generates a Poisson load against a running server and reports
+// per-request QoS outcomes.
+//
+// Usage:
+//
+//	splitcli -addr 127.0.0.1:7100 -model yolov2
+//	splitcli -addr 127.0.0.1:7100 -load -interval 150 -count 100 -timescale 0.1
+//	splitcli -addr 127.0.0.1:7100 -stats
+//	splitcli -addr 127.0.0.1:7100 -list
+//	splitcli -addr 127.0.0.1:7100 -deploy-graph mymodel.json -blocks 3
+//	splitcli -addr 127.0.0.1:7100 -model-stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/rpc"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"split/internal/serve"
+	"split/internal/stats"
+	"split/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "splitcli:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the client against the given arguments, writing to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("splitcli", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7100", "server address")
+		modelName = fs.String("model", "", "send one request for this model")
+		load      = fs.Bool("load", false, "generate Poisson load across the benchmark models")
+		interval  = fs.Float64("interval", 150, "per-task mean arrival interval in simulated ms for -load")
+		count     = fs.Int("count", 50, "request count for -load")
+		timescale = fs.Float64("timescale", 1.0, "must match the server's -timescale")
+		seed      = fs.Int64("seed", 1, "load generator seed")
+		show      = fs.Bool("stats", false, "print server stats")
+		mstats    = fs.Bool("model-stats", false, "print per-model QoS digest")
+		list      = fs.Bool("list", false, "list deployed models")
+		graph     = fs.String("deploy-graph", "", "upload a graph JSON for server-side splitting")
+		blocks    = fs.Int("blocks", 2, "block count for -deploy-graph")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	client, err := serve.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	ran := false
+
+	if *modelName != "" {
+		ran = true
+		reply, err := client.Infer(*modelName)
+		if err != nil {
+			return err
+		}
+		printReply(out, reply)
+	}
+	if *load {
+		ran = true
+		if err := runLoad(out, client, *interval, *count, *timescale, *seed); err != nil {
+			return err
+		}
+	}
+	if *graph != "" {
+		ran = true
+		data, err := os.ReadFile(*graph)
+		if err != nil {
+			return err
+		}
+		reply, err := client.DeployGraph(serve.DeployGraphArgs{
+			GraphJSON: data,
+			Blocks:    *blocks,
+			GASeed:    *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deployed %s: blocks=%d std=%.3fms overhead=%.1f%% replaced=%v\n",
+			reply.Name, reply.Blocks, reply.StdDevMs, reply.OverheadRatio*100, reply.Replaced)
+	}
+	if *mstats {
+		ran = true
+		st, err := client.ModelStats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "per-model QoS (α=%.0f):\n", st.Alpha)
+		for _, m := range st.Models {
+			fmt.Fprintf(out, "  %-16s served=%-5d meanRR=%-6.2f maxRR=%-7.2f wait=%-8.2f viol=%.1f%% preempts=%d\n",
+				m.Model, m.Served, m.MeanRR, m.MaxRR, m.MeanWaitMs, m.ViolationRate*100, m.Preemptions)
+		}
+	}
+	if *list {
+		ran = true
+		models, err := client.ListModels()
+		if err != nil {
+			return err
+		}
+		for _, m := range models {
+			fmt.Fprintf(out, "%-16s %-6s ext=%.2fms blocks=%d\n", m.Name, m.Class, m.ExtMs, m.Blocks)
+		}
+	}
+	if *show {
+		ran = true
+		st, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "served=%d queued=%d models=%d uptime=%.1fs\n",
+			st.Served, st.Queued, st.Models, st.UptimeS)
+	}
+	if !ran {
+		fs.Usage()
+		return fmt.Errorf("no action selected")
+	}
+	return nil
+}
+
+func printReply(out io.Writer, r serve.InferReply) {
+	fmt.Fprintf(out, "req %d %-10s blocks=%d e2e=%.2fms ext=%.2fms wait=%.2fms rr=%.2f preempt=%d\n",
+		r.ReqID, r.Model, r.Blocks, r.E2EMs, r.ExtMs, r.WaitMs, r.ResponseRatio, r.Preemptions)
+}
+
+// runLoad fires count requests following per-model Poisson processes (the
+// paper's workload) and prints aggregate QoS on completion.
+func runLoad(out io.Writer, client *serve.Client, intervalMs float64, count int, timescale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	type timed struct {
+		at    float64
+		model string
+	}
+	var plan []timed
+	per := count/len(zoo.BenchmarkModels) + 1
+	for _, m := range zoo.BenchmarkModels {
+		var t float64
+		for i := 0; i < per; i++ {
+			t += rng.ExpFloat64() * intervalMs
+			plan = append(plan, timed{at: t, model: m})
+		}
+	}
+	sort.Slice(plan, func(i, j int) bool { return plan[i].at < plan[j].at })
+	if len(plan) > count {
+		plan = plan[:count]
+	}
+
+	var mu sync.Mutex
+	var replies []serve.InferReply
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, p := range plan {
+		// Pace arrivals on the scaled clock.
+		sleep := time.Duration(p.at*timescale*float64(time.Millisecond)) - time.Since(start)
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		wg.Add(1)
+		go func(m string) {
+			defer wg.Done()
+			reply, err := client.Infer(m)
+			if err != nil {
+				if err != rpc.ErrShutdown {
+					fmt.Fprintln(out, "infer error:", err)
+				}
+				return
+			}
+			mu.Lock()
+			replies = append(replies, reply)
+			mu.Unlock()
+		}(p.model)
+	}
+	wg.Wait()
+
+	rrs := make([]float64, len(replies))
+	waits := make([]float64, len(replies))
+	for i, r := range replies {
+		rrs[i] = r.ResponseRatio
+		waits[i] = r.WaitMs
+	}
+	fmt.Fprintf(out, "completed %d/%d requests in %.1fs wall\n", len(replies), len(plan), time.Since(start).Seconds())
+	fmt.Fprintf(out, "response ratio: %s\n", stats.Summarize(rrs))
+	fmt.Fprintf(out, "wait (ms):      %s\n", stats.Summarize(waits))
+	viol := 0
+	for _, rr := range rrs {
+		if rr > 4 {
+			viol++
+		}
+	}
+	if len(rrs) > 0 {
+		fmt.Fprintf(out, "violation rate @α=4: %.1f%%\n", float64(viol)/float64(len(rrs))*100)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Command splitd is the SPLIT inference server daemon (§4): it deploys the
+// benchmark models (with split plans built by the GA or loaded from a plan
+// directory written by splitga) and serves inference requests over net/rpc,
+// scheduling them with the greedy block-level preemption algorithm.
+//
+// Usage:
+//
+//	splitd -addr 127.0.0.1:7100
+//	splitd -addr 127.0.0.1:7100 -plans plans/ -timescale 0.1 -alpha 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"split/internal/core"
+	"split/internal/model"
+	"split/internal/onnxlite"
+	"split/internal/policy"
+	"split/internal/sched"
+	"split/internal/serve"
+	"split/internal/zoo"
+)
+
+func main() {
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, nil, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "splitd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until `stop` closes. If `ready` is
+// non-nil, the bound address is sent on it once the server is listening.
+func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("splitd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7100", "listen address")
+		plansDir  = fs.String("plans", "", "load plans from this directory (default: run the GA)")
+		alpha     = fs.Float64("alpha", 4, "latency target multiplier α")
+		timescale = fs.Float64("timescale", 1.0, "wall-clock ms per simulated ms (e.g. 0.1 = 10x faster)")
+		noElastic = fs.Bool("no-elastic", false, "disable elastic splitting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var plans map[string]*model.SplitPlan
+	if *plansDir != "" {
+		var err error
+		plans, err = onnxlite.LoadPlanDir(*plansDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %d plans from %s\n", len(plans), *plansDir)
+	} else {
+		dep, err := core.DefaultPipeline().Deploy()
+		if err != nil {
+			return err
+		}
+		plans = dep.Plans
+		fmt.Fprintf(out, "built %d plans with the GA\n", len(plans))
+	}
+	catalog := policy.NewCatalog(zoo.LoadBenchmarkSet(), plans)
+
+	elastic := sched.DefaultElastic()
+	if *noElastic {
+		elastic.Enabled = false
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Catalog:   catalog,
+		Alpha:     *alpha,
+		Elastic:   elastic,
+		TimeScale: *timescale,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(l); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "splitd serving %d models on %s (timescale %.2f, α=%.0f)\n",
+		len(catalog), srv.Addr(), *timescale, *alpha)
+	if ready != nil {
+		ready <- srv.Addr()
+	}
+
+	<-stop
+	fmt.Fprintln(out, "shutting down")
+	srv.Stop()
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"split/internal/model"
+	"split/internal/onnxlite"
+	"split/internal/profiler"
+	"split/internal/zoo"
+
+	"split/internal/serve"
+)
+
+// planFor builds a quick 3-block plan artifact for the named model.
+func planFor(t *testing.T, name string, cuts []int) *model.SplitPlan {
+	t.Helper()
+	g := zoo.MustLoad(name)
+	prof := profiler.New(g, model.DefaultCostModel())
+	return prof.Plan(prof.Evaluate(cuts))
+}
+
+// TestDaemonServesAndStops boots the daemon on an ephemeral port with a
+// pre-written plan directory, infers against it over RPC, and shuts it down.
+func TestDaemonServesAndStops(t *testing.T) {
+	dir := t.TempDir()
+	if err := onnxlite.SavePlan(filepath.Join(dir, "vgg19.plan.json"), planFor(t, "vgg19", []int{16, 29})); err != nil {
+		t.Fatal(err)
+	}
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	out := &syncBuilder{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-plans", dir,
+			"-timescale", "0.01",
+		}, out, ready, stop)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	client, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.Infer("vgg19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Blocks != 3 {
+		t.Errorf("vgg19 served with %d blocks, want 3 from the plan artifact", reply.Blocks)
+	}
+	client.Close()
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not stop")
+	}
+	o := out.String()
+	if !strings.Contains(o, "loaded 1 plans") || !strings.Contains(o, "shutting down") {
+		t.Errorf("daemon log: %s", o)
+	}
+}
+
+func TestDaemonCannotListenOnOccupiedPort(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	dir := t.TempDir()
+	if err := onnxlite.SavePlan(filepath.Join(dir, "yolov2.plan.json"), planFor(t, "yolov2", []int{40})); err != nil {
+		t.Fatal(err)
+	}
+	out := &syncBuilder{}
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{"-addr", l.Addr().String(), "-plans", dir}, out, nil, stop); err == nil {
+		t.Error("occupied port accepted")
+	}
+}
+
+func TestDaemonBadFlag(t *testing.T) {
+	out := &syncBuilder{}
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{"-not-a-flag"}, out, nil, stop); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// syncBuilder is a goroutine-safe strings.Builder for daemon logs.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

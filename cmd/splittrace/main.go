@@ -1,0 +1,142 @@
+// Command splittrace replays one scenario through one system with full
+// event tracing and reports the device timeline: occupancy analysis, an
+// ASCII Gantt window, and optional CSV/JSONL exports of the trace and the
+// per-request records (the raw data behind Figures 6 and 7).
+//
+// Usage:
+//
+//	splittrace -system SPLIT -scenario Scenario4
+//	splittrace -system RT-A -scenario Scenario6 -gantt 0:2000
+//	splittrace -system SPLIT -records records.csv -events events.jsonl
+//	splittrace -system REEF -replay records.csv          # what-if replay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"split/internal/core"
+	"split/internal/metrics"
+	"split/internal/trace"
+	"split/internal/workload"
+	"split/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "splittrace:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the tool against the given arguments, writing results to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("splittrace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		system   = fs.String("system", "SPLIT", "system: SPLIT|SPLIT-partial|ClockWork|PREMA|PREMA-NPU|RT-A|Stream-Parallel|REEF")
+		scenario = fs.String("scenario", "Scenario4", "Table 2 scenario name")
+		replay   = fs.String("replay", "", "replay arrivals from a records CSV instead of generating the scenario")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		gantt    = fs.String("gantt", "", "render a Gantt window, format startMs:endMs")
+		records  = fs.String("records", "", "write per-request records CSV here")
+		events   = fs.String("events", "", "write the event trace JSONL here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := core.SystemByName(*system)
+	if err != nil {
+		return err
+	}
+	dep, err := core.DefaultPipeline().Deploy()
+	if err != nil {
+		return err
+	}
+
+	tr := trace.New()
+	var run core.ScenarioRun
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		arrivals, err := metrics.ReadArrivalsCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		recs := sys.Run(arrivals, dep.Catalog, tr)
+		run = core.ScenarioRun{
+			System:  sys.Name(),
+			Records: recs,
+			Summary: metrics.Summarize(sys.Name(), recs),
+		}
+		fmt.Fprintf(out, "%s replaying %s (%d requests)\n", run.System, *replay, len(recs))
+	} else {
+		sc, err := workload.ScenarioByName(*scenario)
+		if err != nil {
+			return err
+		}
+		run = dep.RunScenario(sc, sys, *seed, tr)
+		fmt.Fprintf(out, "%s on %s (λ=%.0fms, %s load), %d requests\n",
+			run.System, sc.Name, sc.MeanIntervalMs, sc.Load, run.Summary.Requests)
+	}
+	fmt.Fprintln(out, run.Summary)
+	fmt.Fprint(out, tr.Analyze())
+
+	if *gantt != "" {
+		parts := strings.SplitN(*gantt, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad -gantt %q, want startMs:endMs", *gantt)
+		}
+		lo, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return err
+		}
+		hi, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return err
+		}
+		if hi <= lo {
+			return fmt.Errorf("bad -gantt window [%v, %v]", lo, hi)
+		}
+		fmt.Fprintf(out, "\nGantt [%.0f, %.0f] ms (models: %v):\n", lo, hi, zoo.BenchmarkModels)
+		fmt.Fprint(out, tr.Gantt(lo, hi, (hi-lo)/100))
+	}
+
+	if *records != "" {
+		f, err := os.Create(*records)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteRecordsCSV(f, run.Records); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d records to %s\n", len(run.Records), *records)
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d events to %s\n", tr.Len(), *events)
+	}
+	return nil
+}

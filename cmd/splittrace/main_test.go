@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceSummaryAndGantt(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-system", "SPLIT", "-scenario", "Scenario1", "-gantt", "500:1500"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"SPLIT on Scenario1", "util=", "Gantt [500, 1500]", "vgg19"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTraceExports(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "records.csv")
+	evPath := filepath.Join(dir, "events.jsonl")
+	var b strings.Builder
+	err := run([]string{
+		"-system", "ClockWork", "-scenario", "Scenario2",
+		"-records", recPath, "-events", evPath,
+	}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(rec), "\n"); lines != 1001 { // header + 1000
+		t.Errorf("records.csv has %d lines", lines)
+	}
+	ev, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ev), `"kind":"complete"`) {
+		t.Error("events.jsonl missing completions")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		{"-system", "NotASystem"},
+		{"-scenario", "Scenario99"},
+		{"-gantt", "badformat"},
+		{"-gantt", "100:50"},
+		{"-gantt", "x:y"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestReplayRecordedWorkload(t *testing.T) {
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "r.csv")
+	var b strings.Builder
+	// Record a scenario under SPLIT...
+	if err := run([]string{"-system", "SPLIT", "-scenario", "Scenario1", "-records", recPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	// ...then what-if replay the identical arrivals under REEF.
+	b.Reset()
+	if err := run([]string{"-system", "REEF", "-replay", recPath}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "REEF replaying") || !strings.Contains(out, "n=1000") {
+		t.Errorf("replay output: %.200s", out)
+	}
+	// Replaying a missing file fails.
+	if err := run([]string{"-system", "SPLIT", "-replay", "/nope.csv"}, &b); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Capacity demonstrates planning with the M/G/1 module: given a target
+// violation rate at α=4, it finds the fastest sustainable per-task arrival
+// interval analytically (Pollaczek–Khinchine + exponential tail), then
+// verifies the prediction by simulating FCFS and SPLIT at that operating
+// point — showing both that the theory matches the simulator and how much
+// extra headroom SPLIT's block-level preemption buys.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"split"
+)
+
+const (
+	targetViolation = 0.15 // plan for <= 15% violations at α=4
+	alpha           = 4.0
+	numTasks        = 5
+)
+
+func main() {
+	mix := split.BenchmarkServiceMix()
+	fmt.Printf("service mix: mean %.2f ms, SCV %.2f\n", mix.MeanMs(), mix.SCV())
+
+	// Analytic capacity search: smallest aggregate inter-arrival interval
+	// whose predicted FCFS violation rate stays under the target.
+	var planned float64
+	for interval := 120.0; interval >= mix.MeanMs(); interval -= 0.5 {
+		q := split.AnalyzeQueue(interval, mix)
+		if !q.Stable() || q.ViolationRateApprox(alpha) > targetViolation {
+			break
+		}
+		planned = interval
+	}
+	q := split.AnalyzeQueue(planned, mix)
+	fmt.Printf("analytic plan: aggregate interval %.1f ms (ρ=%.2f) keeps FCFS violations ≤ %.0f%%\n",
+		planned, q.Utilization(), targetViolation*100)
+	fmt.Printf("  predicted: mean wait %.1f ms, violation@4 %.1f%%\n",
+		q.MeanWaitMs(), q.ViolationRateApprox(alpha)*100)
+
+	// Verify by simulation at exactly that operating point.
+	dep, err := split.Deploy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrivals, err := split.GenerateWorkload(split.WorkloadConfig{
+		Models:         split.BenchmarkModels(),
+		MeanIntervalMs: planned * numTasks, // per-task interval
+		PerTask:        true,
+		Count:          1000,
+		Seed:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsimulated at the planned operating point:")
+	for _, name := range []string{"ClockWork", "SPLIT"} {
+		sys, err := split.NewSystem(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs := sys.Run(arrivals, dep.Catalog, nil)
+		sum := split.Summarize(name, recs)
+		fmt.Printf("  %-10s violation@4 %.1f%%, mean wait %.1f ms\n",
+			name, sum.ViolationAt4*100, sum.MeanWaitMs)
+	}
+	fmt.Println("\nFCFS lands near the analytic prediction; SPLIT runs the same load")
+	fmt.Println("with far fewer violations — the headroom evenly-sized splitting buys.")
+}

@@ -1,0 +1,114 @@
+// Videoanalytics demonstrates the paper's jitter argument (§2.1): a
+// real-time video pipeline classifies frames at a fixed rate, sharing the
+// GPU with background long inferences. Frame *stability* — low standard
+// deviation of per-frame latency — matters as much as the average, because
+// a few slow frames break the stream. The example measures per-frame jitter
+// and stutter under each system, the Figure 7 metric on a concrete app.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"split"
+)
+
+const (
+	fps       = 25
+	horizonMs = 30_000
+	frameGap  = 1000.0 / fps
+)
+
+func main() {
+	dep, err := split.Deploy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrivals := buildPipeline(11)
+	fmt.Printf("video analytics: %d FPS googlenet frames + background resnet50/vgg19/gpt2 load\n\n", fps)
+	fmt.Printf("%-16s %12s %12s %12s %14s\n",
+		"system", "frame mean", "frame std", "frame p99", "stutter rate*")
+	for _, name := range []string{"SPLIT", "ClockWork", "PREMA", "RT-A"} {
+		sys, err := split.NewSystem(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs := sys.Run(arrivals, dep.Catalog, nil)
+		var frames []float64
+		for _, r := range recs {
+			if r.Model == "googlenet" {
+				frames = append(frames, r.E2EMs())
+			}
+		}
+		mean, std := meanStd(frames)
+		fmt.Printf("%-16s %10.2fms %10.2fms %10.2fms %13.1f%%\n",
+			name, mean, std, p99(frames), stutter(frames)*100)
+	}
+	fmt.Printf("\n* frames exceeding 2x the frame budget (%.0f ms)\n", 2*frameGap)
+}
+
+func buildPipeline(seed int64) []split.Arrival {
+	rng := rand.New(rand.NewSource(seed))
+	var arrivals []split.Arrival
+	add := func(m string, at float64) {
+		arrivals = append(arrivals, split.Arrival{Model: m, AtMs: at})
+	}
+	// The camera pipeline: one googlenet classification per frame.
+	for t := 0.0; t < horizonMs; t += frameGap {
+		add("googlenet", t)
+	}
+	// Background analytics sharing the device.
+	for t := 15.0; t < horizonMs; t += 350 + rng.Float64()*100 {
+		add("resnet50", t)
+	}
+	for t := 70.0; t < horizonMs; t += 900 + rng.Float64()*200 {
+		add("vgg19", t)
+	}
+	for t := 120.0; t < horizonMs; t += 600 + rng.Float64()*150 {
+		add("gpt2", t) // caption generation
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].AtMs < arrivals[j].AtMs })
+	for i := range arrivals {
+		arrivals[i].ID = i
+	}
+	return arrivals
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+func p99(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)*99/100]
+}
+
+func stutter(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x > 2*frameGap {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

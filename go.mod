@@ -1,0 +1,3 @@
+module split
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package analytic implements the closed-form waiting-latency model of the
+// paper's Eq. 1 and the block-count reasoning built on it (§3.1).
+//
+// If a long model is split into n blocks with execution times t_1..t_n and a
+// short request arrives uniformly at random during the long model's
+// execution, the expected waiting latency until the current block finishes
+// is
+//
+//	E[wait] = (1/2) · Σ t_i² / Σ t_i = (1/2) · (σ²/t̄ + t̄)
+//
+// which is minimized, for fixed total time, by perfectly even blocks
+// (σ = 0). For a fixed per-boundary overhead, the expected wait as a
+// function of block count follows a hyperbola with an interior optimum — the
+// reason "more blocks may not be beneficial".
+package analytic
+
+import (
+	"math"
+
+	"split/internal/stats"
+)
+
+// ExpectedWait returns Eq. 1's expected waiting latency for block times ts:
+// (1/2)·Σt²/Σt. It returns 0 for an empty slice.
+func ExpectedWait(ts []float64) float64 {
+	var sum, sumSq float64
+	for _, t := range ts {
+		sum += t
+		sumSq += t * t
+	}
+	if sum == 0 {
+		return 0
+	}
+	return 0.5 * sumSq / sum
+}
+
+// ExpectedWaitMoments returns Eq. 1 via its second form, (σ²/t̄ + t̄)/2,
+// computed from the sample's moments. It equals ExpectedWait up to floating
+// point error; both are exposed so tests can verify the paper's identity.
+func ExpectedWaitMoments(ts []float64) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	mean := stats.Mean(ts)
+	if mean == 0 {
+		return 0
+	}
+	v := stats.Variance(ts)
+	return 0.5 * (v/mean + mean)
+}
+
+// ExpectedWaitNumeric evaluates the expectation by direct numeric
+// integration of the definition in Eq. 1 — the average over a uniformly
+// random arrival instant of the time remaining in the current block — using
+// the trapezoid-free exact piecewise integral. It exists to cross-check the
+// closed form in tests.
+func ExpectedWaitNumeric(ts []float64, steps int) float64 {
+	var total float64
+	for _, t := range ts {
+		total += t
+	}
+	if total == 0 || steps <= 0 {
+		return 0
+	}
+	// Exact piecewise evaluation: within block i the wait decays linearly
+	// from t_i to 0, so we sample the arrival instant densely and average.
+	dt := total / float64(steps)
+	var acc float64
+	for s := 0; s < steps; s++ {
+		arrive := (float64(s) + 0.5) * dt
+		// Find the block containing `arrive` and the end of that block.
+		var end float64
+		for _, t := range ts {
+			end += t
+			if arrive < end {
+				break
+			}
+		}
+		acc += end - arrive
+	}
+	return acc / float64(steps)
+}
+
+// EvenWait returns the expected wait for m perfectly even blocks of a model
+// with vanilla time T and per-boundary overhead b: each block takes
+// (T + (m-1)·b)/m, so E[wait] = (T + (m-1)·b) / (2m).
+func EvenWait(totalMs, boundaryMs float64, m int) float64 {
+	if m <= 0 {
+		return math.Inf(1)
+	}
+	return (totalMs + float64(m-1)*boundaryMs) / (2 * float64(m))
+}
+
+// ResponseCost returns the full QoS-relevant cost of choosing m even blocks:
+// the arriving short request waits EvenWait, and the long request itself
+// pays the (m-1)·b splitting overhead. Weighting the two equally gives the
+// hyperbolic trade-off of §3.1.
+func ResponseCost(totalMs, boundaryMs float64, m int) float64 {
+	return EvenWait(totalMs, boundaryMs, m) + float64(m-1)*boundaryMs
+}
+
+// OptimalBlocks returns the block count in [1, maxM] minimizing
+// ResponseCost, together with the cost at the optimum. With boundaryMs == 0
+// the cost is strictly decreasing, so maxM caps the search as the paper caps
+// it by profiling feasibility.
+func OptimalBlocks(totalMs, boundaryMs float64, maxM int) (m int, cost float64) {
+	if maxM < 1 {
+		maxM = 1
+	}
+	best, bestCost := 1, ResponseCost(totalMs, boundaryMs, 1)
+	for k := 2; k <= maxM; k++ {
+		c := ResponseCost(totalMs, boundaryMs, k)
+		if c < bestCost {
+			best, bestCost = k, c
+		}
+	}
+	return best, bestCost
+}
+
+// OptimalBlocksContinuous returns the real-valued minimizer of the
+// continuous relaxation of ResponseCost: d/dm [ (T+(m-1)b)/(2m) + (m-1)b ]
+// = 0 gives m* = sqrt((T-b) / (2b)) for T > b. It returns 1 when the
+// boundary cost dominates.
+func OptimalBlocksContinuous(totalMs, boundaryMs float64) float64 {
+	if boundaryMs <= 0 {
+		return math.Inf(1)
+	}
+	if totalMs <= boundaryMs {
+		return 1
+	}
+	return math.Sqrt((totalMs - boundaryMs) / (2 * boundaryMs))
+}
+
+// Fitness is the paper's Eq. 2 genetic-algorithm fitness:
+//
+//	fitness = -(e^{σ/T - 1} + e^{overhead/m - 1})
+//
+// where σ is the block-time std deviation, T the vanilla model time,
+// overhead the splitting overhead ratio, and m the number of blocks.
+// Larger (closer to zero) is better.
+func Fitness(stdDevMs, totalMs, overhead float64, m int) float64 {
+	if totalMs <= 0 || m <= 0 {
+		return math.Inf(-1)
+	}
+	return -(math.Exp(stdDevMs/totalMs-1) + math.Exp(overhead/float64(m)-1))
+}

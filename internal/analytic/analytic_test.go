@@ -1,0 +1,217 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedWaitKnownValues(t *testing.T) {
+	cases := []struct {
+		ts   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{10}, 5},                       // single block: T/2
+		{[]float64{10, 10}, 5},                   // even halves: still T/4 per block avg * ... (1/2)(200/20)=5
+		{[]float64{4, 4, 4, 4}, 2},               // even quarters: (1/2)(64/16)=2
+		{[]float64{19, 1}, 0.5 * (361 + 1) / 20}, // very uneven
+	}
+	for _, c := range cases {
+		if got := ExpectedWait(c.ts); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ExpectedWait(%v) = %v, want %v", c.ts, got, c.want)
+		}
+	}
+}
+
+func TestEvenSplitHalvesWait(t *testing.T) {
+	// Splitting a T model into m even blocks divides expected wait by m.
+	T := 60.0
+	w1 := ExpectedWait([]float64{T})
+	w2 := ExpectedWait([]float64{T / 2, T / 2})
+	w3 := ExpectedWait([]float64{T / 3, T / 3, T / 3})
+	if math.Abs(w1/w2-2) > 1e-9 || math.Abs(w1/w3-3) > 1e-9 {
+		t.Errorf("wait ratios: %v %v %v", w1, w2, w3)
+	}
+}
+
+// The paper's identity: (1/2)Σt²/Σt == (1/2)(σ²/t̄ + t̄).
+func TestMomentIdentityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		ts := positive(raw)
+		if len(ts) == 0 {
+			return true
+		}
+		a := ExpectedWait(ts)
+		b := ExpectedWaitMoments(ts)
+		return math.Abs(a-b) <= 1e-9*math.Max(1, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The closed form must agree with direct numeric integration of the
+// definition.
+func TestNumericAgreesWithClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = 0.5 + rng.Float64()*30
+		}
+		closed := ExpectedWait(ts)
+		numeric := ExpectedWaitNumeric(ts, 400_000)
+		if math.Abs(closed-numeric) > 1e-3*math.Max(1, closed) {
+			t.Errorf("trial %d (%v): closed %v vs numeric %v", trial, ts, closed, numeric)
+		}
+	}
+}
+
+func TestNumericEdgeCases(t *testing.T) {
+	if got := ExpectedWaitNumeric(nil, 100); got != 0 {
+		t.Errorf("numeric(empty) = %v", got)
+	}
+	if got := ExpectedWaitNumeric([]float64{5}, 0); got != 0 {
+		t.Errorf("numeric(steps=0) = %v", got)
+	}
+}
+
+// Evenness is optimal: any uneven division of the same total waits longer.
+func TestEvenIsOptimalProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		ts := positive(raw)
+		if len(ts) < 2 {
+			return true
+		}
+		var total float64
+		for _, x := range ts {
+			total += x
+		}
+		even := make([]float64, len(ts))
+		for i := range even {
+			even[i] = total / float64(len(ts))
+		}
+		return ExpectedWait(even) <= ExpectedWait(ts)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvenWait(t *testing.T) {
+	// No boundary cost: EvenWait(T, 0, m) = T/(2m).
+	if got := EvenWait(60, 0, 3); math.Abs(got-10) > 1e-12 {
+		t.Errorf("EvenWait = %v", got)
+	}
+	// With boundary cost b, each block is (T+(m-1)b)/m.
+	if got := EvenWait(60, 6, 3); math.Abs(got-12) > 1e-12 {
+		t.Errorf("EvenWait with boundary = %v", got)
+	}
+	if got := EvenWait(60, 6, 0); !math.IsInf(got, 1) {
+		t.Errorf("EvenWait(m=0) = %v", got)
+	}
+}
+
+func TestOptimalBlocksInteriorOptimum(t *testing.T) {
+	// With a real boundary cost there is an interior optimum: the cost at
+	// the optimum is lower than at m=1 and at maxM.
+	m, cost := OptimalBlocks(60, 3, 12)
+	if m <= 1 || m >= 12 {
+		t.Fatalf("optimum at boundary: m=%d", m)
+	}
+	if cost >= ResponseCost(60, 3, 1) || cost >= ResponseCost(60, 3, 12) {
+		t.Errorf("cost %v not an interior minimum", cost)
+	}
+}
+
+func TestOptimalBlocksZeroBoundary(t *testing.T) {
+	m, _ := OptimalBlocks(60, 0, 8)
+	if m != 8 {
+		t.Errorf("zero boundary optimum = %d, want maxM", m)
+	}
+}
+
+func TestOptimalBlocksContinuousMatchesDiscrete(t *testing.T) {
+	T, b := 67.5, 4.0
+	cont := OptimalBlocksContinuous(T, b)
+	disc, _ := OptimalBlocks(T, b, 20)
+	if math.Abs(cont-float64(disc)) > 1.5 {
+		t.Errorf("continuous %v far from discrete %d", cont, disc)
+	}
+}
+
+func TestOptimalBlocksContinuousEdges(t *testing.T) {
+	if got := OptimalBlocksContinuous(10, 0); !math.IsInf(got, 1) {
+		t.Errorf("b=0: %v", got)
+	}
+	if got := OptimalBlocksContinuous(5, 10); got != 1 {
+		t.Errorf("b>T: %v", got)
+	}
+}
+
+func TestFitnessPrefersEvenAndCheap(t *testing.T) {
+	T := 67.5
+	better := Fitness(0.5, T, 0.10, 3)
+	worseStd := Fitness(5.0, T, 0.10, 3)
+	worseOver := Fitness(0.5, T, 0.50, 3)
+	if better <= worseStd {
+		t.Errorf("fitness not decreasing in σ: %v vs %v", better, worseStd)
+	}
+	if better <= worseOver {
+		t.Errorf("fitness not decreasing in overhead: %v vs %v", better, worseOver)
+	}
+}
+
+func TestFitnessPerfectSplit(t *testing.T) {
+	// σ=0, overhead=0: fitness = -(e^{-1} + e^{-1}).
+	want := -2 * math.Exp(-1)
+	if got := Fitness(0, 100, 0, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("perfect fitness = %v, want %v", got, want)
+	}
+}
+
+func TestFitnessInvalidInputs(t *testing.T) {
+	if got := Fitness(1, 0, 0.1, 2); !math.IsInf(got, -1) {
+		t.Errorf("T=0 fitness = %v", got)
+	}
+	if got := Fitness(1, 10, 0.1, 0); !math.IsInf(got, -1) {
+		t.Errorf("m=0 fitness = %v", got)
+	}
+}
+
+// Property: fitness is monotone decreasing in both σ and overhead.
+func TestFitnessMonotoneProperty(t *testing.T) {
+	f := func(s1, s2, o1, o2 float64) bool {
+		s1, s2 = math.Abs(math.Mod(s1, 50)), math.Abs(math.Mod(s2, 50))
+		o1, o2 = math.Abs(math.Mod(o1, 1)), math.Abs(math.Mod(o2, 1))
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		if o1 > o2 {
+			o1, o2 = o2, o1
+		}
+		return Fitness(s1, 67.5, o1, 3) >= Fitness(s2, 67.5, o2, 3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// positive filters quick-generated floats into a positive bounded sample.
+func positive(raw []float64) []float64 {
+	var out []float64
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		v := math.Abs(math.Mod(x, 100)) + 0.1
+		out = append(out, v)
+	}
+	if len(out) > 12 {
+		out = out[:12]
+	}
+	return out
+}

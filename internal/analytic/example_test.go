@@ -1,0 +1,35 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"split/internal/analytic"
+)
+
+// ExampleExpectedWait demonstrates Eq. 1 on even vs uneven splits of the
+// same 60 ms model: evenness is what cuts the wait.
+func ExampleExpectedWait() {
+	fmt.Printf("unsplit: %.1f ms\n", analytic.ExpectedWait([]float64{60}))
+	fmt.Printf("even:    %.1f ms\n", analytic.ExpectedWait([]float64{20, 20, 20}))
+	fmt.Printf("uneven:  %.1f ms\n", analytic.ExpectedWait([]float64{50, 5, 5}))
+	// Output:
+	// unsplit: 30.0 ms
+	// even:    10.0 ms
+	// uneven:  21.2 ms
+}
+
+// ExampleOptimalBlocks shows the §3.1 hyperbola: with a real per-boundary
+// cost there is an interior optimum block count.
+func ExampleOptimalBlocks() {
+	m, _ := analytic.OptimalBlocks(67.5, 4.0, 12)
+	fmt.Println("optimal blocks:", m)
+	// Output:
+	// optimal blocks: 3
+}
+
+// ExampleFitness evaluates Eq. 2 for a perfectly even zero-overhead split.
+func ExampleFitness() {
+	fmt.Printf("%.4f\n", analytic.Fitness(0, 100, 0, 2))
+	// Output:
+	// -0.7358
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderFig6Chart draws one scenario's violation curves as an ASCII chart
+// (y: violation %, x: α from 2 to 20), one glyph per system — the closest
+// textual rendering of the paper's Figure 6 panels.
+func RenderFig6Chart(cells []Fig6Cell, scenario string) string {
+	var sel []Fig6Cell
+	for _, c := range cells {
+		if c.Scenario.Name == scenario {
+			sel = append(sel, c)
+		}
+	}
+	if len(sel) == 0 {
+		return ""
+	}
+	glyphs := map[string]byte{"SPLIT": 'S', "ClockWork": 'C', "PREMA": 'P', "RT-A": 'R'}
+	const height = 12
+	width := len(sel[0].Alphas)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width*3))
+	}
+	var maxV float64
+	for _, c := range sel {
+		for _, v := range c.Curve {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for _, c := range sel {
+		g, ok := glyphs[c.System]
+		if !ok {
+			g = c.System[0]
+		}
+		for x, v := range c.Curve {
+			y := int(v / maxV * float64(height-1))
+			row := height - 1 - y
+			col := x * 3
+			if grid[row][col] == ' ' {
+				grid[row][col] = g
+			} else {
+				grid[row][col+1] = g // overplot beside
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: violation rate vs α (top=%.0f%%)\n", scenario, maxV*100)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "  |%s\n", strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "  +%s> α=2..20\n", strings.Repeat("-", width*3))
+	b.WriteString("  legend:")
+	for _, c := range sel {
+		g, ok := glyphs[c.System]
+		if !ok {
+			g = c.System[0]
+		}
+		fmt.Fprintf(&b, " %c=%s", g, c.System)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

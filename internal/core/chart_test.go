@@ -1,0 +1,26 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFig6Chart(t *testing.T) {
+	dep := testDeploy(t)
+	cells := Fig6(dep, DefaultSystems(), 1)
+	chart := RenderFig6Chart(cells, "Scenario4")
+	if chart == "" {
+		t.Fatal("empty chart")
+	}
+	for _, g := range []string{"S=SPLIT", "C=ClockWork", "P=PREMA", "R=RT-A", "α=2..20"} {
+		if !strings.Contains(chart, g) {
+			t.Errorf("chart missing %q", g)
+		}
+	}
+	if lines := strings.Count(chart, "\n"); lines != 15 { // title + 12 rows + axis + legend
+		t.Errorf("chart has %d lines", lines)
+	}
+	if RenderFig6Chart(cells, "Scenario99") != "" {
+		t.Error("unknown scenario rendered")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"split/internal/metrics"
+	"split/internal/policy"
+	"split/internal/stats"
+	"split/internal/workload"
+	"split/internal/zoo"
+)
+
+// Multi-seed experiment aggregation: the paper reports single runs of 1000
+// requests; averaging several seeded replications adds confidence intervals
+// to the reproduction and separates real orderings from sampling noise.
+
+// Fig6Aggregate is one system's violation curve in one scenario, aggregated
+// over seeds.
+type Fig6Aggregate struct {
+	Scenario  workload.Scenario
+	System    string
+	Alphas    []float64
+	MeanCurve []float64
+	// StdCurve is the across-seed sample std deviation per α.
+	StdCurve []float64
+	Seeds    int
+}
+
+// Fig6MultiSeed replays every scenario × system over `seeds` independent
+// workload seeds and aggregates the violation curves.
+func Fig6MultiSeed(d *Deployment, systems []policy.System, seeds int) []Fig6Aggregate {
+	alphas := metrics.DefaultAlphas()
+	var out []Fig6Aggregate
+	for _, sc := range workload.Table2() {
+		for _, sys := range systems {
+			perAlpha := make([][]float64, len(alphas))
+			for s := 1; s <= seeds; s++ {
+				run := d.RunScenario(sc, sys, int64(s), nil)
+				curve := metrics.ViolationCurve(run.Records, alphas)
+				for i, v := range curve {
+					perAlpha[i] = append(perAlpha[i], v)
+				}
+			}
+			agg := Fig6Aggregate{
+				Scenario:  sc,
+				System:    sys.Name(),
+				Alphas:    alphas,
+				MeanCurve: make([]float64, len(alphas)),
+				StdCurve:  make([]float64, len(alphas)),
+				Seeds:     seeds,
+			}
+			for i, vs := range perAlpha {
+				agg.MeanCurve[i] = stats.Mean(vs)
+				agg.StdCurve[i] = stats.SampleStdDev(vs)
+			}
+			out = append(out, agg)
+		}
+	}
+	return out
+}
+
+// RenderFig6Aggregate formats mean±std violation rates at α ∈ {2,4,8,16}.
+func RenderFig6Aggregate(aggs []Fig6Aggregate) string {
+	idx := map[float64]int{}
+	if len(aggs) > 0 {
+		for i, a := range aggs[0].Alphas {
+			idx[a] = i
+		}
+	}
+	show := []float64{2, 4, 8, 16}
+	var b strings.Builder
+	current := ""
+	for _, a := range aggs {
+		if a.Scenario.Name != current {
+			current = a.Scenario.Name
+			fmt.Fprintf(&b, "\n%s (λ=%.0fms, %d seeds): violation %% mean±std\n",
+				a.Scenario.Name, a.Scenario.MeanIntervalMs, a.Seeds)
+			fmt.Fprintf(&b, "%-16s", "system")
+			for _, al := range show {
+				fmt.Fprintf(&b, "%16s", fmt.Sprintf("α=%.0f", al))
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-16s", a.System)
+		for _, al := range show {
+			i := idx[al]
+			fmt.Fprintf(&b, "%16s", fmt.Sprintf("%5.1f±%.1f", a.MeanCurve[i]*100, a.StdCurve[i]*100))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig7Aggregate is one system's per-model jitter in one scenario, aggregated
+// over seeds.
+type Fig7Aggregate struct {
+	Scenario workload.Scenario
+	System   string
+	// MeanJitterMs and StdJitterMs map model name to across-seed stats.
+	MeanJitterMs map[string]float64
+	StdJitterMs  map[string]float64
+	Seeds        int
+}
+
+// Fig7MultiSeed aggregates per-model jitter over seeds.
+func Fig7MultiSeed(d *Deployment, systems []policy.System, seeds int) []Fig7Aggregate {
+	var out []Fig7Aggregate
+	for _, sc := range workload.Table2() {
+		for _, sys := range systems {
+			samples := map[string][]float64{}
+			for s := 1; s <= seeds; s++ {
+				run := d.RunScenario(sc, sys, int64(s), nil)
+				for m, j := range metrics.JitterByModel(run.Records) {
+					samples[m] = append(samples[m], j)
+				}
+			}
+			agg := Fig7Aggregate{
+				Scenario:     sc,
+				System:       sys.Name(),
+				MeanJitterMs: map[string]float64{},
+				StdJitterMs:  map[string]float64{},
+				Seeds:        seeds,
+			}
+			for m, js := range samples {
+				agg.MeanJitterMs[m] = stats.Mean(js)
+				agg.StdJitterMs[m] = stats.SampleStdDev(js)
+			}
+			out = append(out, agg)
+		}
+	}
+	return out
+}
+
+// RenderFig7Aggregate formats the aggregated jitter table.
+func RenderFig7Aggregate(aggs []Fig7Aggregate) string {
+	var b strings.Builder
+	current := ""
+	for _, a := range aggs {
+		if a.Scenario.Name != current {
+			current = a.Scenario.Name
+			fmt.Fprintf(&b, "\n%s (λ=%.0fms, %d seeds): jitter ms mean±std\n",
+				a.Scenario.Name, a.Scenario.MeanIntervalMs, a.Seeds)
+			fmt.Fprintf(&b, "%-16s", "system")
+			for _, m := range zoo.BenchmarkModels {
+				fmt.Fprintf(&b, "%16s", m)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%-16s", a.System)
+		for _, m := range zoo.BenchmarkModels {
+			fmt.Fprintf(&b, "%16s", fmt.Sprintf("%6.1f±%.1f", a.MeanJitterMs[m], a.StdJitterMs[m]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

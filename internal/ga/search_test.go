@@ -1,0 +1,105 @@
+package ga
+
+import (
+	"testing"
+
+	"split/internal/analytic"
+	"split/internal/model"
+	"split/internal/profiler"
+	"split/internal/zoo"
+)
+
+func TestHillClimbFindsGoodSplit(t *testing.T) {
+	p := profiler.New(zoo.MustLoad("vgg19"), model.DefaultCostModel())
+	res := HillClimb(p, 2, 500, 1)
+	if len(res.Best.Cuts) != 1 {
+		t.Fatalf("cuts = %v", res.Best.Cuts)
+	}
+	if res.Evaluations > 500 {
+		t.Errorf("budget exceeded: %d", res.Evaluations)
+	}
+	// Hill climbing from a guided start should land near the exhaustive
+	// optimum for the single-cut case.
+	total := p.TotalTimeMs()
+	best, _ := p.Exhaustive(2, func(c profiler.Candidate) float64 {
+		return -analytic.Fitness(c.StdDevMs, total, c.Overhead, 2)
+	})
+	wantFit := analytic.Fitness(best.StdDevMs, total, best.Overhead, 2)
+	if res.Fitness < wantFit-0.02 {
+		t.Errorf("hill climb fitness %v far below optimum %v", res.Fitness, wantFit)
+	}
+}
+
+func TestHillClimbTrajectoryImproves(t *testing.T) {
+	p := profiler.New(zoo.MustLoad("resnet50"), model.DefaultCostModel())
+	res := HillClimb(p, 3, 1000, 2)
+	for i := 1; i < len(res.Trajectory); i++ {
+		if res.Trajectory[i] <= res.Trajectory[i-1] {
+			t.Fatalf("trajectory not strictly improving at %d", i)
+		}
+	}
+}
+
+func TestHillClimbDeterministic(t *testing.T) {
+	p := profiler.New(zoo.MustLoad("vgg19"), model.DefaultCostModel())
+	a := HillClimb(p, 3, 400, 7)
+	b := HillClimb(p, 3, 400, 7)
+	if a.Fitness != b.Fitness || a.Evaluations != b.Evaluations {
+		t.Error("hill climb nondeterministic for a fixed seed")
+	}
+}
+
+func TestAnnealRespectsBudgetAndImproves(t *testing.T) {
+	p := profiler.New(zoo.MustLoad("resnet50"), model.DefaultCostModel())
+	cfg := DefaultAnnealConfig()
+	cfg.MaxEvals = 800
+	cfg.Seed = 3
+	res := Anneal(p, 3, cfg)
+	if res.Evaluations > 800 {
+		t.Errorf("budget exceeded: %d", res.Evaluations)
+	}
+	if len(res.Best.Cuts) != 2 {
+		t.Fatalf("cuts = %v", res.Best.Cuts)
+	}
+	// Must improve over its own starting point.
+	if len(res.Trajectory) > 0 && res.Fitness < res.Trajectory[0] {
+		t.Error("final fitness below initial")
+	}
+	// And produce a valid candidate.
+	if err := p.Graph.ValidateCuts(res.Best.Cuts); err != nil {
+		t.Errorf("invalid cuts: %v", err)
+	}
+}
+
+func TestAnnealBestNeverDecreases(t *testing.T) {
+	p := profiler.New(zoo.MustLoad("vgg19"), model.DefaultCostModel())
+	cfg := DefaultAnnealConfig()
+	cfg.Seed = 11
+	res := Anneal(p, 4, cfg)
+	for i := 1; i < len(res.Trajectory); i++ {
+		if res.Trajectory[i] < res.Trajectory[i-1] {
+			t.Fatalf("best-so-far decreased at %d", i)
+		}
+	}
+}
+
+func TestSearchStrategiesComparableToGA(t *testing.T) {
+	// At an equal budget the GA should be at least as good as hill climbing
+	// and annealing on the multi-cut problems (that is the ablation claim).
+	p := profiler.New(zoo.MustLoad("resnet50"), model.DefaultCostModel())
+	cfg := DefaultConfig(4)
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := HillClimb(p, 4, res.Evaluations, 1)
+	ac := DefaultAnnealConfig()
+	ac.MaxEvals = res.Evaluations
+	an := Anneal(p, 4, ac)
+	if res.Fitness < hc.Fitness-0.01 {
+		t.Errorf("GA fitness %v well below hill climbing %v", res.Fitness, hc.Fitness)
+	}
+	if res.Fitness < an.Fitness-0.01 {
+		t.Errorf("GA fitness %v well below annealing %v", res.Fitness, an.Fitness)
+	}
+}

@@ -1,0 +1,148 @@
+// Package gpusim is a discrete-event simulator of a single shared edge GPU.
+//
+// The paper's testbed (Jetson Nano + ONNX Runtime) executes work on a single
+// device: sequentially under SPLIT/ClockWork/PREMA, concurrently under the
+// multi-stream baselines. The simulator models exactly the quantities those
+// systems' results depend on: a virtual clock, an event queue, and a
+// contention model for concurrent streams (per-stream slowdown growing with
+// the number of co-resident requests, capturing the §2.2 observation that
+// operator-level contention makes short requests experience long-request
+// latency).
+package gpusim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Sim is the event loop. The zero value is not usable; call New.
+type Sim struct {
+	now    float64
+	events eventHeap
+	seq    int
+	// processed counts executed events, for loop-safety assertions.
+	processed int
+	// MaxEvents aborts runs that exceed this many events (guards against
+	// accidental infinite event loops in policy code). 0 means no limit.
+	MaxEvents int
+}
+
+// New returns an empty simulator at time 0.
+func New() *Sim {
+	return &Sim{MaxEvents: 50_000_000}
+}
+
+// Now returns the current virtual time in milliseconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() int { return s.processed }
+
+// At schedules fn to run at absolute time at (>= Now). Scheduling in the
+// past panics: it always indicates a policy bug.
+func (s *Sim) At(at float64, fn func(now float64)) {
+	if at < s.now-1e-9 {
+		panic(fmt.Sprintf("gpusim: scheduling event at %.6f before now %.6f", at, s.now))
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("gpusim: invalid event time %v", at))
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay milliseconds from now.
+func (s *Sim) After(delay float64, fn func(now float64)) {
+	s.At(s.now+delay, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (s *Sim) Run() float64 {
+	for len(s.events) > 0 {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (s *Sim) RunUntil(t float64) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		s.step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+func (s *Sim) step() {
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	s.processed++
+	if s.MaxEvents > 0 && s.processed > s.MaxEvents {
+		panic("gpusim: event budget exceeded (runaway simulation)")
+	}
+	ev.fn(s.now)
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+type event struct {
+	at  float64
+	seq int // FIFO tie-break for simultaneous events
+	fn  func(now float64)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Contention models the per-stream slowdown of concurrent GPU execution:
+// with k requests co-resident on the device, each runs Inflation(k) times
+// slower than isolated. The default is calibrated so that heavy multi-stream
+// sharing roughly halves per-stream throughput at 4-way concurrency, which
+// matches the "serious resource contention" the paper attributes to the
+// Stream-Parallel approach.
+type Contention struct {
+	// Gamma is the per-extra-stream slowdown coefficient.
+	Gamma float64
+	// Cap bounds the inflation factor (hardware can't get arbitrarily slow).
+	Cap float64
+}
+
+// DefaultContention returns the calibrated contention model.
+func DefaultContention() Contention {
+	return Contention{Gamma: 0.25, Cap: 3.0}
+}
+
+// Inflation returns the slowdown factor for k co-resident requests (k >= 1).
+func (c Contention) Inflation(k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	f := 1 + c.Gamma*float64(k-1)
+	if c.Cap > 0 && f > c.Cap {
+		f = c.Cap
+	}
+	return f
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"split/internal/model"
+)
+
+func TestWriteRecordsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,model,class") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "yolo") || !strings.Contains(lines[1], string(model.Short)) {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteViolationCurveCSV(t *testing.T) {
+	var buf bytes.Buffer
+	alphas := []float64{2, 3}
+	curve := []float64{0.5, 0.25}
+	if err := WriteViolationCurveCSV(&buf, alphas, curve); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2.0,0.500000") || !strings.Contains(out, "3.0,0.250000") {
+		t.Errorf("csv = %q", out)
+	}
+	if err := WriteViolationCurveCSV(&buf, alphas, curve[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestWriteJitterCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJitterCSV(&buf, map[string]float64{"b": 2, "a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[1], "a,") || !strings.HasPrefix(lines[2], "b,") {
+		t.Errorf("csv = %v", lines)
+	}
+}
+
+func TestReadArrivalsCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	arrivals, err := ReadArrivalsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 5 {
+		t.Fatalf("%d arrivals", len(arrivals))
+	}
+	for i, a := range arrivals {
+		if a.ID != i {
+			t.Errorf("id %d at %d", a.ID, i)
+		}
+		if i > 0 && a.AtMs < arrivals[i-1].AtMs {
+			t.Error("not ordered")
+		}
+	}
+	if arrivals[0].Model != "yolo" {
+		t.Errorf("model = %q", arrivals[0].Model)
+	}
+}
+
+func TestReadArrivalsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"nope,nope\n1,2\n",
+		"id,model,arrive_ms\nx,m,1\n",
+		"id,model,arrive_ms\n1,m,notanumber\n",
+		"id,model,arrive_ms\n1\n",
+	}
+	for i, s := range cases {
+		if _, err := ReadArrivalsCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}

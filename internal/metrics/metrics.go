@@ -1,0 +1,254 @@
+// Package metrics computes the paper's QoS measures over per-request
+// records: the latency violation rate as a function of the latency target α
+// (Figure 6) and inference jitter, the standard deviation of per-model
+// end-to-end execution time (Figure 7), plus supporting response-ratio
+// statistics.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"split/internal/model"
+	"split/internal/policy"
+	"split/internal/stats"
+)
+
+// DefaultAlphas returns the α sweep the paper uses: 2 through 20 (§5.2).
+func DefaultAlphas() []float64 {
+	alphas := make([]float64, 0, 19)
+	for a := 2; a <= 20; a++ {
+		alphas = append(alphas, float64(a))
+	}
+	return alphas
+}
+
+// ViolationRate returns the fraction of requests whose response ratio
+// exceeds α (a request violates its latency target α·t_ext when
+// RR = t_ete/t_ext > α).
+func ViolationRate(recs []policy.Record, alpha float64) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	violated := 0
+	for _, r := range recs {
+		if r.ResponseRatio() > alpha {
+			violated++
+		}
+	}
+	return float64(violated) / float64(len(recs))
+}
+
+// ViolationCurve evaluates ViolationRate at every α, producing one Figure 6
+// series.
+func ViolationCurve(recs []policy.Record, alphas []float64) []float64 {
+	curve := make([]float64, len(alphas))
+	for i, a := range alphas {
+		curve[i] = ViolationRate(recs, a)
+	}
+	return curve
+}
+
+// ResponseRatios extracts all response ratios.
+func ResponseRatios(recs []policy.Record) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ResponseRatio()
+	}
+	return out
+}
+
+// E2EByModel groups end-to-end latencies by model name.
+func E2EByModel(recs []policy.Record) map[string][]float64 {
+	by := make(map[string][]float64)
+	for _, r := range recs {
+		by[r.Model] = append(by[r.Model], r.E2EMs())
+	}
+	return by
+}
+
+// JitterByModel returns the Figure 7 metric: the standard deviation of
+// end-to-end execution time for each model's requests.
+func JitterByModel(recs []policy.Record) map[string]float64 {
+	out := make(map[string]float64)
+	for name, xs := range E2EByModel(recs) {
+		out[name] = stats.StdDev(xs)
+	}
+	return out
+}
+
+// JitterByClass aggregates jitter across all short and all long requests.
+func JitterByClass(recs []policy.Record) map[model.RequestClass]float64 {
+	by := make(map[model.RequestClass][]float64)
+	for _, r := range recs {
+		by[r.Class] = append(by[r.Class], r.E2EMs())
+	}
+	out := make(map[model.RequestClass]float64, len(by))
+	for c, xs := range by {
+		out[c] = stats.StdDev(xs)
+	}
+	return out
+}
+
+// MeanResponseRatio returns the average RR over all requests.
+func MeanResponseRatio(recs []policy.Record) float64 {
+	return stats.Mean(ResponseRatios(recs))
+}
+
+// MeanWait returns the average waiting latency (E2E − t_ext).
+func MeanWait(recs []policy.Record) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range recs {
+		s += r.WaitMs()
+	}
+	return s / float64(len(recs))
+}
+
+// ByClass partitions records into short and long requests.
+func ByClass(recs []policy.Record) map[model.RequestClass][]policy.Record {
+	out := make(map[model.RequestClass][]policy.Record)
+	for _, r := range recs {
+		out[r.Class] = append(out[r.Class], r)
+	}
+	return out
+}
+
+// ByModel partitions records by model name.
+func ByModel(recs []policy.Record) map[string][]policy.Record {
+	out := make(map[string][]policy.Record)
+	for _, r := range recs {
+		out[r.Model] = append(out[r.Model], r)
+	}
+	return out
+}
+
+// Summary is a compact per-run QoS digest used by the experiment harness.
+type Summary struct {
+	System          string
+	Requests        int
+	MeanRR          float64
+	P95RR           float64
+	MeanWaitMs      float64
+	ViolationAt4    float64
+	ViolationAt8    float64
+	JitterShortMs   float64
+	JitterLongMs    float64
+	TotalPreemption int
+}
+
+// Summarize digests one system's records.
+func Summarize(system string, recs []policy.Record) Summary {
+	rrs := ResponseRatios(recs)
+	jc := JitterByClass(recs)
+	pre := 0
+	for _, r := range recs {
+		pre += r.Preemptions
+	}
+	s := Summary{
+		System:          system,
+		Requests:        len(recs),
+		MeanRR:          stats.Mean(rrs),
+		MeanWaitMs:      MeanWait(recs),
+		ViolationAt4:    ViolationRate(recs, 4),
+		ViolationAt8:    ViolationRate(recs, 8),
+		JitterShortMs:   jc[model.Short],
+		JitterLongMs:    jc[model.Long],
+		TotalPreemption: pre,
+	}
+	if len(rrs) > 0 {
+		s.P95RR = stats.Percentile(rrs, 95)
+	}
+	return s
+}
+
+// String renders the summary as a fixed-width table row.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-16s n=%-5d meanRR=%-6.2f p95RR=%-7.2f wait=%-8.2f viol@4=%-6.1f%% viol@8=%-6.1f%% jitterS=%-8.2f jitterL=%-8.2f preempt=%d",
+		s.System, s.Requests, s.MeanRR, s.P95RR, s.MeanWaitMs,
+		s.ViolationAt4*100, s.ViolationAt8*100, s.JitterShortMs, s.JitterLongMs, s.TotalPreemption)
+}
+
+// BacklogSeries reconstructs the queue backlog over time from completed
+// records: at each sample instant, the number of requests that have arrived
+// but not completed. Sampling runs from t=0 to the last completion in steps
+// of stepMs. A growing series is the §5.1 footnote's "requests in the
+// growing queue" regime.
+func BacklogSeries(recs []policy.Record, stepMs float64) []int {
+	var end float64
+	for _, r := range recs {
+		if r.DoneMs > end {
+			end = r.DoneMs
+		}
+	}
+	return BacklogSeriesUntil(recs, stepMs, end+stepMs)
+}
+
+// BacklogSeriesUntil is BacklogSeries sampled only up to horizonMs. Use the
+// last *arrival* time as the horizon to measure queue growth while load is
+// applied — a finite trace always drains eventually, so sampling past the
+// arrivals hides instability.
+func BacklogSeriesUntil(recs []policy.Record, stepMs, horizonMs float64) []int {
+	if len(recs) == 0 || stepMs <= 0 || horizonMs <= 0 {
+		return nil
+	}
+	n := int(horizonMs/stepMs) + 1
+	delta := make([]int, n+1)
+	for _, r := range recs {
+		ai := int(r.ArriveMs / stepMs)
+		di := int(r.DoneMs / stepMs)
+		if ai < len(delta) {
+			delta[ai]++
+		}
+		if di+1 < len(delta) {
+			delta[di+1]--
+		}
+	}
+	series := make([]int, n)
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += delta[i]
+		series[i] = acc
+	}
+	return series
+}
+
+// BacklogTrend fits a least-squares slope (requests per sample step) to the
+// second half of a backlog series — positive slopes indicate an unstable,
+// growing queue.
+func BacklogTrend(series []int) float64 {
+	half := series[len(series)/2:]
+	n := float64(len(half))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxy, sxx float64
+	for i, v := range half {
+		x, y := float64(i), float64(v)
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / denom
+}
+
+// ModelNames returns the sorted model names present in recs.
+func ModelNames(recs []policy.Record) []string {
+	set := map[string]bool{}
+	for _, r := range recs {
+		set[r.Model] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"split/internal/model"
+	"split/internal/policy"
+)
+
+func rec(id int, m string, class model.RequestClass, arrive, done, ext float64) policy.Record {
+	return policy.Record{
+		ID: id, Model: m, Class: class,
+		ArriveMs: arrive, StartMs: arrive, DoneMs: done, ExtMs: ext,
+	}
+}
+
+func sample() []policy.Record {
+	return []policy.Record{
+		rec(0, "yolo", model.Short, 0, 10, 10), // rr 1
+		rec(1, "yolo", model.Short, 0, 30, 10), // rr 3
+		rec(2, "yolo", model.Short, 0, 60, 10), // rr 6
+		rec(3, "vgg", model.Long, 0, 70, 70),   // rr 1
+		rec(4, "vgg", model.Long, 0, 350, 70),  // rr 5
+	}
+}
+
+func TestViolationRate(t *testing.T) {
+	recs := sample()
+	cases := []struct {
+		alpha float64
+		want  float64
+	}{
+		{0.5, 1.0},
+		{2, 3.0 / 5},
+		{4, 2.0 / 5},
+		{6, 0},
+		{20, 0},
+	}
+	for _, c := range cases {
+		if got := ViolationRate(recs, c.alpha); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("ViolationRate(α=%v) = %v, want %v", c.alpha, got, c.want)
+		}
+	}
+	if got := ViolationRate(nil, 4); got != 0 {
+		t.Errorf("empty violation rate = %v", got)
+	}
+}
+
+func TestViolationCurveMonotoneNonIncreasing(t *testing.T) {
+	recs := sample()
+	alphas := DefaultAlphas()
+	curve := ViolationCurve(recs, alphas)
+	if len(curve) != len(alphas) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("violation curve increased at α=%v", alphas[i])
+		}
+	}
+}
+
+func TestDefaultAlphas(t *testing.T) {
+	a := DefaultAlphas()
+	if len(a) != 19 || a[0] != 2 || a[18] != 20 {
+		t.Errorf("alphas = %v", a)
+	}
+}
+
+func TestResponseRatios(t *testing.T) {
+	rrs := ResponseRatios(sample())
+	want := []float64{1, 3, 6, 1, 5}
+	for i := range want {
+		if math.Abs(rrs[i]-want[i]) > 1e-12 {
+			t.Errorf("rr[%d] = %v, want %v", i, rrs[i], want[i])
+		}
+	}
+}
+
+func TestJitterByModel(t *testing.T) {
+	j := JitterByModel(sample())
+	// yolo e2e: 10, 30, 60 → mean 100/3, std sqrt( (…)/3 )
+	mean := 100.0 / 3
+	v := ((10-mean)*(10-mean) + (30-mean)*(30-mean) + (60-mean)*(60-mean)) / 3
+	if math.Abs(j["yolo"]-math.Sqrt(v)) > 1e-9 {
+		t.Errorf("yolo jitter = %v", j["yolo"])
+	}
+	// vgg e2e: 70, 350 → std 140.
+	if math.Abs(j["vgg"]-140) > 1e-9 {
+		t.Errorf("vgg jitter = %v", j["vgg"])
+	}
+}
+
+func TestJitterByClass(t *testing.T) {
+	j := JitterByClass(sample())
+	if j[model.Short] <= 0 || j[model.Long] <= 0 {
+		t.Errorf("class jitter = %v", j)
+	}
+	if math.Abs(j[model.Long]-140) > 1e-9 {
+		t.Errorf("long jitter = %v", j[model.Long])
+	}
+}
+
+func TestMeanWaitAndRR(t *testing.T) {
+	recs := sample()
+	// waits: 0, 20, 50, 0, 280 → mean 70.
+	if got := MeanWait(recs); math.Abs(got-70) > 1e-9 {
+		t.Errorf("mean wait = %v", got)
+	}
+	if got := MeanResponseRatio(recs); math.Abs(got-16.0/5) > 1e-9 {
+		t.Errorf("mean rr = %v", got)
+	}
+	if MeanWait(nil) != 0 {
+		t.Error("empty mean wait")
+	}
+}
+
+func TestByClassAndByModel(t *testing.T) {
+	recs := sample()
+	bc := ByClass(recs)
+	if len(bc[model.Short]) != 3 || len(bc[model.Long]) != 2 {
+		t.Errorf("by class sizes wrong")
+	}
+	bm := ByModel(recs)
+	if len(bm["yolo"]) != 3 || len(bm["vgg"]) != 2 {
+		t.Errorf("by model sizes wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize("TEST", sample())
+	if s.System != "TEST" || s.Requests != 5 {
+		t.Errorf("summary header: %+v", s)
+	}
+	if math.Abs(s.MeanRR-3.2) > 1e-9 {
+		t.Errorf("meanRR = %v", s.MeanRR)
+	}
+	if math.Abs(s.ViolationAt4-0.4) > 1e-12 {
+		t.Errorf("viol@4 = %v", s.ViolationAt4)
+	}
+	if s.P95RR < 5 {
+		t.Errorf("p95 = %v", s.P95RR)
+	}
+	if s.String() == "" {
+		t.Error("empty render")
+	}
+	empty := Summarize("E", nil)
+	if empty.Requests != 0 || empty.P95RR != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := ModelNames(sample())
+	if len(names) != 2 || names[0] != "vgg" || names[1] != "yolo" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestBacklogSeries(t *testing.T) {
+	recs := []policy.Record{
+		rec(0, "a", model.Short, 0, 25, 10),
+		rec(1, "a", model.Short, 5, 35, 10),
+		rec(2, "a", model.Short, 30, 45, 10),
+	}
+	s := BacklogSeries(recs, 10)
+	// t=0: req0 arrived (req1 at 5 also inside first bucket) → 2 by bucket 0.
+	if len(s) < 5 {
+		t.Fatalf("series too short: %v", s)
+	}
+	if s[0] != 2 {
+		t.Errorf("s[0] = %d, want 2", s[0])
+	}
+	// Bucket 3 (t=30..40): req0 done at 25, req1 done 35 (still counted at 30),
+	// req2 arrived at 30: backlog 2.
+	if s[3] != 2 {
+		t.Errorf("s[3] = %d (%v)", s[3], s)
+	}
+	// Final bucket (one step past the last completion): everything done.
+	if s[len(s)-1] != 0 {
+		t.Errorf("final backlog %d", s[len(s)-1])
+	}
+	// Horizon-limited sampling stops while work is still queued.
+	u := BacklogSeriesUntil(recs, 10, 30)
+	if u[len(u)-1] == 0 {
+		t.Errorf("horizon-limited series drained: %v", u)
+	}
+	if BacklogSeries(nil, 10) != nil {
+		t.Error("empty records produced a series")
+	}
+	if BacklogSeries(recs, 0) != nil {
+		t.Error("zero step produced a series")
+	}
+}
+
+func TestBacklogTrend(t *testing.T) {
+	growing := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if got := BacklogTrend(growing); got < 0.9 || got > 1.1 {
+		t.Errorf("growing trend = %v", got)
+	}
+	flat := []int{3, 3, 3, 3, 3, 3}
+	if got := BacklogTrend(flat); got != 0 {
+		t.Errorf("flat trend = %v", got)
+	}
+	if got := BacklogTrend([]int{1}); got != 0 {
+		t.Errorf("degenerate trend = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// dagGraph: a 5-op graph with a skip connection from op 0 to op 3.
+//
+//	0 -> 1 -> 2 -> 3 -> 4
+//	 \____________/
+func dagGraph() *Graph {
+	g := &Graph{Name: "dag", Domain: "Test", Class: Short}
+	for i := 0; i < 5; i++ {
+		g.Ops = append(g.Ops, Op{
+			Name:     string(rune('a' + i)),
+			Kind:     Conv,
+			TimeMs:   10,
+			OutBytes: int64(1000 * (i + 1)),
+		})
+	}
+	g.Edges = []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {3, 4}}
+	return g
+}
+
+func TestValidateEdges(t *testing.T) {
+	g := dagGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid DAG rejected: %v", err)
+	}
+	bads := []Edge{
+		{-1, 2}, // out of range
+		{2, 5},  // out of range
+		{3, 3},  // self edge
+		{4, 2},  // backward
+	}
+	for _, e := range bads {
+		g := dagGraph()
+		g.Edges = append(g.Edges, e)
+		if err := g.Validate(); err == nil {
+			t.Errorf("edge %+v accepted", e)
+		}
+	}
+}
+
+func TestBoundaryBytesChainFallback(t *testing.T) {
+	g := dagGraph()
+	g.Edges = nil // pure chain semantics
+	for c := 1; c <= 4; c++ {
+		want := g.Ops[c-1].OutBytes
+		if got := g.BoundaryBytesAt(c); got != want {
+			t.Errorf("chain boundary at %d = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestBoundaryBytesWithSkipConnection(t *testing.T) {
+	g := dagGraph()
+	// Cut at 1: only op0's tensor crosses (edges 0->1 and 0->3 share the
+	// same source tensor, counted once).
+	if got := g.BoundaryBytesAt(1); got != 1000 {
+		t.Errorf("boundary at 1 = %d, want 1000", got)
+	}
+	// Cut at 2: op1 feeds op2 (2000) and op0 feeds op3 across the cut (1000).
+	if got := g.BoundaryBytesAt(2); got != 3000 {
+		t.Errorf("boundary at 2 = %d, want 3000", got)
+	}
+	// Cut at 3: op2 (3000) + skip from op0 (1000).
+	if got := g.BoundaryBytesAt(3); got != 4000 {
+		t.Errorf("boundary at 3 = %d, want 4000", got)
+	}
+	// Cut at 4: only op3's output crosses.
+	if got := g.BoundaryBytesAt(4); got != 4000 {
+		t.Errorf("boundary at 4 = %d, want 4000", got)
+	}
+}
+
+func TestSkipConnectionRaisesSplitCost(t *testing.T) {
+	withSkip := dagGraph()
+	noSkip := dagGraph()
+	noSkip.Edges = []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	cm := CostModel{FixedLaunchMs: 0, BytesPerMs: 1e3}
+	// Cutting inside the skip (at 2) must cost more with the skip present.
+	if withSkip.SplitOverhead([]int{2}, cm) <= noSkip.SplitOverhead([]int{2}, cm) {
+		t.Error("skip connection did not raise mid-skip cut cost")
+	}
+	// Cutting after the join (at 4) costs the same either way.
+	a := withSkip.SplitOverhead([]int{4}, cm)
+	b := noSkip.SplitOverhead([]int{4}, cm)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("post-join cut differs: %v vs %v", a, b)
+	}
+}
+
+func TestBlockTimesUseDAGBoundary(t *testing.T) {
+	g := dagGraph()
+	cm := CostModel{FixedLaunchMs: 1, BytesPerMs: 1e3}
+	times := g.BlockTimesMs([]int{2}, cm)
+	// Block 1 pays 1 + 3000/1000 = 4 ms of boundary on top of 30 ms of ops.
+	if math.Abs(times[1]-34) > 1e-9 {
+		t.Errorf("block 1 time = %v, want 34", times[1])
+	}
+	if math.Abs(times[0]-20) > 1e-9 {
+		t.Errorf("block 0 time = %v, want 20", times[0])
+	}
+}

@@ -1,0 +1,53 @@
+package model_test
+
+import (
+	"fmt"
+
+	"split/internal/model"
+)
+
+// ExampleGraph_BlockTimesMs splits a toy model and shows how boundary
+// overhead lands on the succeeding block.
+func ExampleGraph_BlockTimesMs() {
+	g := &model.Graph{
+		Name: "toy",
+		Ops: []model.Op{
+			{Name: "conv1", Kind: model.Conv, TimeMs: 10, OutBytes: 2_000_000},
+			{Name: "conv2", Kind: model.Conv, TimeMs: 10, OutBytes: 500_000},
+			{Name: "fc", Kind: model.Gemm, TimeMs: 10, OutBytes: 4_000},
+		},
+	}
+	cm := model.CostModel{FixedLaunchMs: 1, BytesPerMs: 1e6}
+	times := g.BlockTimesMs([]int{1}, cm) // cut after conv1
+	fmt.Printf("block0=%.1fms block1=%.1fms overhead=%.0f%%\n",
+		times[0], times[1], g.SplitOverhead([]int{1}, cm)*100)
+	// Output:
+	// block0=10.0ms block1=23.0ms overhead=10%
+}
+
+// ExampleGraph_BoundaryBytesAt shows how a skip connection raises the data
+// volume crossing a cut inside it.
+func ExampleGraph_BoundaryBytesAt() {
+	g := &model.Graph{
+		Name: "residual",
+		Ops: []model.Op{
+			{Name: "in", Kind: model.Conv, TimeMs: 1, OutBytes: 1000},
+			{Name: "mid", Kind: model.Conv, TimeMs: 1, OutBytes: 2000},
+			{Name: "add", Kind: model.Add, TimeMs: 1, OutBytes: 1000},
+		},
+		Edges: []model.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 0, To: 2}},
+	}
+	fmt.Println("cut inside skip:", g.BoundaryBytesAt(2), "bytes")
+	fmt.Println("cut before skip:", g.BoundaryBytesAt(1), "bytes")
+	// Output:
+	// cut inside skip: 3000 bytes
+	// cut before skip: 1000 bytes
+}
+
+// ExampleCandidateCount reproduces the §2.2 search-space observation.
+func ExampleCandidateCount() {
+	fmt.Printf("%.0f ways to cut a 122-op model into 3 blocks\n",
+		model.CandidateCount(122, 3))
+	// Output:
+	// 7260 ways to cut a 122-op model into 3 blocks
+}

@@ -1,0 +1,121 @@
+// Package policy implements the four scheduling systems compared in the
+// paper's evaluation (§5.3) — SPLIT, ClockWork, PREMA and the Runtime-Aware
+// concurrent approach (RT-A) — plus the Stream-Parallel baseline of Figure 1,
+// all running on the internal/gpusim discrete-event device.
+//
+// Each system consumes an identical arrival trace and a shared model
+// catalog, and produces per-request Records from which internal/metrics
+// computes the latency violation rate (Fig. 6) and jitter (Fig. 7).
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"split/internal/model"
+	"split/internal/trace"
+	"split/internal/workload"
+)
+
+// ModelInfo is the per-model knowledge a scheduler has: the isolated
+// execution time the QoS target is based on, the class, and (for SPLIT) the
+// offline split plan.
+type ModelInfo struct {
+	Name  string
+	Class model.RequestClass
+	// ExtMs is t_ext, the isolated unsplit execution time.
+	ExtMs float64
+	// Plan is the offline evenly-sized split plan. May be nil or unsplit
+	// for systems that never split.
+	Plan *model.SplitPlan
+}
+
+// Catalog maps model name to its info.
+type Catalog map[string]*ModelInfo
+
+// NewCatalog derives a catalog from graphs and optional split plans.
+func NewCatalog(graphs map[string]*model.Graph, plans map[string]*model.SplitPlan) Catalog {
+	c := make(Catalog, len(graphs))
+	for name, g := range graphs {
+		info := &ModelInfo{
+			Name:  name,
+			Class: g.Class,
+			ExtMs: g.TotalTimeMs(),
+		}
+		if plans != nil {
+			info.Plan = plans[name]
+		}
+		c[name] = info
+	}
+	return c
+}
+
+// BlocksFor returns the block plan SPLIT would execute for the model: the
+// split plan's block times if present, otherwise a single unsplit block.
+func (c Catalog) BlocksFor(name string) []float64 {
+	info := c[name]
+	if info == nil {
+		panic(fmt.Sprintf("policy: unknown model %q", name))
+	}
+	if info.Plan != nil && len(info.Plan.BlockTimesMs) > 0 {
+		return append([]float64(nil), info.Plan.BlockTimesMs...)
+	}
+	return []float64{info.ExtMs}
+}
+
+// Record is the per-request outcome every system reports.
+type Record struct {
+	ID          int
+	Model       string
+	Class       model.RequestClass
+	ArriveMs    float64
+	StartMs     float64
+	DoneMs      float64
+	ExtMs       float64
+	Preemptions int
+	// Split reports whether the request executed under a multi-block plan.
+	Split bool
+}
+
+// E2EMs is the end-to-end latency (wait + execution).
+func (r Record) E2EMs() float64 { return r.DoneMs - r.ArriveMs }
+
+// WaitMs is the portion of E2E spent not executing: E2E minus the isolated
+// execution time (any splitting/contention overhead counts as waiting from
+// the QoS perspective, since the target is based on t_ext).
+func (r Record) WaitMs() float64 { return r.E2EMs() - r.ExtMs }
+
+// ResponseRatio is RR = t_ete / t_ext (Eq. 3).
+func (r Record) ResponseRatio() float64 { return r.E2EMs() / r.ExtMs }
+
+// System is a scheduling system under test: it replays an arrival trace
+// against the catalog and reports one Record per request. Implementations
+// must be deterministic for a fixed trace and catalog.
+type System interface {
+	// Name identifies the system in experiment output (e.g. "SPLIT").
+	Name() string
+	// Run simulates the trace to completion. tr may be nil.
+	Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Tracer) []Record
+}
+
+// sortRecords orders records by request ID so output is stable across
+// systems regardless of completion order.
+func sortRecords(recs []Record) []Record {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	return recs
+}
+
+// validateArrivals panics on unordered or unknown-model traces — generator
+// bugs that must not be silently absorbed into results.
+func validateArrivals(arrivals []workload.Arrival, catalog Catalog) {
+	prev := -1.0
+	for _, a := range arrivals {
+		if a.AtMs < prev {
+			panic(fmt.Sprintf("policy: arrival trace not time-ordered at id %d", a.ID))
+		}
+		prev = a.AtMs
+		if _, ok := catalog[a.Model]; !ok {
+			panic(fmt.Sprintf("policy: arrival %d references unknown model %q", a.ID, a.Model))
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package policy
+
+import (
+	"split/internal/gpusim"
+	"split/internal/model"
+	"split/internal/trace"
+	"split/internal/workload"
+)
+
+// REEF models the kernel-level preemption alternative the paper discusses
+// (§6, Han et al. OSDI'22): real-time (short) requests preempt best-effort
+// (long) requests at microsecond scale by killing the in-flight kernel,
+// losing only that kernel's progress. It trades SPLIT's hardware
+// independence for near-instant preemption, and serves as the QoS upper
+// bound SPLIT is compared against: SPLIT should approach REEF's short-
+// request QoS without requiring kernel reset support.
+type REEF struct {
+	// PreemptLatencyMs is the reset-and-launch latency of a preemption.
+	PreemptLatencyMs float64
+	// KernelLossMs is the average progress discarded when the running
+	// kernel is killed.
+	KernelLossMs float64
+}
+
+// NewREEF returns the calibrated configuration: 50 µs preemption, 100 µs
+// mean kernel loss.
+func NewREEF() *REEF {
+	return &REEF{PreemptLatencyMs: 0.05, KernelLossMs: 0.1}
+}
+
+// Name implements System.
+func (r *REEF) Name() string { return "REEF" }
+
+type reefReq struct {
+	Record
+	remainingMs float64
+	realtime    bool
+}
+
+// Run implements System.
+func (r *REEF) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Tracer) []Record {
+	validateArrivals(arrivals, catalog)
+	sim := gpusim.New()
+	var rtQueue, beQueue []*reefReq // realtime FIFO, best-effort FIFO
+	var running *reefReq
+	var runStart float64
+	version := 0
+	var records []Record
+
+	var dispatch func(now float64)
+
+	complete := func(q *reefReq, now float64) {
+		q.DoneMs = now
+		tr.Recordf(now, trace.Complete, q.ID, q.Model, 0, "rr=%.2f", q.ResponseRatio())
+		records = append(records, q.Record)
+	}
+
+	dispatch = func(now float64) {
+		if running != nil {
+			return
+		}
+		var q *reefReq
+		if len(rtQueue) > 0 {
+			q, rtQueue = rtQueue[0], rtQueue[1:]
+		} else if len(beQueue) > 0 {
+			q, beQueue = beQueue[0], beQueue[1:]
+		} else {
+			return
+		}
+		running = q
+		runStart = now
+		if q.StartMs < 0 {
+			q.StartMs = now
+		}
+		v := version
+		tr.Recordf(now, trace.StartBlock, q.ID, q.Model, 0, "dur=%.3f", q.remainingMs)
+		sim.After(q.remainingMs, func(now float64) {
+			if v != version {
+				return // preempted; superseded
+			}
+			tr.Recordf(now, trace.EndBlock, q.ID, q.Model, 0, "")
+			q.remainingMs = 0
+			complete(q, now)
+			running = nil
+			version++
+			dispatch(now)
+		})
+	}
+
+	for _, a := range arrivals {
+		a := a
+		sim.At(a.AtMs, func(now float64) {
+			info := catalog[a.Model]
+			q := &reefReq{
+				Record: Record{
+					ID:       a.ID,
+					Model:    a.Model,
+					Class:    info.Class,
+					ArriveMs: now,
+					StartMs:  -1,
+					ExtMs:    info.ExtMs,
+				},
+				remainingMs: info.ExtMs,
+				realtime:    info.Class == model.Short,
+			}
+			tr.Recordf(now, trace.Arrive, q.ID, q.Model, 0, "rt=%v", q.realtime)
+			if q.realtime {
+				rtQueue = append(rtQueue, q)
+				// Kernel-level preemption: kill the running best-effort
+				// request's current kernel immediately.
+				if running != nil && !running.realtime {
+					victim := running
+					elapsed := now - runStart
+					victim.remainingMs -= elapsed
+					victim.remainingMs += r.KernelLossMs // killed kernel redone
+					if victim.remainingMs < 0 {
+						victim.remainingMs = 0
+					}
+					victim.Preemptions++
+					// Close the victim's occupancy span at the kill instant.
+					tr.Recordf(now, trace.EndBlock, victim.ID, victim.Model, 0, "killed")
+					tr.Recordf(now, trace.Preempt, victim.ID, victim.Model, 0, "kernel reset")
+					// Preempted best-effort work resumes at queue head.
+					beQueue = append([]*reefReq{victim}, beQueue...)
+					running = nil
+					version++
+					// Reset-and-relaunch latency before the short starts.
+					sim.After(r.PreemptLatencyMs, dispatch)
+					return
+				}
+			} else {
+				beQueue = append(beQueue, q)
+			}
+			dispatch(now)
+		})
+	}
+	sim.Run()
+	return sortRecords(records)
+}

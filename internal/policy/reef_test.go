@@ -1,0 +1,144 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"split/internal/trace"
+	"split/internal/workload"
+)
+
+func TestREEFShortPreemptsInstantly(t *testing.T) {
+	catalog := synthCatalog()
+	r := NewREEF()
+	arrivals := []workload.Arrival{
+		{ID: 0, Model: "long", AtMs: 0},
+		{ID: 1, Model: "short", AtMs: 7},
+	}
+	recs := r.Run(arrivals, catalog, nil)
+	// Short starts after the preemption latency and runs 5 ms:
+	// done ≈ 7 + 0.05 + 5.
+	if math.Abs(recs[1].DoneMs-(7+r.PreemptLatencyMs+5)) > 1e-9 {
+		t.Errorf("short done at %v", recs[1].DoneMs)
+	}
+	// Long: 7 ms done before preemption, kernel loss 0.1, remaining
+	// 23 + 0.1 resumes after the short.
+	wantLong := 7 + r.PreemptLatencyMs + 5 + (30 - 7 + r.KernelLossMs)
+	if math.Abs(recs[0].DoneMs-wantLong) > 1e-9 {
+		t.Errorf("long done at %v, want %v", recs[0].DoneMs, wantLong)
+	}
+	if recs[0].Preemptions != 1 {
+		t.Errorf("long preemptions = %d", recs[0].Preemptions)
+	}
+}
+
+func TestREEFNoPreemptionAmongShorts(t *testing.T) {
+	catalog := synthCatalog()
+	arrivals := []workload.Arrival{
+		{ID: 0, Model: "short", AtMs: 0},
+		{ID: 1, Model: "short", AtMs: 1},
+	}
+	recs := NewREEF().Run(arrivals, catalog, nil)
+	// FIFO among realtime requests: 0 then 1, no preemption.
+	if recs[0].Preemptions != 0 || recs[1].Preemptions != 0 {
+		t.Error("realtime requests preempted each other")
+	}
+	if math.Abs(recs[0].DoneMs-5) > 1e-9 || math.Abs(recs[1].DoneMs-10) > 1e-9 {
+		t.Errorf("completions %v %v", recs[0].DoneMs, recs[1].DoneMs)
+	}
+}
+
+func TestREEFBestEffortFIFO(t *testing.T) {
+	catalog := synthCatalog()
+	arrivals := []workload.Arrival{
+		{ID: 0, Model: "long", AtMs: 0},
+		{ID: 1, Model: "huge", AtMs: 1},
+	}
+	recs := NewREEF().Run(arrivals, catalog, nil)
+	if recs[1].DoneMs <= recs[0].DoneMs {
+		t.Error("best-effort order violated")
+	}
+}
+
+func TestREEFAllRequestsComplete(t *testing.T) {
+	catalog := synthCatalog()
+	arrivals := scenarioArrivals(4)
+	recs := NewREEF().Run(arrivals, catalog, nil)
+	if len(recs) != len(arrivals) {
+		t.Fatalf("%d records for %d arrivals", len(recs), len(arrivals))
+	}
+	for _, r := range recs {
+		if r.DoneMs < r.ArriveMs || r.E2EMs() < r.ExtMs-1e-6 {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+}
+
+func TestREEFBeatsClockWorkForShorts(t *testing.T) {
+	catalog := synthCatalog()
+	arrivals := scenarioArrivals(5)
+	reef := NewREEF().Run(arrivals, catalog, nil)
+	cw := NewClockWork().Run(arrivals, catalog, nil)
+	meanShortRR := func(recs []Record) float64 {
+		var s float64
+		n := 0
+		for _, r := range recs {
+			if r.Model == "short" {
+				s += r.ResponseRatio()
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	if meanShortRR(reef) >= meanShortRR(cw) {
+		t.Errorf("REEF short RR %.2f not below ClockWork %.2f",
+			meanShortRR(reef), meanShortRR(cw))
+	}
+}
+
+func TestREEFIsShortQoSUpperBoundForSplit(t *testing.T) {
+	// SPLIT approaches REEF's short-request QoS but cannot beat it by much:
+	// REEF preempts anywhere, SPLIT only at block boundaries.
+	catalog := synthCatalog()
+	arrivals := scenarioArrivals(6)
+	reef := NewREEF().Run(arrivals, catalog, nil)
+	split := NewSplit().Run(arrivals, catalog, nil)
+	meanShortWait := func(recs []Record) float64 {
+		var s float64
+		n := 0
+		for _, r := range recs {
+			if r.Model == "short" {
+				s += r.WaitMs()
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	rw, sw := meanShortWait(reef), meanShortWait(split)
+	if sw < rw-0.5 {
+		t.Errorf("SPLIT short wait %.2f beats REEF %.2f by more than noise", sw, rw)
+	}
+	// But SPLIT must be within a small factor of the kernel-level bound.
+	if sw > 4*rw+5 {
+		t.Errorf("SPLIT short wait %.2f far above REEF bound %.2f", sw, rw)
+	}
+}
+
+func TestREEFTraceHasPreemptEvents(t *testing.T) {
+	catalog := synthCatalog()
+	tr := trace.New()
+	arrivals := []workload.Arrival{
+		{ID: 0, Model: "long", AtMs: 0},
+		{ID: 1, Model: "short", AtMs: 3},
+	}
+	NewREEF().Run(arrivals, catalog, tr)
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == trace.Preempt {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no preempt event recorded")
+	}
+}

@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"split/internal/gpusim"
+	"split/internal/trace"
+	"split/internal/workload"
+)
+
+// RTA models the Runtime-Aware baseline (Yu et al., ICCAD'21; §5.3): all
+// pending requests are merged into a single aligned super-graph and executed
+// concurrently on multiple GPU streams. Merging improves throughput, but a
+// newly arrived request must wait for the *next* merge round ("it has to be
+// aligned with request B and wait for the completion of request B", Fig. 1),
+// and co-resident requests contend: each runs Inflation(k)× slower than
+// isolated when k requests share the round.
+type RTA struct {
+	// Contention is the per-stream slowdown model.
+	Contention gpusim.Contention
+}
+
+// NewRTA returns the calibrated runtime-aware configuration.
+func NewRTA() *RTA {
+	return &RTA{Contention: gpusim.Contention{Gamma: 0.4, Cap: 3.0}}
+}
+
+// Name implements System.
+func (r *RTA) Name() string { return "RT-A" }
+
+// Run implements System.
+func (r *RTA) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Tracer) []Record {
+	validateArrivals(arrivals, catalog)
+	sim := gpusim.New()
+	type req struct{ Record }
+	var waiting []*req
+	busy := false
+	var records []Record
+
+	var startRound func(now float64)
+	startRound = func(now float64) {
+		if len(waiting) == 0 {
+			busy = false
+			return
+		}
+		busy = true
+		batch := waiting
+		waiting = nil
+		k := len(batch)
+		inflation := r.Contention.Inflation(k)
+		// The merged super-graph's operators are aligned across branches, so
+		// the round runs as long as its longest member (inflated by
+		// contention) and *every* member completes when the round does —
+		// "request A has to be aligned with request B and wait for the
+		// completion of request B" (§2.2, Fig. 1).
+		var maxExt float64
+		for _, q := range batch {
+			if q.ExtMs > maxExt {
+				maxExt = q.ExtMs
+			}
+		}
+		roundEnd := now + maxExt*inflation
+		for _, q := range batch {
+			q.StartMs = now
+			q.DoneMs = roundEnd
+			tr.Recordf(now, trace.StartBlock, q.ID, q.Model, 0, "round k=%d dur=%.3f", k, roundEnd-now)
+		}
+		sim.At(roundEnd, func(now float64) {
+			for _, q := range batch {
+				tr.Recordf(now, trace.EndBlock, q.ID, q.Model, 0, "")
+				tr.Recordf(now, trace.Complete, q.ID, q.Model, 0, "rr=%.2f", q.ResponseRatio())
+				records = append(records, q.Record)
+			}
+			startRound(now)
+		})
+	}
+
+	for _, a := range arrivals {
+		a := a
+		sim.At(a.AtMs, func(now float64) {
+			info := catalog[a.Model]
+			q := &req{Record: Record{
+				ID:       a.ID,
+				Model:    a.Model,
+				Class:    info.Class,
+				ArriveMs: now,
+				ExtMs:    info.ExtMs,
+			}}
+			waiting = append(waiting, q)
+			tr.Recordf(now, trace.Arrive, q.ID, q.Model, 0, "")
+			if !busy {
+				// Defer the round launch within the current instant so that
+				// simultaneous arrivals merge into the same round, exactly
+				// as the runtime merges whatever is pending when it builds
+				// the next super-graph.
+				busy = true
+				sim.At(now, startRound)
+			}
+		})
+	}
+	sim.Run()
+	return sortRecords(records)
+}

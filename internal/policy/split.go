@@ -1,0 +1,138 @@
+package policy
+
+import (
+	"split/internal/gpusim"
+	"split/internal/model"
+	"split/internal/sched"
+	"split/internal/trace"
+	"split/internal/workload"
+)
+
+// Split is the paper's system: evenly-sized offline split plans, block-level
+// full preemption via the greedy response-ratio queue (Algorithm 1), and the
+// elastic splitting mechanism.
+type Split struct {
+	// Alpha is the latency-target multiplier used in scheduling decisions.
+	Alpha float64
+	// Elastic configures §3.3 elastic splitting.
+	Elastic sched.Elastic
+	// PartialPreemption, when true, degrades full preemption to the
+	// straggler-prone partial scheme of Figure 3(a): a preempted request's
+	// remaining blocks re-enter the queue at the *back* instead of at their
+	// greedy position, so later blocks straggle behind newly arrived work.
+	// It exists only for the Figure 3 ablation.
+	PartialPreemption bool
+	// StarveGuardRR, when > 0, enables the starvation-guard extension: a
+	// waiting request whose predicted response ratio already reaches this
+	// value cannot be passed by later arrivals. See sched.Queue.
+	StarveGuardRR float64
+	// AlphaByClass optionally assigns class-specific latency-target
+	// multipliers (§2.2: "the latency target for short requests are usually
+	// stricter than for long requests"). Classes not present fall back to
+	// Alpha. A stricter (smaller) short-class α shrinks short targets,
+	// which both tightens their violation accounting and raises their
+	// scheduling priority through Algorithm 1's E·T ordering.
+	AlphaByClass map[model.RequestClass]float64
+}
+
+// NewSplit returns the default SPLIT configuration (α=4 for decision
+// making, elastic enabled).
+func NewSplit() *Split {
+	return &Split{Alpha: 4, Elastic: sched.DefaultElastic()}
+}
+
+// Name implements System.
+func (s *Split) Name() string {
+	if s.PartialPreemption {
+		return "SPLIT-partial"
+	}
+	return "SPLIT"
+}
+
+// Run implements System.
+func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Tracer) []Record {
+	validateArrivals(arrivals, catalog)
+	sim := gpusim.New()
+	queue := sched.NewQueue(s.Alpha)
+	queue.StarveGuardRR = s.StarveGuardRR
+	busy := false
+	var records []Record
+
+	var startNext func(now float64)
+	startNext = func(now float64) {
+		r := queue.PopFront()
+		if r == nil {
+			busy = false
+			return
+		}
+		busy = true
+		if r.StartMs < 0 {
+			r.StartMs = now
+		}
+		block := r.Next
+		dur := r.BlockTimes[block]
+		r.Next++
+		tr.Recordf(now, trace.StartBlock, r.ID, r.Model, block, "dur=%.3f", dur)
+		sim.After(dur, func(now float64) {
+			tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
+			if r.Finished() {
+				r.DoneMs = now
+				tr.Recordf(now, trace.Complete, r.ID, r.Model, block, "rr=%.2f", r.ResponseRatio())
+				records = append(records, Record{
+					ID:          r.ID,
+					Model:       r.Model,
+					Class:       r.Class,
+					ArriveMs:    r.ArriveMs,
+					StartMs:     r.StartMs,
+					DoneMs:      r.DoneMs,
+					ExtMs:       r.ExtMs,
+					Preemptions: r.Preemptions,
+					Split:       len(r.BlockTimes) > 1,
+				})
+			} else {
+				var pos int
+				if s.PartialPreemption {
+					queue.PushBack(r)
+					pos = queue.Len() - 1
+				} else {
+					pos = queue.InsertGreedy(now, r)
+				}
+				if pos > 0 {
+					r.Preemptions++
+					tr.Recordf(now, trace.Preempt, r.ID, r.Model, r.Next, "requeued at %d", pos)
+				}
+			}
+			startNext(now)
+		})
+	}
+
+	for _, a := range arrivals {
+		a := a
+		sim.At(a.AtMs, func(now float64) {
+			info := catalog[a.Model]
+			blocks := catalog.BlocksFor(a.Model)
+			if len(blocks) > 1 && !s.Elastic.ShouldSplit(queue, a.Model) {
+				blocks = []float64{info.ExtMs}
+			}
+			r := sched.NewRequest(a.ID, a.Model, info.Class, now, info.ExtMs, blocks)
+			if alpha, ok := s.AlphaByClass[info.Class]; ok {
+				r.AlphaOverride = alpha
+			}
+			var pos int
+			if tr != nil { // tracer active: record Algorithm 1's scan length
+				var decisions []sched.Decision
+				pos, decisions = queue.InsertGreedyExplain(now, r)
+				tr.Recordf(now, trace.Arrive, r.ID, r.Model, 0,
+					"pos=%d blocks=%d scanned=%d qlen=%d", pos, len(blocks), len(decisions), queue.Len()-1)
+			} else {
+				pos = queue.InsertGreedy(now, r)
+				tr.Recordf(now, trace.Arrive, r.ID, r.Model, 0, "pos=%d blocks=%d", pos, len(blocks))
+			}
+			if !busy {
+				startNext(now)
+			}
+		})
+	}
+	sim.Run()
+	return sortRecords(records)
+}

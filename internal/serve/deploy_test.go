@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"split/internal/onnxlite"
+	"split/internal/zoo"
+)
+
+func TestDeployNewModel(t *testing.T) {
+	_, c := startServer(t)
+	reply, err := c.Deploy(DeployArgs{
+		Name:         "tiny",
+		Class:        "Short",
+		ExtMs:        2,
+		BlockTimesMs: []float64{1, 1.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Replaced || reply.Blocks != 2 {
+		t.Errorf("reply = %+v", reply)
+	}
+	inf, err := c.Infer("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Blocks != 2 || inf.E2EMs < 2 {
+		t.Errorf("infer = %+v", inf)
+	}
+}
+
+func TestDeployReplaceModel(t *testing.T) {
+	_, c := startServer(t)
+	reply, err := c.Deploy(DeployArgs{Name: "short", Class: "Short", ExtMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Replaced || reply.Blocks != 1 {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	_, c := startServer(t)
+	bads := []DeployArgs{
+		{Name: "", Class: "Short", ExtMs: 1},
+		{Name: "x", Class: "Medium", ExtMs: 1},
+		{Name: "x", Class: "Short", ExtMs: 0},
+		{Name: "x", Class: "Short", ExtMs: 1, BlockTimesMs: []float64{1, -2}},
+	}
+	for i, args := range bads {
+		if _, err := c.Deploy(args); err == nil {
+			t.Errorf("bad deploy %d accepted", i)
+		}
+	}
+}
+
+func TestUndeploy(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.Undeploy("short"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Infer("short"); err == nil {
+		t.Error("undeployed model served")
+	}
+	if err := c.Undeploy("short"); err == nil {
+		t.Error("double undeploy succeeded")
+	}
+}
+
+func TestListModels(t *testing.T) {
+	_, c := startServer(t)
+	models, err := c.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("%d models", len(models))
+	}
+	if models[0].Name != "long" || models[0].Blocks != 3 {
+		t.Errorf("models[0] = %+v", models[0])
+	}
+	if models[1].Name != "short" || models[1].Class != "Short" {
+		t.Errorf("models[1] = %+v", models[1])
+	}
+	// Deploy one more; listing reflects it.
+	if _, err := c.Deploy(DeployArgs{Name: "a-new", Class: "Long", ExtMs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	models, err = c.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 3 || models[0].Name != "a-new" {
+		t.Errorf("after deploy: %+v", models)
+	}
+}
+
+func TestDeployedPlanOverheadRecorded(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Deploy(DeployArgs{
+		Name:         "planned",
+		Class:        "Long",
+		ExtMs:        10,
+		BlockTimesMs: []float64{6, 6}, // 20% overhead
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inf, err := c.Infer("planned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Executed time is the 12 ms of blocks, against a 10 ms QoS basis.
+	if inf.E2EMs < 12 || inf.ExtMs != 10 {
+		t.Errorf("infer = %+v", inf)
+	}
+}
+
+func TestDeployGraphServerSideSplitting(t *testing.T) {
+	_, c := startServer(t)
+	g := zoo.MustLoad("resnet50")
+	var buf bytes.Buffer
+	if err := onnxlite.EncodeGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.DeployGraph(DeployGraphArgs{GraphJSON: buf.Bytes(), Blocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Name != "resnet50" || reply.Blocks != 2 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if reply.StdDevMs > 1 || reply.OverheadRatio <= 0 {
+		t.Errorf("server-side GA produced poor plan: %+v", reply)
+	}
+	// The model is now servable... at real time 28ms+ — acceptable in test.
+	models, err := c.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range models {
+		if m.Name == "resnet50" && m.Blocks == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("uploaded model not listed")
+	}
+}
+
+func TestDeployGraphUnsplitAndErrors(t *testing.T) {
+	_, c := startServer(t)
+	g := zoo.MustLoad("yolov2")
+	var buf bytes.Buffer
+	if err := onnxlite.EncodeGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.DeployGraph(DeployGraphArgs{GraphJSON: buf.Bytes(), Blocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Blocks != 1 {
+		t.Errorf("blocks = %d", reply.Blocks)
+	}
+	if _, err := c.DeployGraph(DeployGraphArgs{GraphJSON: []byte("junk"), Blocks: 2}); err == nil {
+		t.Error("junk graph deployed")
+	}
+}

@@ -1,0 +1,400 @@
+// Package serve is the online serving path of SPLIT (§4.1-4.2), realized
+// with Go's net/rpc: a Responder accepts user requests over RPC and appends
+// them to the request queue; the Request Wrapper turns them into
+// block-granular scheduler requests using the deployed split plans; the
+// Token Scheduler orders the queue with the greedy preemption algorithm; the
+// Token Assigner hands the token to the highest-priority request, whose next
+// block then occupies the (simulated) device for its profiled duration; the
+// Responder finally returns the inference result to the user.
+//
+// Block execution is wall-clock: a block of d ms holds the device for
+// d·TimeScale real milliseconds, so TimeScale=1 serves in true Jetson-Nano
+// time and small TimeScale values accelerate tests.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"split/internal/policy"
+	"split/internal/sched"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Catalog holds the deployed models and split plans.
+	Catalog policy.Catalog
+	// Alpha is the latency-target multiplier for scheduling decisions.
+	Alpha float64
+	// Elastic configures elastic splitting.
+	Elastic sched.Elastic
+	// TimeScale converts simulated block milliseconds to wall-clock
+	// milliseconds (1.0 = real time; 0.01 = 100× accelerated).
+	TimeScale float64
+}
+
+// Server owns the request queue and the executor goroutine.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   *sched.Queue
+	nextID  int
+	busy    bool
+	closed  bool
+	served  int
+	waiters map[int]chan *sched.Request
+	// perModel accumulates QoS aggregates per model since start.
+	perModel map[string]*modelAgg
+
+	listener net.Listener
+	rpcSrv   *rpc.Server
+	wg       sync.WaitGroup
+}
+
+// NewServer validates cfg and builds a stopped server.
+func NewServer(cfg Config) (*Server, error) {
+	if len(cfg.Catalog) == 0 {
+		return nil, errors.New("serve: empty catalog")
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 4
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	s := &Server{
+		cfg:      cfg,
+		queue:    sched.NewQueue(cfg.Alpha),
+		waiters:  make(map[int]chan *sched.Request),
+		perModel: make(map[string]*modelAgg),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// modelAgg accumulates per-model QoS outcomes (under s.mu).
+type modelAgg struct {
+	served     int
+	sumRR      float64
+	maxRR      float64
+	sumWaitMs  float64
+	violations int // RR > α
+	preempts   int
+}
+
+// nowMs returns milliseconds of virtual time since the server started.
+func (s *Server) nowMs() float64 {
+	return float64(time.Since(s.start)) / float64(time.Millisecond) / s.cfg.TimeScale
+}
+
+// Start begins serving RPCs on l and launches the executor. It returns
+// immediately; Stop shuts everything down.
+func (s *Server) Start(l net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return errors.New("serve: already started")
+	}
+	s.start = time.Now()
+	s.listener = l
+	s.rpcSrv = rpc.NewServer()
+	if err := s.rpcSrv.RegisterName("SPLIT", &Responder{srv: s}); err != nil {
+		return err
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.executor()
+	return nil
+}
+
+// Addr returns the listening address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Stop closes the listener and stops the executor after the current block.
+// In-flight RPCs receive errors for requests not yet completed.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	// Fail every queued waiter.
+	for id, ch := range s.waiters {
+		close(ch)
+		delete(s.waiters, id)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.rpcSrv.ServeConn(conn)
+	}
+}
+
+// executor is the token scheduler + assigner: it repeatedly grants the
+// device token to the queue head and executes that request's next block.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for !s.closed && s.queue.Len() == 0 {
+			s.cond.Wait()
+		}
+		if s.closed {
+			return
+		}
+		r := s.queue.PopFront()
+		now := s.nowMs()
+		if r.StartMs < 0 {
+			r.StartMs = now
+		}
+		dur := r.BlockTimes[r.Next]
+		r.Next++
+		s.busy = true
+		s.mu.Unlock()
+
+		time.Sleep(time.Duration(dur * s.cfg.TimeScale * float64(time.Millisecond)))
+
+		s.mu.Lock()
+		s.busy = false
+		if r.Finished() {
+			r.DoneMs = s.nowMs()
+			s.served++
+			agg := s.perModel[r.Model]
+			if agg == nil {
+				agg = &modelAgg{}
+				s.perModel[r.Model] = agg
+			}
+			rr := r.ResponseRatio()
+			agg.served++
+			agg.sumRR += rr
+			if rr > agg.maxRR {
+				agg.maxRR = rr
+			}
+			agg.sumWaitMs += r.E2EMs() - r.ExtMs
+			if rr > s.cfg.Alpha {
+				agg.violations++
+			}
+			agg.preempts += r.Preemptions
+			if ch, ok := s.waiters[r.ID]; ok {
+				ch <- r
+				delete(s.waiters, r.ID)
+			}
+		} else {
+			if pos := s.queue.InsertGreedy(s.nowMs(), r); pos > 0 {
+				r.Preemptions++
+			}
+		}
+	}
+}
+
+// enqueue wraps a model request (request wrapper + token scheduler insert)
+// and returns the channel that will deliver the completed request.
+func (s *Server) enqueue(modelName string) (chan *sched.Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("serve: server stopped")
+	}
+	info, ok := s.cfg.Catalog[modelName]
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q not deployed", modelName)
+	}
+	blocks := s.cfg.Catalog.BlocksFor(modelName)
+	if len(blocks) > 1 && !s.cfg.Elastic.ShouldSplit(s.queue, modelName) {
+		blocks = []float64{info.ExtMs}
+	}
+	now := s.nowMs()
+	id := s.nextID
+	s.nextID++
+	r := sched.NewRequest(id, modelName, info.Class, now, info.ExtMs, blocks)
+	s.queue.InsertGreedy(now, r)
+	ch := make(chan *sched.Request, 1)
+	s.waiters[id] = ch
+	s.cond.Signal()
+	return ch, nil
+}
+
+// Responder is the RPC surface (§4.2 "Responder"): it accepts user requests,
+// blocks until the scheduler completes them, and replies with the outcome.
+type Responder struct {
+	srv *Server
+}
+
+// InferArgs names the model a user wants to run.
+type InferArgs struct {
+	Model string
+}
+
+// InferReply reports the completed request's QoS outcome.
+type InferReply struct {
+	ReqID         int
+	Model         string
+	Blocks        int
+	E2EMs         float64
+	ExtMs         float64
+	WaitMs        float64
+	ResponseRatio float64
+	Preemptions   int
+}
+
+// Infer runs one inference request to completion.
+func (r *Responder) Infer(args InferArgs, reply *InferReply) error {
+	ch, err := r.srv.enqueue(args.Model)
+	if err != nil {
+		return err
+	}
+	req, ok := <-ch
+	if !ok {
+		return errors.New("serve: server stopped before request completed")
+	}
+	*reply = InferReply{
+		ReqID:         req.ID,
+		Model:         req.Model,
+		Blocks:        len(req.BlockTimes),
+		E2EMs:         req.E2EMs(),
+		ExtMs:         req.ExtMs,
+		WaitMs:        req.E2EMs() - req.ExtMs,
+		ResponseRatio: req.ResponseRatio(),
+		Preemptions:   req.Preemptions,
+	}
+	return nil
+}
+
+// StatsReply reports server-level counters.
+type StatsReply struct {
+	Served  int
+	Queued  int
+	Models  int
+	UptimeS float64
+}
+
+// Stats reports server counters.
+func (r *Responder) Stats(_ struct{}, reply *StatsReply) error {
+	r.srv.mu.Lock()
+	defer r.srv.mu.Unlock()
+	*reply = StatsReply{
+		Served:  r.srv.served,
+		Queued:  r.srv.queue.Len(),
+		Models:  len(r.srv.cfg.Catalog),
+		UptimeS: time.Since(r.srv.start).Seconds(),
+	}
+	return nil
+}
+
+// ModelQoS is one model's serving-time QoS digest.
+type ModelQoS struct {
+	Model         string
+	Served        int
+	MeanRR        float64
+	MaxRR         float64
+	MeanWaitMs    float64
+	ViolationRate float64 // fraction with RR > α
+	Preemptions   int
+}
+
+// ModelStatsReply reports per-model QoS since server start.
+type ModelStatsReply struct {
+	Alpha  float64
+	Models []ModelQoS
+}
+
+// ModelStats reports the per-model QoS digest (§5.2's metrics, live).
+func (r *Responder) ModelStats(_ struct{}, reply *ModelStatsReply) error {
+	r.srv.mu.Lock()
+	defer r.srv.mu.Unlock()
+	reply.Alpha = r.srv.cfg.Alpha
+	names := make([]string, 0, len(r.srv.perModel))
+	for name := range r.srv.perModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := r.srv.perModel[name]
+		q := ModelQoS{
+			Model:       name,
+			Served:      a.served,
+			MaxRR:       a.maxRR,
+			Preemptions: a.preempts,
+		}
+		if a.served > 0 {
+			q.MeanRR = a.sumRR / float64(a.served)
+			q.MeanWaitMs = a.sumWaitMs / float64(a.served)
+			q.ViolationRate = float64(a.violations) / float64(a.served)
+		}
+		reply.Models = append(reply.Models, q)
+	}
+	return nil
+}
+
+// Client is a thin wrapper over the rpc client.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// Dial connects to a SPLIT server.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Infer runs one request synchronously.
+func (c *Client) Infer(modelName string) (InferReply, error) {
+	var reply InferReply
+	err := c.rpc.Call("SPLIT.Infer", InferArgs{Model: modelName}, &reply)
+	return reply, err
+}
+
+// InferAsync starts a request and returns the pending call.
+func (c *Client) InferAsync(modelName string) *rpc.Call {
+	reply := new(InferReply)
+	return c.rpc.Go("SPLIT.Infer", InferArgs{Model: modelName}, reply, nil)
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats() (StatsReply, error) {
+	var reply StatsReply
+	err := c.rpc.Call("SPLIT.Stats", struct{}{}, &reply)
+	return reply, err
+}
+
+// ModelStats fetches the per-model QoS digest.
+func (c *Client) ModelStats() (ModelStatsReply, error) {
+	var reply ModelStatsReply
+	err := c.rpc.Call("SPLIT.ModelStats", struct{}{}, &reply)
+	return reply, err
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rpc.Close() }

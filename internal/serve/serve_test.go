@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"split/internal/model"
+	"split/internal/policy"
+	"split/internal/sched"
+)
+
+// testCatalog: "long" = 3 x 4 ms blocks (12 ms), "short" = 1 ms unsplit.
+// Times are tiny so real-time tests stay fast even at TimeScale 1.
+func testCatalog() policy.Catalog {
+	graphs := map[string]*model.Graph{
+		"long": {
+			Name: "long", Domain: "t", Class: model.Long,
+			Ops: []model.Op{
+				{Name: "a", TimeMs: 4}, {Name: "b", TimeMs: 4}, {Name: "c", TimeMs: 4},
+			},
+		},
+		"short": {
+			Name: "short", Domain: "t", Class: model.Short,
+			Ops: []model.Op{{Name: "x", TimeMs: 1}},
+		},
+	}
+	plans := map[string]*model.SplitPlan{
+		"long": {Model: "long", Cuts: []int{1, 2}, BlockTimesMs: []float64{4, 4, 4}},
+	}
+	return policy.NewCatalog(graphs, plans)
+}
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(Config{
+		Catalog:   testCatalog(),
+		Alpha:     4,
+		Elastic:   sched.DefaultElastic(),
+		TimeScale: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(l); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Stop)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Error("empty catalog accepted")
+	}
+	srv, err := NewServer(Config{Catalog: testCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.cfg.Alpha != 4 || srv.cfg.TimeScale != 1 {
+		t.Errorf("defaults not applied: %+v", srv.cfg)
+	}
+}
+
+func TestInferSingle(t *testing.T) {
+	_, c := startServer(t)
+	reply, err := c.Infer("short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Model != "short" || reply.Blocks != 1 {
+		t.Errorf("reply = %+v", reply)
+	}
+	if reply.E2EMs < 1 {
+		t.Errorf("e2e %v below execution time", reply.E2EMs)
+	}
+	if reply.ResponseRatio < 1 {
+		t.Errorf("rr = %v", reply.ResponseRatio)
+	}
+}
+
+func TestInferSplitModel(t *testing.T) {
+	_, c := startServer(t)
+	reply, err := c.Infer("long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Blocks != 3 {
+		t.Errorf("blocks = %d, want 3", reply.Blocks)
+	}
+	if reply.E2EMs < 12 {
+		t.Errorf("e2e %v below 12 ms of block time", reply.E2EMs)
+	}
+}
+
+func TestInferUnknownModel(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Infer("mystery"); err == nil {
+		t.Error("unknown model served")
+	}
+}
+
+func TestConcurrentShortPreemptsLong(t *testing.T) {
+	_, c := startServer(t)
+	var wg sync.WaitGroup
+	var longReply, shortReply InferReply
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		longReply, _ = c.Infer("long")
+	}()
+	go func() {
+		defer wg.Done()
+		// The short goes in concurrently; the scheduler should slot it at a
+		// block boundary of the long rather than after all of it.
+		shortReply, _ = c.Infer("short")
+	}()
+	wg.Wait()
+	if longReply.Model != "long" || shortReply.Model != "short" {
+		t.Fatalf("replies: %+v / %+v", longReply, shortReply)
+	}
+	// The short must not have waited for the whole long model: its e2e
+	// should be well under long's 12 ms + own 1 ms.
+	if shortReply.E2EMs >= 12 {
+		t.Errorf("short e2e %v — no preemption happened", shortReply.E2EMs)
+	}
+}
+
+func TestManyConcurrentRequestsAllComplete(t *testing.T) {
+	_, c := startServer(t)
+	const n = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		m := "short"
+		if i%5 == 0 {
+			m = "long"
+		}
+		go func(m string) {
+			defer wg.Done()
+			reply, err := c.Infer(m)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			if seen[reply.ReqID] {
+				errs <- errDuplicate(reply.ReqID)
+			}
+			seen[reply.ReqID] = true
+			mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != n {
+		t.Errorf("completed %d of %d", len(seen), n)
+	}
+}
+
+type errDuplicate int
+
+func (e errDuplicate) Error() string { return "duplicate request id" }
+
+func TestStats(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Infer("short"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Served < 1 || st.Models != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDoubleStartFails(t *testing.T) {
+	srv, _ := startServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := srv.Start(l); err == nil {
+		t.Error("second Start succeeded")
+	}
+}
+
+func TestStopRejectsNewWork(t *testing.T) {
+	srv, c := startServer(t)
+	srv.Stop()
+	if _, err := c.Infer("short"); err == nil {
+		t.Error("stopped server served a request")
+	}
+	// Stop is idempotent.
+	srv.Stop()
+}
+
+func TestTimeScaleAcceleration(t *testing.T) {
+	srv, err := NewServer(Config{
+		Catalog:   testCatalog(),
+		TimeScale: 0.05, // 20x accelerated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(l); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reply, err := c.Infer("long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual time still reports ~12 ms even though wall time was ~0.6 ms.
+	if reply.E2EMs < 12 || reply.E2EMs > 200 {
+		t.Errorf("virtual e2e = %v", reply.E2EMs)
+	}
+}
+
+func TestInferAsync(t *testing.T) {
+	_, c := startServer(t)
+	call := c.InferAsync("short")
+	<-call.Done
+	if call.Error != nil {
+		t.Fatal(call.Error)
+	}
+	reply := call.Reply.(*InferReply)
+	if reply.Model != "short" {
+		t.Errorf("async reply = %+v", reply)
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	_, c := startServer(t)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Infer("short"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Infer("long"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.ModelStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Alpha != 4 {
+		t.Errorf("alpha = %v", st.Alpha)
+	}
+	if len(st.Models) != 2 {
+		t.Fatalf("%d model digests", len(st.Models))
+	}
+	if st.Models[0].Model != "long" || st.Models[0].Served != 1 {
+		t.Errorf("long digest: %+v", st.Models[0])
+	}
+	short := st.Models[1]
+	if short.Model != "short" || short.Served != 3 {
+		t.Errorf("short digest: %+v", short)
+	}
+	if short.MeanRR < 1 || short.MaxRR < short.MeanRR {
+		t.Errorf("short RR stats inconsistent: %+v", short)
+	}
+}

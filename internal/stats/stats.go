@@ -1,0 +1,245 @@
+// Package stats provides small statistical helpers used across the SPLIT
+// reproduction: means, standard deviations, percentiles and histograms over
+// float64 samples. All functions are pure and allocation-light so they can be
+// used from hot benchmarking loops.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by n, not n-1),
+// matching the paper's use of σ as a dispersion measure over a fixed set of
+// block execution times. It returns 0 for slices with fewer than one element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// SampleVariance returns the Bessel-corrected variance (dividing by n-1).
+// It returns 0 for slices with fewer than two elements.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// SampleStdDev returns the Bessel-corrected standard deviation of xs.
+func SampleStdDev(xs []float64) float64 {
+	return math.Sqrt(SampleVariance(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the minimum of xs. It panics on an empty slice because a
+// minimum of nothing is a programming error in this codebase.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Range returns Max - Min, the spread of the sample.
+func Range(xs []float64) float64 {
+	return Max(xs) - Min(xs)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// CoefficientOfVariation returns StdDev/Mean, or 0 when the mean is 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Summary holds the common descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P50:    Percentile(xs, 50),
+		P95:    Percentile(xs, 95),
+		P99:    Percentile(xs, 99),
+		Max:    Max(xs),
+	}
+}
+
+// String renders the summary on one line, suitable for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f std=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Histogram is a fixed-width-bucket histogram over a closed interval.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	// Under and Over count samples outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with n buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i == len(h.Buckets) { // guard float rounding at the upper edge
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Buckets {
+		t += c
+	}
+	return t
+}
+
+// String renders an ASCII bar chart of the histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 1
+	for _, c := range h.Buckets {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		bar := strings.Repeat("#", c*40/maxC)
+		fmt.Fprintf(&b, "[%8.2f,%8.2f) %6d %s\n", h.Lo+float64(i)*w, h.Lo+float64(i+1)*w, c, bar)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "under: %d\n", h.Under)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "over: %d\n", h.Over)
+	}
+	return b.String()
+}

@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanBasic(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+		{[]float64{2.5, 2.5, 2.5}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestVarianceEdgeCases(t *testing.T) {
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance(single) = %v", got)
+	}
+	if got := StdDev([]float64{7, 7, 7}); got != 0 {
+		t.Errorf("StdDev(constant) = %v", got)
+	}
+}
+
+func TestSampleVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := 32.0 / 7.0
+	if got := SampleVariance(xs); !almostEqual(got, want, 1e-12) {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	if got := SampleVariance([]float64{1}); got != 0 {
+		t.Errorf("SampleVariance(single) = %v, want 0", got)
+	}
+	if got := SampleStdDev(xs); !almostEqual(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("SampleStdDev = %v", got)
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	xs := []float64{3, -2, 8, 0}
+	if Min(xs) != -2 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 8 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+	if Range(xs) != 10 {
+		t.Errorf("Range = %v", Range(xs))
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func([]float64) float64{"Min": Min, "Max": Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty) did not panic", name)
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Median([]float64{9}); got != 9 {
+		t.Errorf("Median(single) = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Percentile(empty) did not panic")
+			}
+		}()
+		Percentile(nil, 50)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Percentile(out of range) did not panic")
+			}
+		}()
+		Percentile([]float64{1}, 101)
+	}()
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("CV(constant) = %v", got)
+	}
+	if got := CoefficientOfVariation(nil); got != 0 {
+		t.Errorf("CV(empty) = %v", got)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := CoefficientOfVariation(xs); !almostEqual(got, 2.0/5.0, 1e-12) {
+		t.Errorf("CV = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("bad summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", zero.N)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 15} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Errorf("Under = %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d", h.Over)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 { // 2
+		t.Errorf("bucket1 = %d", h.Buckets[1])
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.String() == "" {
+		t.Error("empty histogram render")
+	}
+}
+
+func TestHistogramUpperEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(math.Nextafter(1, 0)) // just below upper bound
+	if h.Buckets[2] != 1 || h.Over != 0 {
+		t.Errorf("edge sample misplaced: %+v", h)
+	}
+}
+
+func TestHistogramInvalidBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram(bad bounds) did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+// Property: population variance is never negative and matches E[x²]-E[x]².
+func TestVarianceIdentityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		v := Variance(xs)
+		if v < -1e-9 {
+			return false
+		}
+		var sq float64
+		for _, x := range xs {
+			sq += x * x
+		}
+		m := Mean(xs)
+		ident := sq/float64(len(xs)) - m*m
+		scale := math.Max(1, math.Abs(ident))
+		return almostEqual(v, ident, 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Min <= P50 <= Max and percentile is monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(xs, pa), Percentile(xs, pb)
+		return va <= vb+1e-9 && Min(xs) <= va+1e-9 && vb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize clamps quick-generated floats to finite moderate values.
+func sanitize(raw []float64) []float64 {
+	var out []float64
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, math.Mod(x, 1e6))
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleTrace() *Tracer {
+	tr := New()
+	tr.Recordf(0, Arrive, 1, "vgg", 0, "")
+	tr.Recordf(0, StartBlock, 1, "vgg", 0, "")
+	tr.Recordf(10, EndBlock, 1, "vgg", 0, "")
+	tr.Recordf(10, StartBlock, 2, "yolo", 0, "")
+	tr.Recordf(15, EndBlock, 2, "yolo", 0, "")
+	tr.Recordf(15, Complete, 2, "yolo", 0, "")
+	tr.Recordf(15, StartBlock, 1, "vgg", 1, "")
+	tr.Recordf(25, EndBlock, 1, "vgg", 1, "")
+	tr.Recordf(25, Complete, 1, "vgg", 1, "")
+	// Idle gap, then another request.
+	tr.Recordf(40, StartBlock, 3, "yolo", 0, "")
+	tr.Recordf(45, EndBlock, 3, "yolo", 0, "")
+	tr.Recordf(45, Complete, 3, "yolo", 0, "")
+	return tr
+}
+
+func TestSpans(t *testing.T) {
+	spans := sampleTrace().Spans()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].ReqID != 1 || spans[0].DurationMs() != 10 {
+		t.Errorf("span0 = %+v", spans[0])
+	}
+	if spans[1].Model != "yolo" || spans[1].StartMs != 10 {
+		t.Errorf("span1 = %+v", spans[1])
+	}
+	if spans[2].Block != 1 {
+		t.Errorf("span2 block = %d", spans[2].Block)
+	}
+}
+
+func TestSpansDropUnpaired(t *testing.T) {
+	tr := New()
+	tr.Recordf(0, StartBlock, 1, "m", 0, "")
+	if len(tr.Spans()) != 0 {
+		t.Error("unpaired start produced a span")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	a := sampleTrace().Analyze()
+	if a.HorizonMs != 45 {
+		t.Errorf("horizon = %v", a.HorizonMs)
+	}
+	if math.Abs(a.BusyMs-30) > 1e-9 {
+		t.Errorf("busy = %v", a.BusyMs)
+	}
+	if math.Abs(a.Utilization-30.0/45) > 1e-9 {
+		t.Errorf("utilization = %v", a.Utilization)
+	}
+	if a.BusyPeriods != 2 {
+		t.Errorf("busy periods = %d", a.BusyPeriods)
+	}
+	if math.Abs(a.MeanBusyPeriodMs-15) > 1e-9 { // (25 + 5) / 2
+		t.Errorf("mean busy period = %v", a.MeanBusyPeriodMs)
+	}
+	if math.Abs(a.PerModelBusyMs["vgg"]-20) > 1e-9 || math.Abs(a.PerModelBusyMs["yolo"]-10) > 1e-9 {
+		t.Errorf("per-model busy = %v", a.PerModelBusyMs)
+	}
+	if a.Completions != 3 {
+		t.Errorf("completions = %d", a.Completions)
+	}
+	if a.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := New().Analyze()
+	if a.HorizonMs != 0 || a.BusyMs != 0 || a.BusyPeriods != 0 {
+		t.Errorf("empty analysis = %+v", a)
+	}
+}
+
+func TestAnalyzeCountsPreempts(t *testing.T) {
+	tr := New()
+	tr.Recordf(0, StartBlock, 1, "m", 0, "")
+	tr.Recordf(5, EndBlock, 1, "m", 0, "")
+	tr.Recordf(5, Preempt, 1, "m", 1, "")
+	a := tr.Analyze()
+	if a.Preemptions != 1 {
+		t.Errorf("preemptions = %d", a.Preemptions)
+	}
+}

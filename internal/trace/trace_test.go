@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{AtMs: 1, Kind: Arrive})
+	tr.Recordf(2, Complete, 1, "m", 0, "x=%d", 3)
+	if tr.Len() != 0 {
+		t.Error("nil tracer recorded something")
+	}
+	if tr.Events() != nil {
+		t.Error("nil tracer returned events")
+	}
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	tr := New()
+	tr.Record(Event{AtMs: 1, Kind: Arrive, ReqID: 7, Model: "vgg"})
+	tr.Recordf(2, StartBlock, 7, "vgg", 0, "dur=%.1f", 5.0)
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	evs := tr.Events()
+	if evs[0].Kind != Arrive || evs[1].Detail != "dur=5.0" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New()
+	tr.Recordf(1.5, Arrive, 1, "yolo", 0, "pos=0")
+	tr.Recordf(2.5, Complete, 1, "yolo", 2, "rr=1.00")
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "at_ms,kind") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "arrive") || !strings.Contains(lines[2], "complete") {
+		t.Errorf("rows = %v", lines[1:])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New()
+	tr.Recordf(1, StartBlock, 3, "gpt2", 1, "")
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var e Event
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.ReqID != 3 || e.Kind != StartBlock || e.Block != 1 {
+		t.Errorf("roundtrip = %+v", e)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tr := New()
+	tr.Recordf(0, StartBlock, 1, "vgg", 0, "")
+	tr.Recordf(10, EndBlock, 1, "vgg", 0, "")
+	tr.Recordf(10, StartBlock, 2, "yolo", 0, "")
+	tr.Recordf(15, EndBlock, 2, "yolo", 0, "")
+	tr.Recordf(15, StartBlock, 1, "vgg", 1, "")
+	tr.Recordf(25, EndBlock, 1, "vgg", 1, "")
+	g := tr.Gantt(0, 25, 1)
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt rows: %q", g)
+	}
+	// First row is req1 (started first) and must have a gap where req2 ran.
+	if !strings.Contains(lines[0], "req1") {
+		t.Errorf("first row = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], ".") || !strings.Contains(lines[0], "#") {
+		t.Errorf("row lacks both marks: %q", lines[0])
+	}
+}
+
+func TestGanttEmptyAndDegenerate(t *testing.T) {
+	tr := New()
+	if got := tr.Gantt(0, 0, 1); got != "" {
+		t.Errorf("empty gantt = %q", got)
+	}
+	tr.Recordf(0, StartBlock, 1, "m", 0, "")
+	tr.Recordf(5, EndBlock, 1, "m", 0, "")
+	if got := tr.Gantt(0, 10, 0); got == "" {
+		t.Error("auto cell width failed")
+	}
+}
+
+func TestGanttIgnoresUnpairedStart(t *testing.T) {
+	tr := New()
+	tr.Recordf(0, StartBlock, 1, "m", 0, "")
+	// No EndBlock: span never closes, so no rows.
+	if got := tr.Gantt(0, 10, 1); got != "" {
+		t.Errorf("unpaired start rendered: %q", got)
+	}
+}

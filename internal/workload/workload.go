@@ -1,0 +1,280 @@
+// Package workload generates the request streams of the paper's evaluation
+// (§5.1): Poisson arrivals over the five benchmark models, with the six
+// load scenarios of Table 2 (mean inter-arrival λ from 160 ms down to
+// 110 ms) and 1000 requests per run. All generation is seeded and
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Arrival is one request arrival: which model, when.
+type Arrival struct {
+	ID    int
+	Model string
+	AtMs  float64
+}
+
+// Scenario is a Table 2 row: a mean arrival interval and its load label.
+type Scenario struct {
+	Name string
+	// MeanIntervalMs is λ: the average request arrival interval in ms.
+	MeanIntervalMs float64
+	Load           string
+}
+
+// Table2 returns the six scenarios exactly as defined in Table 2.
+func Table2() []Scenario {
+	return []Scenario{
+		{Name: "Scenario1", MeanIntervalMs: 160, Load: "Low"},
+		{Name: "Scenario2", MeanIntervalMs: 150, Load: "Low"},
+		{Name: "Scenario3", MeanIntervalMs: 140, Load: "High"},
+		{Name: "Scenario4", MeanIntervalMs: 130, Load: "High"},
+		{Name: "Scenario5", MeanIntervalMs: 120, Load: "High"},
+		{Name: "Scenario6", MeanIntervalMs: 110, Load: "High"},
+	}
+}
+
+// ScenarioByName returns the Table 2 scenario with the given name.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Table2() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("workload: unknown scenario %q", name)
+}
+
+// Config parameterizes a generated trace.
+type Config struct {
+	// Models is the task mix; each arrival picks a model according to
+	// Weights (uniform when Weights is nil).
+	Models []string
+	// Weights optionally biases the mix; must match len(Models) if set.
+	// Ignored when PerTask is set.
+	Weights []float64
+	// MeanIntervalMs is the Poisson process's mean inter-arrival time λ.
+	// With PerTask set it is the per-task mean interval.
+	MeanIntervalMs float64
+	// PerTask, when true, models the paper's deployment (§4.1): every task
+	// generates requests independently, each as its own Poisson process
+	// with mean interval MeanIntervalMs. The merged stream therefore has a
+	// mean interval of MeanIntervalMs / len(Models), which is what makes
+	// Table 2's λ = 110..140 ms "High" load against a ~28 ms mean service
+	// time (and λ = 90 ms unstable, per the §5.1 footnote).
+	PerTask bool
+	// Count is the number of requests (the paper uses 1000).
+	Count int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Models) == 0 {
+		return fmt.Errorf("workload: no models configured")
+	}
+	if c.Weights != nil && len(c.Weights) != len(c.Models) {
+		return fmt.Errorf("workload: %d weights for %d models", len(c.Weights), len(c.Models))
+	}
+	if c.MeanIntervalMs <= 0 {
+		return fmt.Errorf("workload: non-positive mean interval %v", c.MeanIntervalMs)
+	}
+	if c.Count <= 0 {
+		return fmt.Errorf("workload: non-positive count %d", c.Count)
+	}
+	return nil
+}
+
+// Generate produces the arrival trace. Without PerTask it is a single
+// Poisson process with mean inter-arrival MeanIntervalMs and independently
+// sampled models. With PerTask it is the superposition of one independent
+// Poisson process per model, truncated to the Count earliest requests and
+// re-IDed in time order.
+func Generate(cfg Config) ([]Arrival, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.PerTask {
+		return generatePerTask(cfg, rng), nil
+	}
+	arrivals := make([]Arrival, 0, cfg.Count)
+	var t float64
+	for i := 0; i < cfg.Count; i++ {
+		t += rng.ExpFloat64() * cfg.MeanIntervalMs
+		arrivals = append(arrivals, Arrival{
+			ID:    i,
+			Model: pickModel(cfg, rng),
+			AtMs:  t,
+		})
+	}
+	return arrivals, nil
+}
+
+func generatePerTask(cfg Config, rng *rand.Rand) []Arrival {
+	// Over-generate per stream so the merged prefix surely holds Count.
+	per := cfg.Count/len(cfg.Models) + 1
+	merged := make([]Arrival, 0, per*len(cfg.Models))
+	for _, m := range cfg.Models {
+		var t float64
+		for i := 0; i < per; i++ {
+			t += rng.ExpFloat64() * cfg.MeanIntervalMs
+			merged = append(merged, Arrival{Model: m, AtMs: t})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].AtMs < merged[j].AtMs })
+	if len(merged) > cfg.Count {
+		merged = merged[:cfg.Count]
+	}
+	for i := range merged {
+		merged[i].ID = i
+	}
+	return merged
+}
+
+// MustGenerate is Generate that panics on error, for fixed test configs.
+func MustGenerate(cfg Config) []Arrival {
+	a, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func pickModel(cfg Config, rng *rand.Rand) string {
+	if cfg.Weights == nil {
+		return cfg.Models[rng.Intn(len(cfg.Models))]
+	}
+	var total float64
+	for _, w := range cfg.Weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range cfg.Weights {
+		x -= w
+		if x <= 0 {
+			return cfg.Models[i]
+		}
+	}
+	return cfg.Models[len(cfg.Models)-1]
+}
+
+// TaskIntervalFactor calibrates the per-task arrival interval against the
+// paper's "hardware tolerance" footnote (§5.1): the testbed saturates just
+// below λ = 90 ms and degenerates to trivial sequential service at
+// λ = 200 ms. With five tasks of ~28 ms mean isolated service, a per-task
+// mean interval of TaskIntervalFactor·λ puts device utilization at ≈0.97
+// for λ = 90 (growing queue), ≈0.55..0.80 across Table 2's λ = 160..110,
+// and ≈0.44 at λ = 200 — reproducing the regime the paper evaluates in.
+// (The real testbed reaches those utilizations at face-value λ because its
+// serving path adds per-request overheads our simulator does not charge.)
+const TaskIntervalFactor = 1.6
+
+// ForScenario builds the standard evaluation config for a Table 2 scenario:
+// one independent Poisson stream per benchmark model at the scenario's
+// calibrated λ (§4.1: each task generates requests independently), 1000
+// requests total, seeded so every system under comparison sees the
+// identical trace.
+func ForScenario(s Scenario, models []string, seed int64) Config {
+	return Config{
+		Models:         models,
+		MeanIntervalMs: s.MeanIntervalMs * TaskIntervalFactor,
+		PerTask:        true,
+		Count:          1000,
+		Seed:           seed,
+	}
+}
+
+// MMPPConfig parameterizes a two-state Markov-modulated Poisson process —
+// an extension beyond the paper's plain Poisson workload that models bursty
+// edge traffic (e.g. pedestrians arriving in clusters): the process
+// alternates between a calm state and a burst state with exponentially
+// distributed dwell times, each state generating Poisson arrivals at its own
+// rate.
+type MMPPConfig struct {
+	// Models is the task mix (uniform).
+	Models []string
+	// CalmIntervalMs is the mean inter-arrival time in the calm state.
+	CalmIntervalMs float64
+	// BurstIntervalMs is the mean inter-arrival time in the burst state
+	// (smaller = burstier).
+	BurstIntervalMs float64
+	// CalmDwellMs and BurstDwellMs are the mean state dwell times.
+	CalmDwellMs, BurstDwellMs float64
+	// Count is the number of requests.
+	Count int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c MMPPConfig) Validate() error {
+	switch {
+	case len(c.Models) == 0:
+		return fmt.Errorf("workload: mmpp with no models")
+	case c.CalmIntervalMs <= 0 || c.BurstIntervalMs <= 0:
+		return fmt.Errorf("workload: mmpp non-positive intervals")
+	case c.CalmDwellMs <= 0 || c.BurstDwellMs <= 0:
+		return fmt.Errorf("workload: mmpp non-positive dwell times")
+	case c.Count <= 0:
+		return fmt.Errorf("workload: mmpp non-positive count")
+	}
+	return nil
+}
+
+// GenerateMMPP produces a bursty arrival trace from the two-state MMPP.
+func GenerateMMPP(cfg MMPPConfig) ([]Arrival, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals := make([]Arrival, 0, cfg.Count)
+	var t float64
+	burst := false
+	stateEnd := rng.ExpFloat64() * cfg.CalmDwellMs
+	for i := 0; i < cfg.Count; i++ {
+		interval := cfg.CalmIntervalMs
+		if burst {
+			interval = cfg.BurstIntervalMs
+		}
+		t += rng.ExpFloat64() * interval
+		for t > stateEnd {
+			burst = !burst
+			dwell := cfg.CalmDwellMs
+			if burst {
+				dwell = cfg.BurstDwellMs
+			}
+			stateEnd += rng.ExpFloat64() * dwell
+		}
+		arrivals = append(arrivals, Arrival{
+			ID:    i,
+			Model: cfg.Models[rng.Intn(len(cfg.Models))],
+			AtMs:  t,
+		})
+	}
+	return arrivals, nil
+}
+
+// Burst appends `n` back-to-back arrivals of one model starting at atMs with
+// the given spacing — used by tests and the elastic-splitting ablation to
+// create same-type bursts.
+func Burst(arrivals []Arrival, modelName string, atMs, spacingMs float64, n int) []Arrival {
+	nextID := 0
+	for _, a := range arrivals {
+		if a.ID >= nextID {
+			nextID = a.ID + 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		arrivals = append(arrivals, Arrival{
+			ID:    nextID + i,
+			Model: modelName,
+			AtMs:  atMs + float64(i)*spacingMs,
+		})
+	}
+	return arrivals
+}

@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"split/internal/stats"
+)
+
+func baseConfig() Config {
+	return Config{
+		Models:         []string{"a", "b", "c"},
+		MeanIntervalMs: 50,
+		Count:          200,
+		Seed:           1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := baseConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.Models = nil },
+		func(c *Config) { c.MeanIntervalMs = 0 },
+		func(c *Config) { c.MeanIntervalMs = -5 },
+		func(c *Config) { c.Count = 0 },
+		func(c *Config) { c.Weights = []float64{1} }, // wrong length
+	}
+	for i, mod := range bads {
+		c := baseConfig()
+		mod(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateCountAndOrdering(t *testing.T) {
+	arrivals, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 200 {
+		t.Fatalf("count = %d", len(arrivals))
+	}
+	for i, a := range arrivals {
+		if a.ID != i {
+			t.Fatalf("IDs not sequential at %d", i)
+		}
+		if i > 0 && a.AtMs < arrivals[i-1].AtMs {
+			t.Fatalf("not time-ordered at %d", i)
+		}
+		if a.Model != "a" && a.Model != "b" && a.Model != "c" {
+			t.Fatalf("unknown model %q", a.Model)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(baseConfig())
+	b := MustGenerate(baseConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+	cfg := baseConfig()
+	cfg.Seed = 2
+	c := MustGenerate(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical traces")
+	}
+}
+
+func TestGeneratePoissonMean(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Count = 20000
+	arrivals := MustGenerate(cfg)
+	mean := arrivals[len(arrivals)-1].AtMs / float64(len(arrivals))
+	if math.Abs(mean-50) > 2 {
+		t.Errorf("empirical mean interval %.2f, want ~50", mean)
+	}
+}
+
+func TestGenerateWeights(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Count = 30000
+	cfg.Weights = []float64{8, 1, 1}
+	arrivals := MustGenerate(cfg)
+	counts := map[string]int{}
+	for _, a := range arrivals {
+		counts[a.Model]++
+	}
+	fracA := float64(counts["a"]) / float64(len(arrivals))
+	if math.Abs(fracA-0.8) > 0.02 {
+		t.Errorf("weighted fraction of a = %.3f, want ~0.8", fracA)
+	}
+}
+
+func TestGeneratePerTask(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PerTask = true
+	cfg.Count = 3000
+	arrivals := MustGenerate(cfg)
+	if len(arrivals) != 3000 {
+		t.Fatalf("count = %d", len(arrivals))
+	}
+	counts := map[string]int{}
+	for i, a := range arrivals {
+		if a.ID != i {
+			t.Fatalf("IDs not reassigned in order at %d", i)
+		}
+		if i > 0 && a.AtMs < arrivals[i-1].AtMs {
+			t.Fatalf("merged stream not ordered at %d", i)
+		}
+		counts[a.Model]++
+	}
+	// Each of 3 equal-rate streams contributes about a third.
+	for m, c := range counts {
+		frac := float64(c) / float64(len(arrivals))
+		if math.Abs(frac-1.0/3) > 0.05 {
+			t.Errorf("model %s fraction %.3f", m, frac)
+		}
+	}
+	// Aggregate rate is len(Models) times the per-task rate.
+	mean := arrivals[len(arrivals)-1].AtMs / float64(len(arrivals))
+	if math.Abs(mean-50.0/3) > 2 {
+		t.Errorf("merged mean interval %.2f, want ~%.2f", mean, 50.0/3)
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate(bad) did not panic")
+		}
+	}()
+	MustGenerate(Config{})
+}
+
+func TestTable2(t *testing.T) {
+	scenarios := Table2()
+	if len(scenarios) != 6 {
+		t.Fatalf("%d scenarios", len(scenarios))
+	}
+	wantLambda := []float64{160, 150, 140, 130, 120, 110}
+	for i, s := range scenarios {
+		if s.MeanIntervalMs != wantLambda[i] {
+			t.Errorf("%s λ = %v", s.Name, s.MeanIntervalMs)
+		}
+	}
+	if scenarios[0].Load != "Low" || scenarios[5].Load != "High" {
+		t.Error("load labels wrong")
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	s, err := ScenarioByName("Scenario3")
+	if err != nil || s.MeanIntervalMs != 140 {
+		t.Errorf("Scenario3: %+v, %v", s, err)
+	}
+	if _, err := ScenarioByName("Scenario9"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestForScenario(t *testing.T) {
+	sc, _ := ScenarioByName("Scenario1")
+	cfg := ForScenario(sc, []string{"a", "b"}, 7)
+	if !cfg.PerTask {
+		t.Error("scenario workload must be per-task")
+	}
+	if cfg.Count != 1000 {
+		t.Errorf("count = %d", cfg.Count)
+	}
+	if cfg.MeanIntervalMs != 160*TaskIntervalFactor {
+		t.Errorf("interval = %v", cfg.MeanIntervalMs)
+	}
+	if cfg.Seed != 7 {
+		t.Errorf("seed = %v", cfg.Seed)
+	}
+}
+
+func TestBurst(t *testing.T) {
+	arrivals := MustGenerate(baseConfig())
+	n := len(arrivals)
+	out := Burst(arrivals, "x", 1000, 10, 5)
+	if len(out) != n+5 {
+		t.Fatalf("burst len = %d", len(out))
+	}
+	for i := 0; i < 5; i++ {
+		a := out[n+i]
+		if a.Model != "x" {
+			t.Errorf("burst model %q", a.Model)
+		}
+		if a.AtMs != 1000+float64(i)*10 {
+			t.Errorf("burst time %v", a.AtMs)
+		}
+		if a.ID != n+i {
+			t.Errorf("burst ID %d, want %d", a.ID, n+i)
+		}
+	}
+}
+
+func TestBurstOnEmpty(t *testing.T) {
+	out := Burst(nil, "x", 0, 1, 3)
+	if len(out) != 3 || out[0].ID != 0 {
+		t.Errorf("burst on empty: %+v", out)
+	}
+}
+
+func TestGenerateMMPPValidation(t *testing.T) {
+	good := MMPPConfig{
+		Models: []string{"a"}, CalmIntervalMs: 100, BurstIntervalMs: 20,
+		CalmDwellMs: 1000, BurstDwellMs: 300, Count: 100, Seed: 1,
+	}
+	if _, err := GenerateMMPP(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []func(*MMPPConfig){
+		func(c *MMPPConfig) { c.Models = nil },
+		func(c *MMPPConfig) { c.CalmIntervalMs = 0 },
+		func(c *MMPPConfig) { c.BurstIntervalMs = -1 },
+		func(c *MMPPConfig) { c.CalmDwellMs = 0 },
+		func(c *MMPPConfig) { c.BurstDwellMs = 0 },
+		func(c *MMPPConfig) { c.Count = 0 },
+	}
+	for i, mod := range bads {
+		c := good
+		mod(&c)
+		if _, err := GenerateMMPP(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateMMPPProperties(t *testing.T) {
+	cfg := MMPPConfig{
+		Models: []string{"a", "b"}, CalmIntervalMs: 100, BurstIntervalMs: 10,
+		CalmDwellMs: 2000, BurstDwellMs: 500, Count: 5000, Seed: 3,
+	}
+	arrivals, err := GenerateMMPP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 5000 {
+		t.Fatalf("count = %d", len(arrivals))
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i].AtMs < arrivals[i-1].AtMs {
+			t.Fatalf("not ordered at %d", i)
+		}
+		if arrivals[i].ID != i {
+			t.Fatalf("bad ID at %d", i)
+		}
+	}
+	// Burstiness: the squared coefficient of variation of inter-arrival
+	// gaps must exceed 1 (a plain Poisson process has SCV = 1).
+	gaps := make([]float64, 0, len(arrivals)-1)
+	for i := 1; i < len(arrivals); i++ {
+		gaps = append(gaps, arrivals[i].AtMs-arrivals[i-1].AtMs)
+	}
+	mean := stats.Mean(gaps)
+	scv := stats.Variance(gaps) / (mean * mean)
+	if scv < 1.3 {
+		t.Errorf("MMPP SCV = %.2f, expected clearly > 1 (burstier than Poisson)", scv)
+	}
+}
+
+func TestGenerateMMPPDeterministic(t *testing.T) {
+	cfg := MMPPConfig{
+		Models: []string{"a"}, CalmIntervalMs: 50, BurstIntervalMs: 5,
+		CalmDwellMs: 500, BurstDwellMs: 100, Count: 500, Seed: 9,
+	}
+	a, _ := GenerateMMPP(cfg)
+	b, _ := GenerateMMPP(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package zoo
+
+import (
+	"testing"
+
+	"split/internal/model"
+	"split/internal/profiler"
+)
+
+func TestBenchmarkModelsHaveFullEdgeSets(t *testing.T) {
+	for _, name := range BenchmarkModels {
+		g := MustLoad(name)
+		if len(g.Edges) == 0 {
+			t.Errorf("%s: no edges emitted", name)
+			continue
+		}
+		// Every op except sources must have at least one incoming edge, and
+		// every op except sinks at least one outgoing edge — otherwise the
+		// builder dropped a dependency.
+		hasIn := make([]bool, g.NumOps())
+		hasOut := make([]bool, g.NumOps())
+		for _, e := range g.Edges {
+			hasOut[e.From] = true
+			hasIn[e.To] = true
+		}
+		noIn, noOut := 0, 0
+		for i := range g.Ops {
+			if !hasIn[i] {
+				noIn++
+			}
+			if !hasOut[i] {
+				noOut++
+			}
+		}
+		// Sources: model inputs (tok+pos gathers for gpt2, 1 otherwise).
+		if noIn > 2 {
+			t.Errorf("%s: %d ops with no inputs", name, noIn)
+		}
+		if noOut != 1 {
+			t.Errorf("%s: %d sink ops, want exactly 1", name, noOut)
+		}
+	}
+}
+
+func TestResNetResidualEdgesSpanBottlenecks(t *testing.T) {
+	g := MustLoad("resnet50")
+	// Identity bottlenecks contribute skip edges spanning 6 ops
+	// (entry -> residual Add). Count edges with span >= 6.
+	skips := 0
+	for _, e := range g.Edges {
+		if e.To-e.From >= 6 {
+			skips++
+		}
+	}
+	if skips < 12 {
+		t.Errorf("found %d long skip edges, want >= 12 identity bottlenecks", skips)
+	}
+}
+
+func TestYOLOPassthroughEdgeIsLong(t *testing.T) {
+	g := MustLoad("yolov2")
+	longest := 0
+	for _, e := range g.Edges {
+		if e.To-e.From > longest {
+			longest = e.To - e.From
+		}
+	}
+	// The passthrough connects conv13's leaky (around op 40) to the branch
+	// after the detection head (around op 60+): span > 15 ops.
+	if longest < 15 {
+		t.Errorf("longest edge spans %d ops; passthrough missing", longest)
+	}
+}
+
+func TestCuttingInsideResidualCostsMore(t *testing.T) {
+	g := MustLoad("resnet50")
+	p := profiler.New(g, model.DefaultCostModel())
+	// Find an identity bottleneck's skip edge and compare a cut inside it
+	// to the cut right after its join.
+	for _, e := range g.Edges {
+		if e.To-e.From == 6 && g.Ops[e.To].Kind == model.Add {
+			inside := p.BoundaryMsAt(e.From + 3) // mid-bottleneck
+			after := p.BoundaryMsAt(e.To + 2)    // after the join's relu
+			if inside <= after {
+				t.Errorf("mid-bottleneck cut (%.3f) not costlier than block boundary (%.3f)", inside, after)
+			}
+			return
+		}
+	}
+	t.Fatal("no identity bottleneck found")
+}
+
+func TestGAPlanAvoidsCutsInsideResiduals(t *testing.T) {
+	// The deployed 2-block ResNet50 plan must not place its cut across a
+	// skip connection: its boundary cost should be within 1.5x of the
+	// cheapest interior cut.
+	g := MustLoad("resnet50")
+	p := profiler.New(g, model.DefaultCostModel())
+	minB := p.BoundaryMsAt(1)
+	for c := 2; c <= g.NumOps()-1; c++ {
+		if b := p.BoundaryMsAt(c); b < minB {
+			minB = b
+		}
+	}
+	best, _ := p.Exhaustive(2, profiler.StdDevObjective)
+	cut := best.Cuts[0]
+	if p.BoundaryMsAt(cut) > 3*minB {
+		t.Errorf("even-split cut at %d costs %.3f, min boundary is %.3f — cut crosses a residual",
+			cut, p.BoundaryMsAt(cut), minB)
+	}
+}
+
+func TestGPT2ResidualStructure(t *testing.T) {
+	g := MustLoad("gpt2")
+	// Each transformer layer has two residual adds whose skip edges span
+	// roughly half the 210-op layer: expect >= 24 edges with span >= 20.
+	long := 0
+	for _, e := range g.Edges {
+		if e.To-e.From >= 20 {
+			long++
+		}
+	}
+	if long < 24 {
+		t.Errorf("gpt2 has %d long-range edges, want >= 24 residuals", long)
+	}
+}
+
+func TestEdgesDeduplicated(t *testing.T) {
+	for _, name := range BenchmarkModels {
+		g := MustLoad(name)
+		seen := map[model.Edge]bool{}
+		for _, e := range g.Edges {
+			if seen[e] {
+				t.Errorf("%s: duplicate edge %+v", name, e)
+			}
+			seen[e] = true
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package zoo
+
+import (
+	"strings"
+	"testing"
+
+	"split/internal/model"
+)
+
+func kindCounts(g *model.Graph) map[model.Kind]int {
+	c := map[model.Kind]int{}
+	for _, op := range g.Ops {
+		c[op.Kind]++
+	}
+	return c
+}
+
+func TestGoogLeNetStructure(t *testing.T) {
+	g := MustLoad("googlenet")
+	c := kindCounts(g)
+	// Stem 4 convs? stem has 3 convs (7x7, 1x1, 3x3); 9 modules × 6 convs = 54;
+	// total 57 convs.
+	if c[model.Conv] != 57 {
+		t.Errorf("convs = %d, want 57", c[model.Conv])
+	}
+	if c[model.Concat] != 9 {
+		t.Errorf("concats = %d, want 9 inception modules", c[model.Concat])
+	}
+	if c[model.LRN] != 2 {
+		t.Errorf("LRNs = %d, want 2", c[model.LRN])
+	}
+	// Stem 2 + 2 inter-stage + 9 in-branch maxpools = 13.
+	if c[model.MaxPool] != 13 {
+		t.Errorf("maxpools = %d, want 13", c[model.MaxPool])
+	}
+}
+
+func TestYOLOv2Structure(t *testing.T) {
+	g := MustLoad("yolov2")
+	c := kindCounts(g)
+	if c[model.Conv] != 23 {
+		t.Errorf("convs = %d, want 23", c[model.Conv])
+	}
+	if c[model.BatchNorm] != 22 || c[model.LeakyReLU] != 22 {
+		t.Errorf("bn/leaky = %d/%d, want 22/22", c[model.BatchNorm], c[model.LeakyReLU])
+	}
+	if c[model.MaxPool] != 5 {
+		t.Errorf("maxpools = %d, want 5", c[model.MaxPool])
+	}
+	if c[model.Concat] != 2 { // passthrough concat + decode concat
+		t.Errorf("concats = %d, want 2", c[model.Concat])
+	}
+	if c[model.Softmax] != 1 || c[model.Sigmoid] != 1 {
+		t.Errorf("decode head wrong: softmax=%d sigmoid=%d", c[model.Softmax], c[model.Sigmoid])
+	}
+}
+
+func TestDenseNetStructure(t *testing.T) {
+	g := MustLoad("densenet")
+	c := kindCounts(g)
+	// DenseNet-121: 58 dense layers × 2 convs + stem + 3 transitions = 120 convs.
+	if c[model.Conv] != 58*2+1+3 {
+		t.Errorf("convs = %d, want %d", c[model.Conv], 58*2+4)
+	}
+	if c[model.Concat] != 58 {
+		t.Errorf("concats = %d, want 58 dense layers", c[model.Concat])
+	}
+	if c[model.AvgPool] != 3 {
+		t.Errorf("transition avgpools = %d, want 3", c[model.AvgPool])
+	}
+}
+
+func TestEfficientNetStructure(t *testing.T) {
+	g := MustLoad("efficientnet")
+	c := kindCounts(g)
+	// 16 MBConv blocks, each with one depthwise conv.
+	if c[model.DWConv] != 16 {
+		t.Errorf("dwconvs = %d, want 16", c[model.DWConv])
+	}
+	// Stride-1 same-width blocks get residuals: stages contribute
+	// (n-1) residuals each: 1+1+2+2+3+0 = ... count must be positive and
+	// below the block count.
+	if c[model.Add] == 0 || c[model.Add] >= 16 {
+		t.Errorf("residual adds = %d", c[model.Add])
+	}
+	if c[model.Sigmoid] != 16 || c[model.Mul] != 16 {
+		t.Errorf("SE gates = %d/%d, want 16/16", c[model.Sigmoid], c[model.Mul])
+	}
+}
+
+func TestSqueezeNetStructure(t *testing.T) {
+	g := MustLoad("squeezenet")
+	c := kindCounts(g)
+	// 8 fire modules × 3 convs + stem conv + final 1x1 = 26.
+	if c[model.Conv] != 26 {
+		t.Errorf("convs = %d, want 26", c[model.Conv])
+	}
+	if c[model.Concat] != 8 {
+		t.Errorf("concats = %d, want 8 fire modules", c[model.Concat])
+	}
+}
+
+func TestShuffleNetStructure(t *testing.T) {
+	g := MustLoad("shufflenet")
+	c := kindCounts(g)
+	if c[model.Shuffle] != 16 {
+		t.Errorf("channel shuffles = %d, want 16 units", c[model.Shuffle])
+	}
+	if c[model.DWConv] != 16 {
+		t.Errorf("dwconvs = %d, want 16", c[model.DWConv])
+	}
+	// 13 stride-1 units use residual Adds; 3 stride-2 units use Concats.
+	if c[model.Add] != 13 {
+		t.Errorf("residuals = %d, want 13", c[model.Add])
+	}
+	if c[model.Concat] != 3 {
+		t.Errorf("stride-2 concats = %d, want 3", c[model.Concat])
+	}
+}
+
+func TestOpNamesUniqueAndKindPrefixed(t *testing.T) {
+	for _, name := range Names() {
+		g := MustLoad(name)
+		seen := map[string]bool{}
+		for _, op := range g.Ops {
+			if seen[op.Name] {
+				t.Fatalf("%s: duplicate op name %q", name, op.Name)
+			}
+			seen[op.Name] = true
+			if !strings.HasPrefix(op.Name, string(op.Kind)) {
+				t.Fatalf("%s: op %q not prefixed by kind %q", name, op.Name, op.Kind)
+			}
+		}
+	}
+}
+
+func TestGPT2LayerNormCount(t *testing.T) {
+	g := MustLoad("gpt2")
+	c := kindCounts(g)
+	// 25 layer norms (2 per layer + final), each contributing one Sqrt.
+	if c[model.Sqrt] != 25 {
+		t.Errorf("sqrt ops = %d, want 25 layer norms", c[model.Sqrt])
+	}
+	// 2 gathers in the embedding stem.
+	if c[model.Embedding] != 2 {
+		t.Errorf("gathers = %d, want 2", c[model.Embedding])
+	}
+	// Tanh: 12 GELUs + 144 attention... GELU tanh only: 12 per model? One
+	// gelu per layer → 12 Tanh.
+	if c[model.Tanh] != 12 {
+		t.Errorf("tanh ops = %d, want 12 GELUs", c[model.Tanh])
+	}
+}
