@@ -1,0 +1,20 @@
+# Development entry points. `make check` is the tier-1 gate CI runs.
+
+COUNT ?= 1
+BENCH ?= .
+
+.PHONY: check test bench fmt
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+# Benchstat-compatible output: run with COUNT=10 and feed two bench.out
+# files from different commits to `benchstat old.out new.out`.
+bench:
+	go test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . ./internal/... | tee bench.out
+
+fmt:
+	gofmt -w .

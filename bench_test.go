@@ -6,6 +6,7 @@
 package split
 
 import (
+	"fmt"
 	"math/rand"
 	"net"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"split/internal/ga"
 	"split/internal/metrics"
 	"split/internal/model"
+	"split/internal/obs"
 	"split/internal/policy"
 	"split/internal/profiler"
 	"split/internal/sched"
@@ -519,4 +521,59 @@ func BenchmarkServeRPC(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSchedInsertGreedy measures Algorithm 1's insertion cost at
+// several queue depths. Sub-benchmark names are stable (`depth=N`) so
+// `go test -bench InsertGreedy -count 10 | benchstat` can diff runs across
+// PRs; ns/insert is also reported explicitly, amortized over the depth.
+func BenchmarkSchedInsertGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	models := []string{"vgg19", "yolov2", "pos", "ner", "resnet50"}
+	for _, depth := range []int{16, 64, 256} {
+		reqs := make([]*sched.Request, depth)
+		for i := range reqs {
+			m := models[rng.Intn(len(models))]
+			ext := 5 + rng.Float64()*120
+			reqs[i] = sched.NewRequest(i, m, model.Short, rng.Float64()*100, ext,
+				[]float64{ext / 3, ext / 3, ext / 3})
+		}
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q := sched.NewQueue(4)
+				for _, r := range reqs {
+					q.InsertGreedy(r.ArriveMs, r)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*depth), "ns/insert")
+		})
+	}
+}
+
+// BenchmarkObsHotPath measures the instrumentation primitives the serving
+// path calls per request, confirming they stay allocation-free.
+func BenchmarkObsHotPath(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("split_requests_total", "bench", "model", "vgg19")
+	g := reg.Gauge("split_queue_depth", "bench")
+	h := reg.Histogram("split_e2e_ms", "bench", obs.DefaultLatencyBuckets())
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.SetInt(i)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i % 4000))
+		}
+	})
 }

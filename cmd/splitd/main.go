@@ -7,6 +7,11 @@
 //
 //	splitd -addr 127.0.0.1:7100
 //	splitd -addr 127.0.0.1:7100 -plans plans/ -timescale 0.1 -alpha 4
+//	splitd -addr 127.0.0.1:7100 -admin 127.0.0.1:7101
+//
+// With -admin set, a live observability endpoint serves /metrics
+// (Prometheus text), /healthz, /queuez (JSON queue snapshot), /tracez
+// (flight-recorder JSONL) and /debug/pprof on that address.
 package main
 
 import (
@@ -14,16 +19,19 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"split/internal/core"
 	"split/internal/model"
+	"split/internal/obs"
 	"split/internal/onnxlite"
 	"split/internal/policy"
 	"split/internal/sched"
 	"split/internal/serve"
+	"split/internal/trace"
 	"split/internal/zoo"
 )
 
@@ -35,23 +43,29 @@ func main() {
 		<-sig
 		close(stop)
 	}()
-	if err := run(os.Args[1:], os.Stdout, nil, stop); err != nil {
+	if err := run(os.Args[1:], os.Stdout, nil, nil, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "splitd:", err)
 		os.Exit(1)
 	}
 }
 
 // run starts the daemon and blocks until `stop` closes. If `ready` is
-// non-nil, the bound address is sent on it once the server is listening.
-func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}) error {
+// non-nil, the bound RPC address is sent on it once the server is
+// listening; likewise `adminReady` receives the bound admin address when
+// -admin is set.
+func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("splitd", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7100", "listen address")
+		adminAddr = fs.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /queuez, /tracez, /debug/pprof) on this address")
 		plansDir  = fs.String("plans", "", "load plans from this directory (default: run the GA)")
 		alpha     = fs.Float64("alpha", 4, "latency target multiplier α")
 		timescale = fs.Float64("timescale", 1.0, "wall-clock ms per simulated ms (e.g. 0.1 = 10x faster)")
 		noElastic = fs.Bool("no-elastic", false, "disable elastic splitting")
+		maxQueue  = fs.Int("max-queue", 0, "reject requests once this many are waiting (0 = unbounded)")
+		ringCap   = fs.Int("trace-ring", 4096, "flight-recorder capacity in events (with -admin)")
+		qosWindow = fs.Int("qos-window", 0, "rolling QoS window in completions (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,12 +93,25 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if *noElastic {
 		elastic.Enabled = false
 	}
-	srv, err := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		Catalog:   catalog,
 		Alpha:     *alpha,
 		Elastic:   elastic,
 		TimeScale: *timescale,
-	})
+		MaxQueue:  *maxQueue,
+		QoSWindow: *qosWindow,
+	}
+	var (
+		reg  *obs.Registry
+		ring *trace.Ring
+	)
+	if *adminAddr != "" {
+		reg = obs.NewRegistry()
+		ring = trace.NewRing(*ringCap)
+		cfg.Obs = reg
+		cfg.Sink = ring
+	}
+	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
 	}
@@ -96,6 +123,25 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 	if err := srv.Start(l); err != nil {
 		return err
 	}
+
+	var admin *http.Server
+	if *adminAddr != "" {
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			srv.Stop()
+			return err
+		}
+		mux := obs.AdminMux(reg, ring,
+			func() any { return srv.QueueSnapshot() },
+			func() any { return srv.Health() })
+		admin = &http.Server{Handler: mux}
+		go admin.Serve(al)
+		fmt.Fprintf(out, "splitd admin endpoint on http://%s\n", al.Addr())
+		if adminReady != nil {
+			adminReady <- al.Addr().String()
+		}
+	}
+
 	fmt.Fprintf(out, "splitd serving %d models on %s (timescale %.2f, α=%.0f)\n",
 		len(catalog), srv.Addr(), *timescale, *alpha)
 	if ready != nil {
@@ -104,6 +150,9 @@ func run(args []string, out io.Writer, ready chan<- string, stop <-chan struct{}
 
 	<-stop
 	fmt.Fprintln(out, "shutting down")
+	if admin != nil {
+		admin.Close()
+	}
 	srv.Stop()
 	return nil
 }

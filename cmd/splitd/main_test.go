@@ -41,7 +41,7 @@ func TestDaemonServesAndStops(t *testing.T) {
 			"-addr", "127.0.0.1:0",
 			"-plans", dir,
 			"-timescale", "0.01",
-		}, out, ready, stop)
+		}, out, ready, nil, stop)
 	}()
 
 	var addr string
@@ -94,7 +94,7 @@ func TestDaemonCannotListenOnOccupiedPort(t *testing.T) {
 	out := &syncBuilder{}
 	stop := make(chan struct{})
 	close(stop)
-	if err := run([]string{"-addr", l.Addr().String(), "-plans", dir}, out, nil, stop); err == nil {
+	if err := run([]string{"-addr", l.Addr().String(), "-plans", dir}, out, nil, nil, stop); err == nil {
 		t.Error("occupied port accepted")
 	}
 }
@@ -103,7 +103,7 @@ func TestDaemonBadFlag(t *testing.T) {
 	out := &syncBuilder{}
 	stop := make(chan struct{})
 	close(stop)
-	if err := run([]string{"-not-a-flag"}, out, nil, stop); err == nil {
+	if err := run([]string{"-not-a-flag"}, out, nil, nil, stop); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"split/internal/model"
 	"split/internal/policy"
 	"split/internal/workload"
 )
@@ -19,13 +20,74 @@ func WriteRecordsCSV(w io.Writer, recs []policy.Record) error {
 		return err
 	}
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%v\n",
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%t\n",
 			r.ID, r.Model, r.Class, r.ArriveMs, r.StartMs, r.DoneMs, r.ExtMs,
 			r.E2EMs(), r.WaitMs(), r.ResponseRatio(), r.Preemptions, r.Split); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ReadRecordsCSV parses a records CSV (as written by WriteRecordsCSV) back
+// into full Records — the round-trip counterpart of ReadArrivalsCSV, used
+// to re-analyze archived runs with newer metrics. Derived columns (e2e_ms,
+// wait_ms, response_ratio) are ignored; Record recomputes them.
+func ReadRecordsCSV(r io.Reader) ([]policy.Record, error) {
+	scanner := bufio.NewScanner(r)
+	if !scanner.Scan() {
+		return nil, fmt.Errorf("metrics: empty records CSV")
+	}
+	header := strings.Split(scanner.Text(), ",")
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, want := range []string{"id", "model", "class", "arrive_ms", "start_ms", "done_ms", "ext_ms", "preemptions", "split"} {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("metrics: records CSV missing column %q", want)
+		}
+	}
+	var recs []policy.Record
+	line := 1
+	for scanner.Scan() {
+		line++
+		fields := strings.Split(scanner.Text(), ",")
+		if len(fields) < len(header) {
+			return nil, fmt.Errorf("metrics: line %d has %d fields", line, len(fields))
+		}
+		var rec policy.Record
+		var err error
+		fail := func(column string, e error) error {
+			return fmt.Errorf("metrics: line %d %s: %w", line, column, e)
+		}
+		if rec.ID, err = strconv.Atoi(fields[col["id"]]); err != nil {
+			return nil, fail("id", err)
+		}
+		rec.Model = fields[col["model"]]
+		rec.Class = model.RequestClass(fields[col["class"]])
+		for column, dst := range map[string]*float64{
+			"arrive_ms": &rec.ArriveMs,
+			"start_ms":  &rec.StartMs,
+			"done_ms":   &rec.DoneMs,
+			"ext_ms":    &rec.ExtMs,
+		} {
+			if *dst, err = strconv.ParseFloat(fields[col[column]], 64); err != nil {
+				return nil, fail(column, err)
+			}
+		}
+		if rec.Preemptions, err = strconv.Atoi(fields[col["preemptions"]]); err != nil {
+			return nil, fail("preemptions", err)
+		}
+		if rec.Split, err = strconv.ParseBool(fields[col["split"]]); err != nil {
+			return nil, fail("split", err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
 }
 
 // WriteViolationCurveCSV emits a Figure 6 series as CSV: alpha,violation.

@@ -91,3 +91,54 @@ func TestReadArrivalsCSVErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestReadRecordsCSVRoundTrip writes records and reads them back, checking
+// every persisted field survives (times are written at 4-decimal precision,
+// which the fixture values fit exactly).
+func TestReadRecordsCSVRoundTrip(t *testing.T) {
+	in := sample()
+	in[2].Preemptions = 3
+	in[4].Split = true
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRecordsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("%d records back, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+		if out[i].ResponseRatio() != in[i].ResponseRatio() {
+			t.Errorf("record %d rr drifted", i)
+		}
+	}
+	// The live-vs-offline contract: metrics over the round-tripped records
+	// match metrics over the originals.
+	if ViolationRate(out, 4) != ViolationRate(in, 4) {
+		t.Error("violation rate changed across the round trip")
+	}
+}
+
+func TestReadRecordsCSVErrors(t *testing.T) {
+	header := "id,model,class,arrive_ms,start_ms,done_ms,ext_ms,e2e_ms,wait_ms,response_ratio,preemptions,split"
+	cases := []string{
+		"",
+		"id,model,arrive_ms\n1,m,0\n", // missing full-record columns
+		header + "\nx,m,Short,0,0,1,1,1,0,1,0,false\n",
+		header + "\n1,m,Short,z,0,1,1,1,0,1,0,false\n",
+		header + "\n1,m,Short,0,0,1,1,1,0,1,z,false\n",
+		header + "\n1,m,Short,0,0,1,1,1,0,1,0,maybe\n",
+		header + "\n1,m\n",
+	}
+	for i, s := range cases {
+		if _, err := ReadRecordsCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d parsed", i)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"split/internal/trace"
+)
+
+// AdminMux builds the splitd admin endpoint:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      JSON from health() (or {"status":"ok"} when nil)
+//	/queuez       JSON from queuez() — the live queue snapshot
+//	/tracez       flight-recorder dump of ring as JSON lines
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// Any of reg, ring, queuez, health may be nil; the corresponding endpoint
+// degrades to an empty-but-valid response. The mux is deliberately built
+// from explicit pprof handler funcs rather than the package's init-time
+// DefaultServeMux registration, so embedding programs keep control of what
+// they expose.
+func AdminMux(reg *Registry, ring *trace.Ring, queuez func() any, health func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var v any = map[string]string{"status": "ok"}
+		if health != nil {
+			v = health()
+		}
+		writeJSON(w, v)
+	})
+
+	mux.HandleFunc("/queuez", func(w http.ResponseWriter, _ *http.Request) {
+		var v any = struct{}{}
+		if queuez != nil {
+			v = queuez()
+		}
+		writeJSON(w, v)
+	})
+
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := ring.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

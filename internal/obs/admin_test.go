@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"split/internal/trace"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("split_requests_total", "req", "model", "vgg19").Add(2)
+	ring := trace.NewRing(16)
+	ring.Emit(trace.Event{AtMs: 1, Kind: trace.Arrive, ReqID: 0, Model: "vgg19"})
+
+	mux := AdminMux(reg, ring,
+		func() any { return map[string]int{"depth": 3} },
+		func() any { return map[string]string{"status": "ok", "mode": "test"} })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	code, ct, body := get(t, srv, "/metrics")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics: %d %s", code, ct)
+	}
+	if !strings.Contains(body, `split_requests_total{model="vgg19"} 2`) {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	code, ct, body = get(t, srv, "/healthz")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/healthz: %d %s", code, ct)
+	}
+	var health map[string]string
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health["status"] != "ok" {
+		t.Errorf("/healthz body %q: %v", body, err)
+	}
+
+	code, _, body = get(t, srv, "/queuez")
+	var queue map[string]int
+	if err := json.Unmarshal([]byte(body), &queue); err != nil || code != 200 || queue["depth"] != 3 {
+		t.Errorf("/queuez %d %q: %v", code, body, err)
+	}
+
+	code, ct, body = get(t, srv, "/tracez")
+	if code != 200 || !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Errorf("/tracez: %d %s", code, ct)
+	}
+	var ev trace.Event
+	if err := json.Unmarshal([]byte(strings.TrimSpace(body)), &ev); err != nil || ev.Kind != trace.Arrive {
+		t.Errorf("/tracez body %q: %v", body, err)
+	}
+
+	// pprof index must answer (profile endpoints are exercised implicitly).
+	if code, _, _ = get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+}
+
+func TestAdminMuxNilProviders(t *testing.T) {
+	srv := httptest.NewServer(AdminMux(nil, nil, nil, nil))
+	defer srv.Close()
+	if code, _, body := get(t, srv, "/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if code, _, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/queuez"); code != 200 {
+		t.Errorf("/queuez: %d", code)
+	}
+	if code, _, body := get(t, srv, "/tracez"); code != 200 || strings.TrimSpace(body) != "" {
+		t.Errorf("/tracez: %d %q", code, body)
+	}
+}

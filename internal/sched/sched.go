@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"split/internal/model"
+	"split/internal/trace"
 )
 
 // Request is one in-flight inference request. Times are in milliseconds on
@@ -143,7 +144,13 @@ type Queue struct {
 	// that later arrivals cannot bubble past. 0 (the paper's behaviour)
 	// disables the guard.
 	StarveGuardRR float64
-	reqs          []*Request
+	// Sink, when non-nil, receives a trace.Enqueue event for every greedy
+	// insertion (initial arrivals and block-boundary re-inserts alike) with
+	// the chosen position and queue depth — the live counterpart of
+	// InsertGreedyExplain's offline decision trace. The queue never emits
+	// on the hot path when Sink is nil, preserving the zero-cost default.
+	Sink trace.Sink
+	reqs []*Request
 }
 
 // NewQueue creates an empty queue with the given α.
@@ -239,7 +246,23 @@ func (q *Queue) InsertGreedy(nowMs float64, r *Request) int {
 		pos--
 	}
 	q.insertAt(pos, r)
+	q.emitEnqueue(nowMs, r, pos)
 	return pos
+}
+
+// emitEnqueue reports an insertion decision to the attached live sink.
+func (q *Queue) emitEnqueue(nowMs float64, r *Request, pos int) {
+	if q.Sink == nil {
+		return
+	}
+	q.Sink.Emit(trace.Event{
+		AtMs:   nowMs,
+		Kind:   trace.Enqueue,
+		ReqID:  r.ID,
+		Model:  r.Model,
+		Block:  r.Next,
+		Detail: fmt.Sprintf("pos=%d depth=%d", pos, len(q.reqs)),
+	})
 }
 
 // swapBeneficial reports whether moving `behind` ahead of `ahead` strictly
@@ -309,6 +332,7 @@ func (q *Queue) InsertGreedyExplain(nowMs float64, r *Request) (int, []Decision)
 		pos--
 	}
 	q.insertAt(pos, r)
+	q.emitEnqueue(nowMs, r, pos)
 	return pos, decisions
 }
 

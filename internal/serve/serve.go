@@ -21,8 +21,31 @@ import (
 	"sync"
 	"time"
 
+	"split/internal/model"
+	"split/internal/obs"
 	"split/internal/policy"
 	"split/internal/sched"
+	"split/internal/trace"
+)
+
+// Typed rejection errors, so clients and metrics can distinguish drop
+// causes. net/rpc flattens errors to strings on the wire, so the messages
+// are stable and prefix-matchable; in-process callers can use errors.Is.
+var (
+	// ErrStopped rejects requests arriving at a stopped server.
+	ErrStopped = errors.New("serve: server stopped")
+	// ErrUnknownModel rejects requests naming a model not in the catalog.
+	ErrUnknownModel = errors.New("serve: model not deployed")
+	// ErrQueueFull rejects requests when Config.MaxQueue is reached.
+	ErrQueueFull = errors.New("serve: queue full")
+)
+
+// Drop reasons as they appear in the split_drops_total metric and in
+// trace.Drop event details.
+const (
+	DropStopped      = "stopped"
+	DropUnknownModel = "unknown_model"
+	DropQueueFull    = "queue_full"
 )
 
 // Config parameterizes a server.
@@ -36,6 +59,21 @@ type Config struct {
 	// TimeScale converts simulated block milliseconds to wall-clock
 	// milliseconds (1.0 = real time; 0.01 = 100× accelerated).
 	TimeScale float64
+	// MaxQueue caps the number of waiting requests; arrivals beyond it are
+	// rejected with ErrQueueFull. 0 means unbounded (the paper's setting).
+	MaxQueue int
+	// Obs, when non-nil, receives live metrics (request/completion/drop
+	// counters, queue-depth and elastic gauges, wait/e2e/RR histograms)
+	// under the split_* names documented in the README.
+	Obs *obs.Registry
+	// Sink, when non-nil, receives the live scheduling event stream
+	// (arrive, enqueue, block start/end, preempt, elastic transitions,
+	// complete, drop) — typically a trace.Ring flight recorder, a Tracer,
+	// or a Fanout of both.
+	Sink trace.Sink
+	// QoSWindow sizes the rolling online QoS window (completions);
+	// <= 0 selects obs.DefaultQoSWindow.
+	QoSWindow int
 }
 
 // Server owns the request queue and the executor goroutine.
@@ -50,9 +88,18 @@ type Server struct {
 	busy    bool
 	closed  bool
 	served  int
-	waiters map[int]chan *sched.Request
+	dropped int
+	// elasticSuppressed is the last §3.3 decision for a splittable arrival:
+	// true while the elastic mechanism is disabling splitting.
+	elasticSuppressed bool
+	waiters           map[int]chan *sched.Request
 	// perModel accumulates QoS aggregates per model since start.
 	perModel map[string]*modelAgg
+
+	// met holds cached metric handles (nil when Config.Obs is nil); qos is
+	// the rolling online estimator and always exists.
+	met *serveMetrics
+	qos *obs.RollingQoS
 
 	listener net.Listener
 	rpcSrv   *rpc.Server
@@ -75,9 +122,71 @@ func NewServer(cfg Config) (*Server, error) {
 		queue:    sched.NewQueue(cfg.Alpha),
 		waiters:  make(map[int]chan *sched.Request),
 		perModel: make(map[string]*modelAgg),
+		qos:      obs.NewRollingQoS(cfg.Alpha, cfg.QoSWindow),
+	}
+	s.queue.Sink = cfg.Sink
+	if cfg.Obs != nil {
+		s.met = newServeMetrics(cfg.Obs, cfg.Catalog)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
+}
+
+// serveMetrics caches the registry handles the serving path updates, so the
+// hot path never rebuilds label keys. The catalog is fixed at deploy time,
+// which is what makes per-model precomputation possible.
+type serveMetrics struct {
+	requests    map[string]*obs.Counter
+	completions map[string]*obs.Counter
+	drops       map[string]*obs.Counter
+	preemptions *obs.Counter
+	queueDepth  *obs.Gauge
+	elastic     *obs.Gauge
+	violRate    *obs.Gauge
+	jitter      *obs.Gauge
+	waitMs      *obs.Histogram
+	e2eMs       *obs.Histogram
+	rr          *obs.Histogram
+}
+
+func newServeMetrics(reg *obs.Registry, catalog policy.Catalog) *serveMetrics {
+	m := &serveMetrics{
+		requests:    make(map[string]*obs.Counter, len(catalog)),
+		completions: make(map[string]*obs.Counter, len(catalog)),
+		drops:       make(map[string]*obs.Counter, 3),
+		preemptions: reg.Counter("split_preemptions_total", "block-boundary preemptions (requests passed while re-entering the queue)"),
+		queueDepth:  reg.Gauge("split_queue_depth", "requests waiting in the scheduler queue"),
+		elastic:     reg.Gauge("split_elastic_suppressed", "1 while the elastic mechanism is suppressing splitting (§3.3), else 0"),
+		violRate:    reg.Gauge("split_rolling_violation_rate", "fraction of the rolling completion window with RR > α"),
+		jitter:      reg.Gauge("split_rolling_jitter_ms", "stddev of e2e latency over the rolling completion window"),
+		waitMs:      reg.Histogram("split_wait_ms", "waiting latency (e2e - t_ext) of completed requests, virtual ms", obs.DefaultLatencyBuckets()),
+		e2eMs:       reg.Histogram("split_e2e_ms", "end-to-end latency of completed requests, virtual ms", obs.DefaultLatencyBuckets()),
+		rr:          reg.Histogram("split_response_ratio", "response ratio t_ete/t_ext of completed requests", obs.DefaultRatioBuckets()),
+	}
+	for name := range catalog {
+		m.requests[name] = reg.Counter("split_requests_total", "requests accepted into the queue", "model", name)
+		m.completions[name] = reg.Counter("split_completions_total", "requests completed", "model", name)
+	}
+	for _, reason := range []string{DropStopped, DropUnknownModel, DropQueueFull} {
+		m.drops[reason] = reg.Counter("split_drops_total", "requests rejected before enqueue", "reason", reason)
+	}
+	return m
+}
+
+// emit forwards a live event to the configured sink, if any.
+func (s *Server) emit(e trace.Event) {
+	if s.cfg.Sink != nil {
+		s.cfg.Sink.Emit(e)
+	}
+}
+
+// drop counts and traces one rejection. Caller holds s.mu.
+func (s *Server) drop(nowMs float64, modelName, reason string) {
+	s.dropped++
+	if s.met != nil {
+		s.met.drops[reason].Inc()
+	}
+	s.emit(trace.Event{AtMs: nowMs, Kind: trace.Drop, ReqID: -1, Model: modelName, Detail: reason})
 }
 
 // modelAgg accumulates per-model QoS outcomes (under s.mu).
@@ -176,17 +285,24 @@ func (s *Server) executor() {
 		if r.StartMs < 0 {
 			r.StartMs = now
 		}
-		dur := r.BlockTimes[r.Next]
+		block := r.Next
+		dur := r.BlockTimes[block]
 		r.Next++
 		s.busy = true
+		if s.met != nil {
+			s.met.queueDepth.SetInt(s.queue.Len())
+		}
+		s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: r.ID, Model: r.Model, Block: block})
 		s.mu.Unlock()
 
 		time.Sleep(time.Duration(dur * s.cfg.TimeScale * float64(time.Millisecond)))
 
 		s.mu.Lock()
 		s.busy = false
+		now = s.nowMs()
+		s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: r.ID, Model: r.Model, Block: block})
 		if r.Finished() {
-			r.DoneMs = s.nowMs()
+			r.DoneMs = now
 			s.served++
 			agg := s.perModel[r.Model]
 			if agg == nil {
@@ -204,43 +320,213 @@ func (s *Server) executor() {
 				agg.violations++
 			}
 			agg.preempts += r.Preemptions
+			s.observeCompletion(r, rr)
+			s.emit(trace.Event{AtMs: now, Kind: trace.Complete, ReqID: r.ID, Model: r.Model,
+				Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
 			if ch, ok := s.waiters[r.ID]; ok {
 				ch <- r
 				delete(s.waiters, r.ID)
 			}
 		} else {
-			if pos := s.queue.InsertGreedy(s.nowMs(), r); pos > 0 {
+			if pos := s.queue.InsertGreedy(now, r); pos > 0 {
 				r.Preemptions++
+				if s.met != nil {
+					s.met.preemptions.Inc()
+				}
+				s.emit(trace.Event{AtMs: now, Kind: trace.Preempt, ReqID: r.ID, Model: r.Model,
+					Block: r.Next, Detail: fmt.Sprintf("pos=%d", pos)})
+			}
+			if s.met != nil {
+				s.met.queueDepth.SetInt(s.queue.Len())
 			}
 		}
 	}
 }
 
+// observeCompletion feeds the rolling QoS window and completion metrics.
+// Caller holds s.mu.
+func (s *Server) observeCompletion(r *sched.Request, rr float64) {
+	s.qos.Observe(policy.Record{
+		ID: r.ID, Model: r.Model, Class: r.Class,
+		ArriveMs: r.ArriveMs, StartMs: r.StartMs, DoneMs: r.DoneMs,
+		ExtMs: r.ExtMs, Preemptions: r.Preemptions,
+		Split: len(r.BlockTimes) > 1,
+	})
+	if s.met == nil {
+		return
+	}
+	s.met.completions[r.Model].Inc()
+	s.met.waitMs.Observe(r.E2EMs() - r.ExtMs)
+	s.met.e2eMs.Observe(r.E2EMs())
+	s.met.rr.Observe(rr)
+	qs := s.qos.Snapshot()
+	s.met.violRate.Set(qs.ViolationRate)
+	s.met.jitter.Set(qs.JitterMs)
+}
+
 // enqueue wraps a model request (request wrapper + token scheduler insert)
-// and returns the channel that will deliver the completed request.
+// and returns the channel that will deliver the completed request. Every
+// rejection path is typed and counted so live metrics can distinguish
+// causes.
 func (s *Server) enqueue(modelName string) (chan *sched.Request, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.nowMs()
 	if s.closed {
-		return nil, errors.New("serve: server stopped")
+		s.drop(now, modelName, DropStopped)
+		return nil, ErrStopped
 	}
 	info, ok := s.cfg.Catalog[modelName]
 	if !ok {
-		return nil, fmt.Errorf("serve: model %q not deployed", modelName)
+		s.drop(now, modelName, DropUnknownModel)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
+	}
+	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
+		s.drop(now, modelName, DropQueueFull)
+		return nil, fmt.Errorf("%w: %d waiting", ErrQueueFull, s.queue.Len())
 	}
 	blocks := s.cfg.Catalog.BlocksFor(modelName)
-	if len(blocks) > 1 && !s.cfg.Elastic.ShouldSplit(s.queue, modelName) {
-		blocks = []float64{info.ExtMs}
+	if len(blocks) > 1 {
+		split := s.cfg.Elastic.ShouldSplit(s.queue, modelName)
+		if !split {
+			blocks = []float64{info.ExtMs}
+		}
+		s.setElastic(now, !split)
 	}
-	now := s.nowMs()
 	id := s.nextID
 	s.nextID++
 	r := sched.NewRequest(id, modelName, info.Class, now, info.ExtMs, blocks)
+	if s.met != nil {
+		s.met.requests[modelName].Inc()
+	}
+	s.emit(trace.Event{AtMs: now, Kind: trace.Arrive, ReqID: id, Model: modelName,
+		Detail: fmt.Sprintf("blocks=%d", len(blocks))})
 	s.queue.InsertGreedy(now, r)
+	if s.met != nil {
+		s.met.queueDepth.SetInt(s.queue.Len())
+	}
 	ch := make(chan *sched.Request, 1)
 	s.waiters[id] = ch
 	s.cond.Signal()
 	return ch, nil
+}
+
+// setElastic tracks §3.3 elastic-mode transitions for the gauge and the
+// event stream. Caller holds s.mu.
+func (s *Server) setElastic(nowMs float64, suppressed bool) {
+	if s.met != nil {
+		if suppressed {
+			s.met.elastic.Set(1)
+		} else {
+			s.met.elastic.Set(0)
+		}
+	}
+	if suppressed == s.elasticSuppressed {
+		return
+	}
+	s.elasticSuppressed = suppressed
+	kind := trace.ElasticOff
+	if suppressed {
+		kind = trace.ElasticOn
+	}
+	s.emit(trace.Event{AtMs: nowMs, Kind: kind, ReqID: -1,
+		Detail: fmt.Sprintf("depth=%d", s.queue.Len())})
+}
+
+// QueuedRequest is one waiting request in a QueueSnapshot.
+type QueuedRequest struct {
+	ID          int                `json:"id"`
+	Model       string             `json:"model"`
+	Class       model.RequestClass `json:"class"`
+	Pos         int                `json:"pos"`
+	BlocksDone  int                `json:"blocks_done"`
+	BlocksTotal int                `json:"blocks_total"`
+	WaitedMs    float64            `json:"waited_ms"`
+	// CurrentRR is the plain response ratio the request would finish with
+	// if it ran its remaining blocks immediately (PredictedPlainRR with
+	// zero extra wait) — the live Figure 6 axis value.
+	CurrentRR   float64 `json:"current_rr"`
+	Preemptions int     `json:"preemptions"`
+}
+
+// QueueSnapshot is the /queuez payload: the live queue plus rolling QoS.
+type QueueSnapshot struct {
+	NowMs             float64         `json:"now_ms"`
+	Alpha             float64         `json:"alpha"`
+	Depth             int             `json:"depth"`
+	Busy              bool            `json:"busy"`
+	Served            int             `json:"served"`
+	Dropped           int             `json:"dropped"`
+	ElasticSuppressed bool            `json:"elastic_suppressed"`
+	QoS               obs.QoSSnapshot `json:"qos"`
+	Requests          []QueuedRequest `json:"requests"`
+}
+
+// QueueSnapshot captures the live queue state for the admin endpoint.
+func (s *Server) QueueSnapshot() QueueSnapshot {
+	s.mu.Lock()
+	now := s.nowMs()
+	snap := QueueSnapshot{
+		NowMs:             now,
+		Alpha:             s.cfg.Alpha,
+		Depth:             s.queue.Len(),
+		Busy:              s.busy,
+		Served:            s.served,
+		Dropped:           s.dropped,
+		ElasticSuppressed: s.elasticSuppressed,
+		Requests:          make([]QueuedRequest, 0, s.queue.Len()),
+	}
+	for i, r := range s.queue.Requests() {
+		snap.Requests = append(snap.Requests, QueuedRequest{
+			ID:          r.ID,
+			Model:       r.Model,
+			Class:       r.Class,
+			Pos:         i,
+			BlocksDone:  r.Next,
+			BlocksTotal: len(r.BlockTimes),
+			WaitedMs:    now - r.ArriveMs,
+			CurrentRR:   r.PredictedPlainRR(now, 0),
+			Preemptions: r.Preemptions,
+		})
+	}
+	s.mu.Unlock()
+	// The rolling window has its own lock; read it outside s.mu.
+	snap.QoS = s.qos.Snapshot()
+	return snap
+}
+
+// RollingQoS exposes the online estimator (e.g. for tests comparing live
+// numbers against offline metrics over the same records).
+func (s *Server) RollingQoS() *obs.RollingQoS { return s.qos }
+
+// Health is the /healthz payload.
+type Health struct {
+	Status     string  `json:"status"` // "ok" or "stopped"
+	UptimeS    float64 `json:"uptime_s"`
+	Models     int     `json:"models"`
+	Served     int     `json:"served"`
+	Dropped    int     `json:"dropped"`
+	QueueDepth int     `json:"queue_depth"`
+}
+
+// Health reports liveness for the admin endpoint.
+func (s *Server) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Status:     "ok",
+		Models:     len(s.cfg.Catalog),
+		Served:     s.served,
+		Dropped:    s.dropped,
+		QueueDepth: s.queue.Len(),
+	}
+	if !s.start.IsZero() {
+		h.UptimeS = time.Since(s.start).Seconds()
+	}
+	if s.closed {
+		h.Status = "stopped"
+	}
+	return h
 }
 
 // Responder is the RPC surface (§4.2 "Responder"): it accepts user requests,

@@ -1,13 +1,18 @@
 package serve
 
 import (
+	"errors"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 
+	"split/internal/metrics"
 	"split/internal/model"
+	"split/internal/obs"
 	"split/internal/policy"
 	"split/internal/sched"
+	"split/internal/trace"
 )
 
 // testCatalog: "long" = 3 x 4 ms blocks (12 ms), "short" = 1 ms unsplit.
@@ -288,5 +293,215 @@ func TestModelStats(t *testing.T) {
 	}
 	if short.MeanRR < 1 || short.MaxRR < short.MeanRR {
 		t.Errorf("short RR stats inconsistent: %+v", short)
+	}
+}
+
+// unstartedServer builds a server without launching the executor, so queue
+// contents are deterministic for enqueue/snapshot tests.
+func unstartedServer(t *testing.T, mut func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{Catalog: testCatalog(), Alpha: 4, TimeScale: 1}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestTypedRejectionErrors(t *testing.T) {
+	srv := unstartedServer(t, func(c *Config) { c.MaxQueue = 1 })
+	if _, err := srv.enqueue("mystery"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("unknown model: %v", err)
+	}
+	if _, err := srv.enqueue("long"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.enqueue("short"); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("full queue: %v", err)
+	}
+	srv.Stop()
+	if _, err := srv.enqueue("short"); !errors.Is(err, ErrStopped) {
+		t.Errorf("stopped server: %v", err)
+	}
+	h := srv.Health()
+	if h.Status != "stopped" || h.Dropped != 3 {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestDropsCountedByReason(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := unstartedServer(t, func(c *Config) { c.MaxQueue = 1; c.Obs = reg })
+	srv.enqueue("mystery")
+	srv.enqueue("long")
+	srv.enqueue("short")
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`split_drops_total{reason="unknown_model"} 1`,
+		`split_drops_total{reason="queue_full"} 1`,
+		`split_drops_total{reason="stopped"} 0`,
+		`split_requests_total{model="long"} 1`,
+		`split_queue_depth 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestElasticSuppressionObserved(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := trace.NewRing(32)
+	srv := unstartedServer(t, func(c *Config) {
+		c.Obs = reg
+		c.Sink = ring
+		c.Elastic = sched.Elastic{Enabled: true, HighLoadQueueLen: 2}
+	})
+	srv.enqueue("long")
+	srv.enqueue("long")
+	// Queue now holds 2 requests: the elastic trigger fires for the third.
+	ch, err := srv.enqueue("long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ch
+	snap := srv.QueueSnapshot()
+	if !snap.ElasticSuppressed {
+		t.Error("elastic suppression not reflected in snapshot")
+	}
+	if last := snap.Requests[len(snap.Requests)-1]; last.BlocksTotal != 1 {
+		t.Errorf("suppressed request has %d blocks, want 1 (unsplit)", last.BlocksTotal)
+	}
+	if g := reg.Gauge("split_elastic_suppressed", ""); g.Value() != 1 {
+		t.Errorf("elastic gauge = %v, want 1", g.Value())
+	}
+	var sawOn bool
+	for _, e := range ring.Snapshot() {
+		if e.Kind == trace.ElasticOn {
+			sawOn = true
+		}
+	}
+	if !sawOn {
+		t.Error("no elastic_on event in the ring")
+	}
+}
+
+func TestQueueSnapshotContents(t *testing.T) {
+	srv := unstartedServer(t, nil)
+	srv.enqueue("long")
+	srv.enqueue("short")
+	snap := srv.QueueSnapshot()
+	if snap.Depth != 2 || len(snap.Requests) != 2 || snap.Alpha != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The short bubbles ahead of the long (Algorithm 1).
+	if snap.Requests[0].Model != "short" || snap.Requests[0].Pos != 0 {
+		t.Errorf("front = %+v", snap.Requests[0])
+	}
+	long := snap.Requests[1]
+	if long.Model != "long" || long.BlocksTotal != 3 || long.BlocksDone != 0 || long.Class != model.Long {
+		t.Errorf("long = %+v", long)
+	}
+	if long.CurrentRR <= 0 || long.WaitedMs < 0 {
+		t.Errorf("long live QoS: %+v", long)
+	}
+}
+
+// TestLiveMetricsEndToEnd drives real RPC traffic through an instrumented
+// server and checks counters, histograms, the event ring, and — the
+// acceptance criterion — that the live rolling violation rate equals
+// metrics.ViolationRate computed offline over the same completions.
+func TestLiveMetricsEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := trace.NewRing(1024)
+	srv, err := NewServer(Config{
+		Catalog:   testCatalog(),
+		Alpha:     4,
+		Elastic:   sched.DefaultElastic(),
+		TimeScale: 0.05,
+		Obs:       reg,
+		Sink:      ring,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(l); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var clientRecs []policy.Record
+	for i := 0; i < 8; i++ {
+		m := "short"
+		if i%2 == 0 {
+			m = "long"
+		}
+		reply, err := c.Infer(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clientRecs = append(clientRecs, policy.Record{
+			ID: reply.ReqID, Model: reply.Model,
+			DoneMs: reply.E2EMs, ExtMs: reply.ExtMs,
+		})
+	}
+
+	snap := srv.QueueSnapshot()
+	if snap.QoS.Window != 8 || snap.Served != 8 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if want := metrics.ViolationRate(clientRecs, 4); snap.QoS.ViolationRate != want {
+		t.Errorf("live violation rate %v != offline %v", snap.QoS.ViolationRate, want)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`split_requests_total{model="long"} 4`,
+		`split_requests_total{model="short"} 4`,
+		`split_completions_total{model="long"} 4`,
+		`split_completions_total{model="short"} 4`,
+		"split_e2e_ms_count 8",
+		"split_wait_ms_count 8",
+		"split_response_ratio_count 8",
+		"split_queue_depth 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+
+	kinds := map[trace.EventKind]int{}
+	for _, e := range ring.Snapshot() {
+		kinds[e.Kind]++
+	}
+	if kinds[trace.Arrive] != 8 || kinds[trace.Complete] != 8 {
+		t.Errorf("event kinds = %v", kinds)
+	}
+	// 4 long × 3 blocks + 4 short × 1 block = 16 block executions.
+	if kinds[trace.StartBlock] != 16 || kinds[trace.EndBlock] != 16 {
+		t.Errorf("block events = %v", kinds)
+	}
+	if kinds[trace.Enqueue] < 16 {
+		t.Errorf("enqueue events = %d, want >= 16 (initial + re-inserts)", kinds[trace.Enqueue])
 	}
 }

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWrapsAndKeepsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{ReqID: i, Kind: Arrive})
+	}
+	if r.Len() != 3 || r.Cap() != 3 || r.Total() != 5 {
+		t.Fatalf("len=%d cap=%d total=%d", r.Len(), r.Cap(), r.Total())
+	}
+	snap := r.Snapshot()
+	for i, want := range []int{2, 3, 4} {
+		if snap[i].ReqID != want {
+			t.Errorf("snap[%d].ReqID = %d, want %d", i, snap[i].ReqID, want)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(10)
+	r.Emit(Event{ReqID: 7})
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].ReqID != 7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, want 1", r.Cap())
+	}
+	r.Emit(Event{ReqID: 1})
+	r.Emit(Event{ReqID: 2})
+	if snap := r.Snapshot(); len(snap) != 1 || snap[0].ReqID != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestNilRingIsNoOp(t *testing.T) {
+	var r *Ring
+	r.Emit(Event{ReqID: 1}) // must not panic
+	if r.Len() != 0 || r.Cap() != 0 || r.Total() != 0 || r.Snapshot() != nil {
+		t.Error("nil ring not inert")
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewRing(4)
+	r.Emit(Event{AtMs: 1, Kind: Arrive, ReqID: 0, Model: "vgg19"})
+	r.Emit(Event{AtMs: 2, Kind: Complete, ReqID: 0, Model: "vgg19"})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.Contains(lines[0], `"arrive"`) || !strings.Contains(lines[1], `"complete"`) {
+		t.Errorf("jsonl = %q", b.String())
+	}
+}
+
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{ReqID: g*100 + i})
+				_ = r.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 || r.Len() != 64 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+}
+
+func TestFanout(t *testing.T) {
+	a, b := New(), NewRing(8)
+	s := Fanout(nil, a, nil, b)
+	s.Emit(Event{ReqID: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("fanout missed a sink: tracer=%d ring=%d", a.Len(), b.Len())
+	}
+	if Fanout(nil, nil) != nil {
+		t.Error("all-nil fanout should collapse to nil")
+	}
+	if one := Fanout(a); one != Sink(a) {
+		t.Error("single-sink fanout should return the sink itself")
+	}
+}

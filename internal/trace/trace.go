@@ -22,6 +22,13 @@ const (
 	Preempt    EventKind = "preempt"
 	Complete   EventKind = "complete"
 	Drop       EventKind = "drop"
+	// Enqueue records a queue insertion decision (Algorithm 1's chosen
+	// position), emitted by sched.Queue when a Sink is attached.
+	Enqueue EventKind = "enqueue"
+	// ElasticOn / ElasticOff mark transitions of the §3.3 elastic mechanism:
+	// ElasticOn means splitting is being suppressed (elastic mode active).
+	ElasticOn  EventKind = "elastic_on"
+	ElasticOff EventKind = "elastic_off"
 )
 
 // Event is one timeline entry.
@@ -34,11 +41,48 @@ type Event struct {
 	Detail string    `json:"detail,omitempty"`
 }
 
+// Sink receives a live stream of trace events. Implementations must be safe
+// for concurrent use when attached to the real-time serving path; the
+// simulators call Emit from a single goroutine. *Tracer and *Ring both
+// implement Sink.
+type Sink interface {
+	Emit(Event)
+}
+
+// Fanout returns a Sink that forwards every event to each non-nil sink, or
+// nil when none remain — callers can attach the result unconditionally.
+func Fanout(sinks ...Sink) Sink {
+	live := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
 // Tracer collects events. A nil *Tracer is a valid no-op sink, so policies
 // can call methods on it unconditionally.
 type Tracer struct {
 	events []Event
 }
+
+// Emit implements Sink by recording the event. No-op on a nil receiver.
+func (t *Tracer) Emit(e Event) { t.Record(e) }
 
 // New returns an empty tracer.
 func New() *Tracer { return &Tracer{} }
