@@ -3,13 +3,18 @@
 COUNT ?= 1
 BENCH ?= .
 
-.PHONY: check test bench fmt
+.PHONY: check test lint bench fmt
 
 check:
 	./scripts/check.sh
 
 test:
 	go test ./...
+
+# Project-native static analysis (see internal/lint): determinism,
+# time-unit, error-wrapping, and lock-discipline rules.
+lint:
+	go run ./cmd/splitlint ./...
 
 # Benchstat-compatible output: run with COUNT=10 and feed two bench.out
 # files from different commits to `benchstat old.out new.out`.

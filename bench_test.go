@@ -313,7 +313,7 @@ func BenchmarkAblationBlockCount(b *testing.B) {
 	}
 	best := rows[0]
 	for _, r := range rows {
-		if r.ExpectedWait < best.ExpectedWait {
+		if r.ExpectedWaitMs < best.ExpectedWaitMs {
 			best = r
 		}
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -175,7 +176,7 @@ func runLoad(out io.Writer, client *serve.Client, intervalMs float64, count int,
 			defer wg.Done()
 			reply, err := client.Infer(m)
 			if err != nil {
-				if err != rpc.ErrShutdown {
+				if !errors.Is(err, rpc.ErrShutdown) {
 					fmt.Fprintln(out, "infer error:", err)
 				}
 				return

@@ -1,0 +1,113 @@
+// Command splitlint runs the project's static-analysis suite (see
+// internal/lint) over every package in the module.
+//
+// Usage:
+//
+//	splitlint [-rules noclock,msunits] [-C dir] [-list] [./...]
+//
+// Exit status: 0 when the tree is clean, 1 when diagnostics were reported,
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"split/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("splitlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	chdir := fs.String("C", "", "run as if started in `dir`")
+	list := fs.Bool("list", false, "list available rules and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: splitlint [flags] [./...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "splitlint: %v\n", err)
+		return 2
+	}
+
+	// The only supported package pattern is the whole module; anything that
+	// is not "./..." (or empty) is a usage error rather than a silent no-op.
+	for _, pat := range fs.Args() {
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "splitlint: unsupported package pattern %q (only ./... is supported)\n", pat)
+			return 2
+		}
+	}
+
+	start := *chdir
+	if start == "" {
+		start, err = os.Getwd()
+		if err != nil {
+			fmt.Fprintf(stderr, "splitlint: %v\n", err)
+			return 2
+		}
+	}
+	root, err := findModuleRoot(start)
+	if err != nil {
+		fmt.Fprintf(stderr, "splitlint: %v\n", err)
+		return 2
+	}
+
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "splitlint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(mod.Packages, analyzers)
+	for _, d := range diags {
+		// Print module-relative paths so output is stable across machines.
+		if rel, relErr := filepath.Rel(root, d.Pos.Filename); relErr == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "splitlint: %d issue(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot ascends from dir to the nearest directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found in or above %s", dir)
+		}
+		dir = parent
+	}
+}

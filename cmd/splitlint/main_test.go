@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRepoIsClean(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-C", "../..", "./...")
+	if code != 0 {
+		t.Fatalf("splitlint on this repo: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no diagnostics, got:\n%s", stdout)
+	}
+}
+
+func TestBadModule(t *testing.T) {
+	code, stdout, _ := runLint(t, "-C", "testdata/badmod")
+	if code != 1 {
+		t.Fatalf("splitlint on badmod: exit %d, want 1\n%s", code, stdout)
+	}
+	for _, want := range []string{
+		"bad.go:11:32: norandglobal:",
+		"bad.go:14:62: errwrap:",
+		"clock.go:7:31: noclock:",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestFindsModuleRootFromSubdir(t *testing.T) {
+	code, stdout, _ := runLint(t, "-C", "testdata/badmod/internal/policy")
+	if code != 1 || !strings.Contains(stdout, "noclock:") {
+		t.Fatalf("exit %d, want 1 with noclock finding\n%s", code, stdout)
+	}
+}
+
+func TestRuleSelection(t *testing.T) {
+	// Only the noclock rule: the norandglobal and errwrap findings vanish.
+	code, stdout, _ := runLint(t, "-C", "testdata/badmod", "-rules", "noclock")
+	if code != 1 || strings.Contains(stdout, "norandglobal") {
+		t.Fatalf("exit %d\n%s", code, stdout)
+	}
+	if strings.Count(stdout, "\n") != 1 {
+		t.Errorf("want exactly the noclock finding:\n%s", stdout)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, stdout, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	for _, rule := range []string{"noclock", "norandglobal", "msunits", "errwrap", "lockdiscipline"} {
+		if !strings.Contains(stdout, rule) {
+			t.Errorf("-list output missing %q:\n%s", rule, stdout)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runLint(t, "-rules", "nosuchrule", "-C", "testdata/badmod"); code != 2 {
+		t.Errorf("unknown rule: exit %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, "-C", "testdata/badmod", "some/pkg"); code != 2 {
+		t.Errorf("unsupported pattern: exit %d, want 2", code)
+	}
+}

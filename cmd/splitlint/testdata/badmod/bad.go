@@ -1,0 +1,14 @@
+// Package badmod is a deliberately violating module: the CLI tests assert
+// splitlint exits non-zero on it and names each finding.
+package badmod
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Jitter draws from the shared global generator.
+func Jitter() float64 { return rand.Float64() }
+
+// Wrap flattens the error chain with %v.
+func Wrap(err error) error { return fmt.Errorf("badmod: %v", err) }

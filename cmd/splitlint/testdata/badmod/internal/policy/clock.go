@@ -1,0 +1,7 @@
+// Package policy reads the wall clock from a virtual-time location.
+package policy
+
+import "time"
+
+// Now reads the wall clock where only float64 ms arguments are allowed.
+func Now() time.Time { return time.Now() }

@@ -107,12 +107,12 @@ func RenderSearchAblation(rows []SearchAblationRow) string {
 
 // EvennessAblationRow compares plan evenness regimes in one scenario.
 type EvennessAblationRow struct {
-	Scenario  workload.Scenario
-	Plan      string
-	MeanRR    float64
-	Viol4     float64
-	MeanWait  float64
-	JitterSMs float64
+	Scenario   workload.Scenario
+	Plan       string
+	MeanRR     float64
+	Viol4      float64
+	MeanWaitMs float64
+	JitterSMs  float64
 }
 
 // EvennessAblation runs SPLIT under three plan regimes — GA (even), a
@@ -165,12 +165,12 @@ func EvennessAblation(cm model.CostModel, seed int64) ([]EvennessAblationRow, er
 			sum := metrics.Summarize(reg.name, recs)
 			jc := metrics.JitterByClass(recs)
 			rows = append(rows, EvennessAblationRow{
-				Scenario:  sc,
-				Plan:      reg.name,
-				MeanRR:    sum.MeanRR,
-				Viol4:     sum.ViolationAt4,
-				MeanWait:  sum.MeanWaitMs,
-				JitterSMs: jc[model.Short],
+				Scenario:   sc,
+				Plan:       reg.name,
+				MeanRR:     sum.MeanRR,
+				Viol4:      sum.ViolationAt4,
+				MeanWaitMs: sum.MeanWaitMs,
+				JitterSMs:  jc[model.Short],
 			})
 		}
 	}
@@ -184,7 +184,7 @@ func RenderEvennessAblation(rows []EvennessAblationRow) string {
 		"scenario", "plan", "meanRR", "viol@4", "wait(ms)", "jitterS")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-12s %-10s %8.2f %7.1f%% %10.2f %10.2f\n",
-			r.Scenario.Name, r.Plan, r.MeanRR, r.Viol4*100, r.MeanWait, r.JitterSMs)
+			r.Scenario.Name, r.Plan, r.MeanRR, r.Viol4*100, r.MeanWaitMs, r.JitterSMs)
 	}
 	return b.String()
 }
@@ -195,11 +195,11 @@ func RenderEvennessAblation(rows []EvennessAblationRow) string {
 
 // ElasticAblationRow compares elastic splitting enabled vs disabled.
 type ElasticAblationRow struct {
-	Scenario workload.Scenario
-	Elastic  bool
-	MeanRR   float64
-	Viol4    float64
-	MeanWait float64
+	Scenario   workload.Scenario
+	Elastic    bool
+	MeanRR     float64
+	Viol4      float64
+	MeanWaitMs float64
 }
 
 // ElasticAblation runs SPLIT with and without §3.3's elastic mechanism on a
@@ -220,11 +220,11 @@ func ElasticAblation(d *Deployment, seed int64) []ElasticAblationRow {
 			recs := sys.Run(arrivals, d.Catalog, nil)
 			sum := metrics.Summarize(sys.Name(), recs)
 			rows = append(rows, ElasticAblationRow{
-				Scenario: sc,
-				Elastic:  elastic,
-				MeanRR:   sum.MeanRR,
-				Viol4:    sum.ViolationAt4,
-				MeanWait: sum.MeanWaitMs,
+				Scenario:   sc,
+				Elastic:    elastic,
+				MeanRR:     sum.MeanRR,
+				Viol4:      sum.ViolationAt4,
+				MeanWaitMs: sum.MeanWaitMs,
 			})
 		}
 	}
@@ -237,7 +237,7 @@ func RenderElasticAblation(rows []ElasticAblationRow) string {
 	fmt.Fprintf(&b, "%-12s %-8s %8s %8s %10s\n", "scenario", "elastic", "meanRR", "viol@4", "wait(ms)")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-12s %-8v %8.2f %7.1f%% %10.2f\n",
-			r.Scenario.Name, r.Elastic, r.MeanRR, r.Viol4*100, r.MeanWait)
+			r.Scenario.Name, r.Elastic, r.MeanRR, r.Viol4*100, r.MeanWaitMs)
 	}
 	return b.String()
 }
@@ -248,12 +248,12 @@ func RenderElasticAblation(rows []ElasticAblationRow) string {
 
 // BlockCountRow is the expected waiting latency at one block count.
 type BlockCountRow struct {
-	Model        string
-	Blocks       int
-	StdDevMs     float64
-	Overhead     float64
-	ExpectedWait float64 // Eq. 1 on the GA plan's block times
-	AnalyticEven float64 // Eq. 1 on perfectly even blocks with mean boundary
+	Model          string
+	Blocks         int
+	StdDevMs       float64
+	Overhead       float64
+	ExpectedWaitMs float64 // Eq. 1 on the GA plan's block times
+	AnalyticEven   float64 // Eq. 1 on perfectly even blocks with mean boundary
 }
 
 // BlockCountSweep runs the GA at m = 1..maxM and evaluates Eq. 1 on every
@@ -274,10 +274,10 @@ func BlockCountSweep(modelName string, maxM int, cm model.CostModel, seed int64)
 	meanBoundary /= float64(g.NumOps() - 1)
 
 	rows := []BlockCountRow{{
-		Model:        modelName,
-		Blocks:       1,
-		ExpectedWait: analytic.ExpectedWait([]float64{total}),
-		AnalyticEven: analytic.EvenWait(total, meanBoundary, 1),
+		Model:          modelName,
+		Blocks:         1,
+		ExpectedWaitMs: analytic.ExpectedWait([]float64{total}),
+		AnalyticEven:   analytic.EvenWait(total, meanBoundary, 1),
 	}}
 	for m := 2; m <= maxM; m++ {
 		cfg := ga.DefaultConfig(m)
@@ -287,12 +287,12 @@ func BlockCountSweep(modelName string, maxM int, cm model.CostModel, seed int64)
 			return nil, err
 		}
 		rows = append(rows, BlockCountRow{
-			Model:        modelName,
-			Blocks:       m,
-			StdDevMs:     res.Best.StdDevMs,
-			Overhead:     res.Best.Overhead,
-			ExpectedWait: analytic.ExpectedWait(res.Best.BlockTimesMs),
-			AnalyticEven: analytic.EvenWait(total, meanBoundary, m),
+			Model:          modelName,
+			Blocks:         m,
+			StdDevMs:       res.Best.StdDevMs,
+			Overhead:       res.Best.Overhead,
+			ExpectedWaitMs: analytic.ExpectedWait(res.Best.BlockTimesMs),
+			AnalyticEven:   analytic.EvenWait(total, meanBoundary, m),
 		})
 	}
 	return rows, nil
@@ -305,7 +305,7 @@ func RenderBlockCountSweep(rows []BlockCountRow) string {
 		"model", "blocks", "std(ms)", "overhead", "E[wait] GA", "E[wait] even")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-10s %6d %9.3f %8.1f%% %12.3f %12.3f\n",
-			r.Model, r.Blocks, r.StdDevMs, r.Overhead*100, r.ExpectedWait, r.AnalyticEven)
+			r.Model, r.Blocks, r.StdDevMs, r.Overhead*100, r.ExpectedWaitMs, r.AnalyticEven)
 	}
 	return b.String()
 }

@@ -468,8 +468,8 @@ func TestBlockCountSweepInteriorOptimum(t *testing.T) {
 	}
 	// Splitting helps: expected wait at the GA plan beats unsplit for m=2..4.
 	for _, r := range rows[1:4] {
-		if r.ExpectedWait >= rows[0].ExpectedWait {
-			t.Errorf("m=%d: expected wait %v not below unsplit %v", r.Blocks, r.ExpectedWait, rows[0].ExpectedWait)
+		if r.ExpectedWaitMs >= rows[0].ExpectedWaitMs {
+			t.Errorf("m=%d: expected wait %v not below unsplit %v", r.Blocks, r.ExpectedWaitMs, rows[0].ExpectedWaitMs)
 		}
 	}
 	if RenderBlockCountSweep(rows) == "" {

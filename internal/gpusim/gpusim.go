@@ -39,25 +39,25 @@ func (s *Sim) Now() float64 { return s.now }
 // Processed returns the number of events executed so far.
 func (s *Sim) Processed() int { return s.processed }
 
-// At schedules fn to run at absolute time at (>= Now). Scheduling in the
+// At schedules fn to run at absolute time atMs (>= Now). Scheduling in the
 // past panics: it always indicates a policy bug.
-func (s *Sim) At(at float64, fn func(now float64)) {
-	if at < s.now-1e-9 {
-		panic(fmt.Sprintf("gpusim: scheduling event at %.6f before now %.6f", at, s.now))
+func (s *Sim) At(atMs float64, fn func(now float64)) {
+	if atMs < s.now-1e-9 {
+		panic(fmt.Sprintf("gpusim: scheduling event at %.6f before now %.6f", atMs, s.now))
 	}
-	if math.IsNaN(at) || math.IsInf(at, 0) {
-		panic(fmt.Sprintf("gpusim: invalid event time %v", at))
+	if math.IsNaN(atMs) || math.IsInf(atMs, 0) {
+		panic(fmt.Sprintf("gpusim: invalid event time %v", atMs))
 	}
-	if at < s.now {
-		at = s.now
+	if atMs < s.now {
+		atMs = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	heap.Push(&s.events, &event{at: atMs, seq: s.seq, fn: fn})
 }
 
-// After schedules fn to run delay milliseconds from now.
-func (s *Sim) After(delay float64, fn func(now float64)) {
-	s.At(s.now+delay, fn)
+// After schedules fn to run delayMs milliseconds from now.
+func (s *Sim) After(delayMs float64, fn func(now float64)) {
+	s.At(s.now+delayMs, fn)
 }
 
 // Run executes events until the queue is empty and returns the final time.

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata golden files")
+
+// goldenCases pairs each testdata package with the module location it
+// simulates and the rules it exercises. Loading the same source at a
+// different import path is how the path-scoped rules get negative coverage.
+var goldenCases = []struct {
+	name       string
+	dir        string
+	importPath string
+	rules      string
+	golden     string
+}{
+	{"noclock", "noclock", "split/internal/policy", "noclock", "expect.txt"},
+	{"noclock-allowed", "noclock", "split/cmd/splitd", "noclock", "expect_allowed.txt"},
+	{"norandglobal", "norandglobal", "split/internal/workload", "norandglobal", "expect.txt"},
+	{"msunits", "msunits", "split/internal/core", "msunits", "expect.txt"},
+	{"errwrap", "errwrap", "split/internal/metrics", "errwrap", "expect.txt"},
+	{"lockdiscipline", "lockdiscipline", "split/internal/serve", "lockdiscipline", "expect.txt"},
+	{"lockdiscipline-out-of-scope", "lockdiscipline", "split/internal/sched", "lockdiscipline", "expect_out_of_scope.txt"},
+	{"ignore", "ignore", "split/internal/workload", "norandglobal", "expect.txt"},
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			p, err := LoadPackage(dir, "split", tc.importPath)
+			if err != nil {
+				t.Fatalf("LoadPackage(%s): %v", dir, err)
+			}
+			analyzers, err := ByName(tc.rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, d := range Run([]*Package{p}, analyzers) {
+				d.Pos.Filename = filepath.Base(d.Pos.Filename)
+				fmt.Fprintln(&b, d.String())
+			}
+			got := b.String()
+			goldenPath := filepath.Join(dir, tc.golden)
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/lint -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestLoadModule loads the real module and checks the suite passes on it:
+// the tree is swept clean, and staying clean is part of `make check`.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(mod.Packages) < 20 {
+		t.Fatalf("loaded only %d packages, expected the whole module", len(mod.Packages))
+	}
+	for _, d := range Run(mod.Packages, All()) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("noclock, errwrap")
+	if err != nil || len(two) != 2 || two[0].Name != "noclock" || two[1].Name != "errwrap" {
+		t.Fatalf("ByName(\"noclock, errwrap\") = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuchrule"); err == nil {
+		t.Fatal("ByName(\"nosuchrule\") did not fail")
+	}
+}
+
+func TestSplitCamel(t *testing.T) {
+	cases := map[string][]string{
+		"StartupDelay": {"Startup", "Delay"},
+		"WarmupMs":     {"Warmup", "Ms"},
+		"UptimeS":      {"Uptime", "S"},
+		"e2eMs":        {"e2e", "Ms"},
+		"alpha":        {"alpha"},
+		"MeanRR":       {"Mean", "RR"},
+	}
+	for in, want := range cases {
+		got := splitCamel(in)
+		if len(got) != len(want) {
+			t.Errorf("splitCamel(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("splitCamel(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+}

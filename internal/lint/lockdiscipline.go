@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockdiscipline guards the concurrent serving path against the deadlock
+// class that instrumentation hooks open up: while a sync.Mutex is held in
+// internal/serve or internal/obs, no control may escape to code the lock
+// owner does not control. Concretely, with a mutex held it flags
+//
+//   - channel sends (a full or unbuffered channel blocks the lock owner),
+//   - calls to any Emit method (trace.Sink callbacks take their own locks
+//     and may call back into the server), directly or through a local
+//     helper that (transitively) emits or sends, and
+//   - calls through function-typed values (caller-supplied closures run
+//     arbitrary code under the lock).
+//
+// The fix is the buffer-and-flush pattern: record work under the lock,
+// release it, then emit/send/call.
+var Lockdiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no channel send, sink callback, or function-value call while a mutex is held in serve/obs",
+	Run:  runLockdiscipline,
+}
+
+func runLockdiscipline(p *Package, report ReportFunc) {
+	if p.Rel != "internal/serve" && p.Rel != "internal/obs" {
+		return
+	}
+	unsafe := escapingFuncs(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s := &lockScanner{p: p, report: report, unsafe: unsafe}
+			s.scanStmts(fd.Body.List, map[string]bool{})
+		}
+	}
+}
+
+// escapingFuncs computes the package-level functions that send on a
+// channel or call an Emit method, directly or transitively through other
+// local functions — calling one with a lock held is as bad as inlining it.
+// Goroutine launches and function literals are excluded: their bodies do
+// not run synchronously under the caller's lock (a stored closure that is
+// later *called* under a lock is caught at that call site instead).
+func escapingFuncs(p *Package) map[*types.Func]string {
+	reason := map[*types.Func]string{}
+	bodies := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			bodies[fn] = fd
+			syncInspect(fd.Body, func(n ast.Node) {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					reason[fn] = "sends on a channel"
+				case *ast.CallExpr:
+					if callee := calleeFunc(p.Info, n); isEmitMethod(callee) {
+						reason[fn] = "calls " + callee.Name()
+					}
+				}
+			})
+		}
+	}
+	// Propagate through local calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range bodies {
+			if _, done := reason[fn]; done {
+				continue
+			}
+			syncInspect(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				callee := calleeFunc(p.Info, call)
+				if callee == nil || callee.Pkg() != p.Types {
+					return
+				}
+				if r, bad := reason[callee]; bad {
+					if _, done := reason[fn]; !done {
+						reason[fn] = fmt.Sprintf("calls %s, which %s", callee.Name(), r)
+						changed = true
+					}
+				}
+			})
+		}
+	}
+	return reason
+}
+
+// syncInspect walks root like ast.Inspect but skips the bodies of
+// goroutine launches and function literals — code that does not run
+// synchronously in the enclosing function.
+func syncInspect(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case nil:
+			return true
+		}
+		fn(n)
+		return true
+	})
+}
+
+// isEmitMethod reports whether fn is a method named Emit.
+func isEmitMethod(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Emit" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// lockScanner tracks which mutexes are held through a linear walk of a
+// function body. It is a small abstract interpreter: branches fork the
+// held-set and merge with a union (held on any live path counts), paths
+// ending in return/branch statements drop out of the merge.
+type lockScanner struct {
+	p      *Package
+	report ReportFunc
+	unsafe map[*types.Func]string
+}
+
+// scanStmts processes a statement list with the given held-set and returns
+// the resulting held-set and whether the path terminated (return/branch).
+func (s *lockScanner) scanStmts(stmts []ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		held, terminated = s.scanStmt(stmt, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *lockScanner) scanStmt(stmt ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, locks, ok := s.lockOp(st.X); ok {
+			held = copySet(held)
+			if locks {
+				held[key] = true
+			} else {
+				delete(held, key)
+			}
+			return held, false
+		}
+		s.checkExpr(st.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the body,
+		// which is exactly what the current held-set already says; other
+		// deferred calls run at return time and are not checked.
+		if _, _, ok := s.lockOp(st.Call); ok {
+			return held, false
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			s.report(st.Pos(), "channel send with %s held: a blocked receiver deadlocks the lock owner; buffer and send after unlocking", heldNames(held))
+		}
+		s.checkExpr(st.Chan, held)
+		s.checkExpr(st.Value, held)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s.checkExpr(r, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return s.scanStmts(st.List, held)
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.scanStmt(st.Init, held)
+		}
+		s.checkExpr(st.Cond, held)
+		thenOut, thenTerm := s.scanStmts(st.Body.List, copySet(held))
+		elseOut, elseTerm := copySet(held), false
+		if st.Else != nil {
+			elseOut, elseTerm = s.scanStmt(st.Else, copySet(held))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return union(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.scanStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.checkExpr(st.Cond, held)
+		}
+		bodyOut, _ := s.scanStmts(st.Body.List, copySet(held))
+		if st.Post != nil {
+			s.scanStmt(st.Post, bodyOut)
+		}
+		return union(held, bodyOut), false
+	case *ast.RangeStmt:
+		s.checkExpr(st.X, held)
+		bodyOut, _ := s.scanStmts(st.Body.List, copySet(held))
+		return union(held, bodyOut), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return s.scanCases(st, held)
+	case *ast.GoStmt:
+		// The launched goroutine does not hold the caller's locks; its
+		// argument expressions are evaluated now, though.
+		for _, a := range st.Call.Args {
+			s.checkExpr(a, held)
+		}
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt:
+		s.checkExpr(stmt, held)
+	default:
+		s.checkExpr(stmt, held)
+	}
+	return held, false
+}
+
+// scanCases handles switch/select statements: every case forks from the
+// same entry state; the merge is the union of non-terminated outcomes.
+func (s *lockScanner) scanCases(stmt ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	var body *ast.BlockStmt
+	switch st := stmt.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.scanStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.checkExpr(st.Tag, held)
+		}
+		body = st.Body
+	case *ast.TypeSwitchStmt:
+		body = st.Body
+	case *ast.SelectStmt:
+		body = st.Body
+	}
+	out := copySet(held)
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			if send, ok := c.Comm.(*ast.SendStmt); ok && len(held) > 0 {
+				s.report(send.Pos(), "select-case channel send with %s held: a blocked receiver deadlocks the lock owner", heldNames(held))
+			}
+			stmts = c.Body
+		}
+		caseOut, term := s.scanStmts(stmts, copySet(held))
+		if !term {
+			out = union(out, caseOut)
+		}
+	}
+	return out, false
+}
+
+// checkExpr flags escaping calls in an expression subtree evaluated with
+// the given held-set. Function-literal bodies are skipped: they run when
+// called, and any synchronous call of one is flagged at that call.
+func (s *lockScanner) checkExpr(n ast.Node, held map[string]bool) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	syncInspect(n, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		s.checkCall(call, held)
+	})
+}
+
+func (s *lockScanner) checkCall(call *ast.CallExpr, held map[string]bool) {
+	if fn := calleeFunc(s.p.Info, call); fn != nil {
+		if isEmitMethod(fn) {
+			s.report(call.Pos(), "sink %s called with %s held: the sink takes its own locks and may call back; buffer events and flush after unlocking", fn.Name(), heldNames(held))
+			return
+		}
+		if r, bad := s.unsafe[fn]; bad && fn.Pkg() == s.p.Types {
+			s.report(call.Pos(), "%s called with %s held: it %s; buffer under the lock and flush after unlocking", fn.Name(), heldNames(held), r)
+		}
+		return
+	}
+	// Dynamic call: a function-typed variable, parameter, or field.
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	if v, ok := s.p.Info.Uses[id].(*types.Var); ok {
+		if _, isSig := v.Type().Underlying().(*types.Signature); isSig {
+			s.report(call.Pos(), "function value %s called with %s held: caller-supplied code must not run under the lock", id.Name, heldNames(held))
+		}
+	}
+}
+
+// lockOp recognizes x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() on a
+// sync.Mutex or sync.RWMutex and returns the mutex key and whether the
+// call acquires it.
+func (s *lockScanner) lockOp(e ast.Expr) (key string, locks, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	fn, isFn := s.p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locks, true
+}
+
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func copySet(set map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(set))
+	for k := range set {
+		out[k] = true
+	}
+	return out
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := copySet(a)
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

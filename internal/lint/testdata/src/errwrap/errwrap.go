@@ -1,0 +1,43 @@
+// Package errwrap exercises the errwrap rule: fmt.Errorf must wrap error
+// operands with %w, and sentinel errors must be tested with errors.Is.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrNotReady is a package-level sentinel.
+var ErrNotReady = errors.New("not ready")
+
+// Flatten formats an error with %v, severing the chain.
+func Flatten(err error) error {
+	return fmt.Errorf("loading config: %v", err)
+}
+
+// Wrap uses %w: callers can still errors.Is through it.
+func Wrap(err error) error {
+	return fmt.Errorf("loading config: %w", err)
+}
+
+// Compare tests a sentinel with ==, which breaks on wrapped errors.
+func Compare(err error) bool {
+	if err == ErrNotReady {
+		return false
+	}
+	return err != io.EOF
+}
+
+// CompareIs is the sanctioned form.
+func CompareIs(err error) bool {
+	return errors.Is(err, ErrNotReady) || errors.Is(err, io.EOF)
+}
+
+// Message only renders: %v on an error outside fmt.Errorf is fine.
+func Message(err error) string {
+	return fmt.Sprintf("failed: %v", err)
+}
+
+// NilChecks compare against nil, not a sentinel.
+func NilChecks(err error) bool { return err != nil }

@@ -1,0 +1,36 @@
+// Package msunits exercises the msunits rule: time-valued float64 names
+// must carry a unit suffix, and time.Duration must not silently mix into
+// millisecond-float arithmetic.
+package msunits
+
+import "time"
+
+// Config exercises the naming half on exported struct fields.
+type Config struct {
+	StartupDelay float64 // violation: reads as a time, names no unit
+	WarmupMs     float64 // ok: Ms suffix
+	UptimeS      float64 // ok: seconds at an API edge
+	Scale        float64 // ok: not a time word
+	nextWait     float64 // ok: unexported
+	BlockTimesMs []float64
+}
+
+// Wait exercises parameters of exported functions.
+func Wait(timeout float64, retries int) float64 {
+	_ = retries
+	return timeout
+}
+
+// internalWait is unexported, so its parameter names are its own business.
+func internalWait(delay float64) float64 { return delay }
+
+// Convert exercises the Duration-mixing half.
+func Convert(ms float64, d time.Duration) (time.Duration, float64) {
+	bad := time.Duration(ms)
+	good := time.Duration(ms * float64(time.Millisecond))
+	badF := float64(d)
+	goodF := float64(d) / float64(time.Millisecond)
+	_ = good
+	_ = goodF
+	return bad, badF
+}

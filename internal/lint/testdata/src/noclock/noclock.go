@@ -1,0 +1,25 @@
+// Package noclock exercises the noclock rule. The golden test loads it as
+// split/internal/policy (a virtual-time package, where clock reads are
+// violations) and again as split/cmd/splitd (a real-time binary, where the
+// same code is legal).
+package noclock
+
+import "time"
+
+// Bad reads and waits on the wall clock from scheduling code.
+func Bad() float64 {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// Ticker builds clock-driven machinery.
+func Ticker() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+// UnitsAreFine uses the time package only for its data types and unit
+// constants, which stay legal everywhere.
+func UnitsAreFine(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

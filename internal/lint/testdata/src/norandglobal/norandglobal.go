@@ -1,0 +1,26 @@
+// Package norandglobal exercises the norandglobal rule: draws from the
+// globally shared math/rand generator versus an injected seeded *rand.Rand.
+package norandglobal
+
+import "math/rand"
+
+// Draw pulls from the shared global generator twice.
+func Draw() (int, float64) {
+	return rand.Intn(10), rand.Float64()
+}
+
+// Shuffle also touches global state.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Seeded threads an injected generator: the sanctioned pattern.
+func Seeded(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// Build constructs an explicitly seeded generator, which is what the
+// constructor allowlist exists for.
+func Build(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -183,8 +183,11 @@ func labelKey(labels []string) string {
 }
 
 // lookup finds or creates the series for name+labels, enforcing kind
-// consistency per family.
-func (r *Registry) lookup(name, help string, kind metricKind, labels []string, make func() any) any {
+// consistency per family. candidate is the eagerly-built series value used
+// when the key is new — building it outside the registration path is cheap
+// (registration is not the hot path) and keeps arbitrary construction code
+// from running under r.mu.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, candidate any) any {
 	key := labelKey(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -197,7 +200,7 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []string, m
 	}
 	m := f.series[key]
 	if m == nil {
-		m = make()
+		m = candidate
 		f.series[key] = m
 	}
 	return m
@@ -206,18 +209,18 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []string, m
 // Counter returns the counter for name+labels, creating it on first use.
 // Labels are alternating key, value strings.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	return r.lookup(name, help, kindCounter, labels, func() any { return &Counter{} }).(*Counter)
+	return r.lookup(name, help, kindCounter, labels, &Counter{}).(*Counter)
 }
 
 // Gauge returns the gauge for name+labels, creating it on first use.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	return r.lookup(name, help, kindGauge, labels, func() any { return &Gauge{} }).(*Gauge)
+	return r.lookup(name, help, kindGauge, labels, &Gauge{}).(*Gauge)
 }
 
 // Histogram returns the histogram for name+labels, creating it on first
 // use with the given bucket upper bounds.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
-	return r.lookup(name, help, kindHistogram, labels, func() any { return newHistogram(buckets) }).(*Histogram)
+	return r.lookup(name, help, kindHistogram, labels, newHistogram(buckets)).(*Histogram)
 }
 
 // formatValue renders a float without exponent noise for round numbers.

@@ -55,3 +55,94 @@ func FuzzInsertGreedy(f *testing.F) {
 		}
 	})
 }
+
+// FuzzQueueLifecycle drives the full serving loop — arrivals interleaved
+// with block executions and block-boundary re-inserts (preemption points) —
+// and checks the lifecycle invariants after every operation: no request is
+// lost or duplicated, committed blocks only accumulate (Next is monotone,
+// never past the plan length), finished requests never re-enter the queue,
+// and same-task requests stay FIFO through arbitrary preemption.
+func FuzzQueueLifecycle(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(4), false)
+	f.Add([]byte{2, 9, 2, 9, 2, 9, 2, 9, 2}, uint8(1), true)
+	f.Add([]byte{255, 0, 255, 0, 128, 64, 32}, uint8(8), false)
+	f.Fuzz(func(t *testing.T, ops []byte, alphaRaw uint8, guard bool) {
+		if len(ops) > 96 {
+			ops = ops[:96]
+		}
+		alpha := 1 + float64(alphaRaw%10)
+		q := NewQueue(alpha)
+		if guard {
+			q.StarveGuardRR = 6
+		}
+		models := []string{"a", "b", "c"}
+		exts := []float64{12.6, 28.35, 67.5}
+		splits := []int{1, 2, 3}
+		now := 0.0
+		nextID := 0
+		completed := 0
+		committed := map[int]int{} // request ID -> highest Next observed
+		check := func(op byte) {
+			if q.Len()+completed != nextID {
+				t.Fatalf("op %d: conservation broken: %d queued + %d completed != %d inserted",
+					op, q.Len(), completed, nextID)
+			}
+			lastArrive := map[string]float64{}
+			for i := 0; i < q.Len(); i++ {
+				r := q.At(i)
+				if r.Next < 0 || r.Next >= len(r.BlockTimes) {
+					t.Fatalf("queued request %d has Next=%d of %d blocks", r.ID, r.Next, len(r.BlockTimes))
+				}
+				if r.Next < committed[r.ID] {
+					t.Fatalf("request %d lost committed blocks: Next=%d, was %d", r.ID, r.Next, committed[r.ID])
+				}
+				if r.DoneMs >= 0 {
+					t.Fatalf("finished request %d is queued", r.ID)
+				}
+				if prev, ok := lastArrive[r.Model]; ok && r.ArriveMs < prev {
+					t.Fatalf("same-task FIFO violated for %s at position %d", r.Model, i)
+				}
+				lastArrive[r.Model] = r.ArriveMs
+			}
+		}
+		for _, op := range ops {
+			now += float64(op%5) + 0.25
+			if op%2 == 0 || q.Len() == 0 {
+				// Arrival: wrap a request with the model's split plan.
+				k := int(op>>1) % len(models)
+				m := splits[k]
+				bt := make([]float64, m)
+				for j := range bt {
+					bt[j] = exts[k]/float64(m) + 0.9
+				}
+				r := NewRequest(nextID, models[k], model.Short, now, exts[k], bt)
+				nextID++
+				pos := q.InsertGreedy(now, r)
+				if pos < 0 || pos >= q.Len() || q.At(pos) != r {
+					t.Fatalf("bad insert position %d (len %d)", pos, q.Len())
+				}
+			} else {
+				// Execute the head's next block, then re-insert at the block
+				// boundary (the preemption point) or complete.
+				r := q.PopFront()
+				if r.StartMs < 0 {
+					r.StartMs = now
+				}
+				now += r.BlockTimes[r.Next]
+				r.Next++
+				if r.Next < committed[r.ID] || r.Next > len(r.BlockTimes) {
+					t.Fatalf("request %d committed-block corruption: Next=%d, was %d of %d",
+						r.ID, r.Next, committed[r.ID], len(r.BlockTimes))
+				}
+				committed[r.ID] = r.Next
+				if r.Finished() {
+					r.DoneMs = now
+					completed++
+				} else {
+					q.InsertGreedy(now, r)
+				}
+			}
+			check(op)
+		}
+	})
+}

@@ -220,14 +220,17 @@ func (q *Queue) TotalRemainingMs() float64 {
 //
 // The FIFO rule is keyed on arrival order, not bare type equality: a
 // partially-executed request that re-enters the queue at a block boundary
-// must still precede same-task requests that arrived after it.
+// must still precede same-task requests that arrived after it. That
+// constraint is hard — the scan starts at the FIFO ceiling rather than the
+// back of the queue, so a rejected greedy swap or a starve-guard barrier
+// between them can never strand r behind a later same-task arrival.
 //
 // nowMs is retained in the signature because the same entry point serves the
 // instrumented variant (InsertGreedyExplain) and real-time callers that log
 // predicted ratios at decision time. It returns the chosen position
 // (0 = front).
 func (q *Queue) InsertGreedy(nowMs float64, r *Request) int {
-	pos := len(q.reqs)
+	pos := q.fifoCeiling(r)
 	for pos > 0 {
 		ahead := q.reqs[pos-1]
 		if ahead.Model == r.Model {
@@ -263,6 +266,24 @@ func (q *Queue) emitEnqueue(nowMs float64, r *Request, pos int) {
 		Block:  r.Next,
 		Detail: fmt.Sprintf("pos=%d depth=%d", pos, len(q.reqs)),
 	})
+}
+
+// fifoCeiling returns the highest insertion index that keeps r ahead of
+// every same-task request that arrived after it. For fresh arrivals this is
+// the queue length (no constraint); for block-boundary re-inserts it caps
+// the start of the bubbling scan, because the FIFO rule is a hard
+// constraint while the greedy comparison and the starve guard are only
+// ordering preferences. Same-task requests already in the queue are in
+// arrival order, so everything skipped over by the cap is either from
+// another task or a same-task later arrival — never a same-task earlier
+// arrival that FIFO would forbid passing.
+func (q *Queue) fifoCeiling(r *Request) int {
+	for i, ahead := range q.reqs {
+		if ahead.Model == r.Model && ahead.ArriveMs > r.ArriveMs {
+			return i
+		}
+	}
+	return len(q.reqs)
 }
 
 // swapBeneficial reports whether moving `behind` ahead of `ahead` strictly
@@ -304,9 +325,13 @@ type Decision struct {
 // neighbor at time nowMs.
 func (q *Queue) InsertGreedyExplain(nowMs float64, r *Request) (int, []Decision) {
 	var decisions []Decision
-	// Waiting time seen by r at the back of the queue.
-	waiting := q.TotalRemainingMs()
-	pos := len(q.reqs)
+	// Waiting time seen by r at its FIFO ceiling (the back of the queue for
+	// fresh arrivals; possibly further forward for re-inserts).
+	pos := q.fifoCeiling(r)
+	waiting := 0.0
+	for _, ahead := range q.reqs[:pos] {
+		waiting += ahead.RemainingMs()
+	}
 	for pos > 0 {
 		ahead := q.reqs[pos-1]
 		d := Decision{

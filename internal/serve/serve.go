@@ -96,6 +96,12 @@ type Server struct {
 	// perModel accumulates QoS aggregates per model since start.
 	perModel map[string]*modelAgg
 
+	// pending buffers trace events recorded while s.mu is held. The sink is
+	// caller-supplied code that may take its own locks or call back into the
+	// server, so events are flushed to Config.Sink only after s.mu is
+	// released (the queue's own emissions are routed here via queueSink).
+	pending []trace.Event
+
 	// met holds cached metric handles (nil when Config.Obs is nil); qos is
 	// the rolling online estimator and always exists.
 	met *serveMetrics
@@ -124,7 +130,9 @@ func NewServer(cfg Config) (*Server, error) {
 		perModel: make(map[string]*modelAgg),
 		qos:      obs.NewRollingQoS(cfg.Alpha, cfg.QoSWindow),
 	}
-	s.queue.Sink = cfg.Sink
+	if cfg.Sink != nil {
+		s.queue.Sink = queueSink{s}
+	}
 	if cfg.Obs != nil {
 		s.met = newServeMetrics(cfg.Obs, cfg.Catalog)
 	}
@@ -173,9 +181,32 @@ func newServeMetrics(reg *obs.Registry, catalog policy.Catalog) *serveMetrics {
 	return m
 }
 
-// emit forwards a live event to the configured sink, if any.
+// emit records a live event for the configured sink, if any. Caller holds
+// s.mu; the event reaches the sink at the next takePending/flush pair.
 func (s *Server) emit(e trace.Event) {
 	if s.cfg.Sink != nil {
+		s.pending = append(s.pending, e)
+	}
+}
+
+// queueSink adapts the scheduler queue's event stream (enqueue positions,
+// explain details) into the server's pending buffer: the queue is only ever
+// mutated with s.mu held, so its emissions must be buffered too.
+type queueSink struct{ s *Server }
+
+func (qs queueSink) Emit(e trace.Event) { qs.s.pending = append(qs.s.pending, e) }
+
+// takePending hands the buffered events to the caller and resets the
+// buffer. Caller holds s.mu and flushes the returned slice after unlocking.
+func (s *Server) takePending() []trace.Event {
+	evs := s.pending
+	s.pending = nil
+	return evs
+}
+
+// flush forwards buffered events to the sink. Caller must NOT hold s.mu.
+func (s *Server) flush(evs []trace.Event) {
+	for _, e := range evs {
 		s.cfg.Sink.Emit(e)
 	}
 }
@@ -271,13 +302,13 @@ func (s *Server) acceptLoop() {
 // device token to the queue head and executes that request's next block.
 func (s *Server) executor() {
 	defer s.wg.Done()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for {
+		s.mu.Lock()
 		for !s.closed && s.queue.Len() == 0 {
 			s.cond.Wait()
 		}
 		if s.closed {
+			s.mu.Unlock()
 			return
 		}
 		r := s.queue.PopFront()
@@ -293,10 +324,16 @@ func (s *Server) executor() {
 			s.met.queueDepth.SetInt(s.queue.Len())
 		}
 		s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: r.ID, Model: r.Model, Block: block})
+		evs := s.takePending()
 		s.mu.Unlock()
+		s.flush(evs)
 
 		time.Sleep(time.Duration(dur * s.cfg.TimeScale * float64(time.Millisecond)))
 
+		// doneCh, when set, delivers the completed request to its waiting
+		// Responder — after the lock is dropped, since the channel send may
+		// block until the RPC goroutine is scheduled.
+		var doneCh chan *sched.Request
 		s.mu.Lock()
 		s.busy = false
 		now = s.nowMs()
@@ -324,7 +361,7 @@ func (s *Server) executor() {
 			s.emit(trace.Event{AtMs: now, Kind: trace.Complete, ReqID: r.ID, Model: r.Model,
 				Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
 			if ch, ok := s.waiters[r.ID]; ok {
-				ch <- r
+				doneCh = ch
 				delete(s.waiters, r.ID)
 			}
 		} else {
@@ -339,6 +376,12 @@ func (s *Server) executor() {
 			if s.met != nil {
 				s.met.queueDepth.SetInt(s.queue.Len())
 			}
+		}
+		evs = s.takePending()
+		s.mu.Unlock()
+		s.flush(evs)
+		if doneCh != nil {
+			doneCh <- r
 		}
 	}
 }
@@ -370,7 +413,15 @@ func (s *Server) observeCompletion(r *sched.Request, rr float64) {
 // causes.
 func (s *Server) enqueue(modelName string) (chan *sched.Request, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	ch, err := s.enqueueLocked(modelName)
+	evs := s.takePending()
+	s.mu.Unlock()
+	s.flush(evs)
+	return ch, err
+}
+
+// enqueueLocked is the body of enqueue. Caller holds s.mu.
+func (s *Server) enqueueLocked(modelName string) (chan *sched.Request, error) {
 	now := s.nowMs()
 	if s.closed {
 		s.drop(now, modelName, DropStopped)

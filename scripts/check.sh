@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate: formatting, vet, build, and the full test suite under the
-# race detector. Run before every commit (`make check`).
+# Tier-1 gate: formatting (including simplifications), vet, the project's
+# own static-analysis suite (splitlint), build, and the full test suite
+# under the race detector. Run before every commit (`make check`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
 
 go vet ./...
 go build ./...
+go run ./cmd/splitlint ./...
 go test -race ./...
 echo "check: ok"
