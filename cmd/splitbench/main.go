@@ -11,7 +11,7 @@
 //	splitbench -fig3
 //	splitbench -table2
 //	splitbench -summary
-//	splitbench -ablation search|evenness|elastic|blocks|init|starvation
+//	splitbench -ablation search|evenness|elastic|blocks|init|starvation|burstiness|shedding
 package main
 
 import (
@@ -45,7 +45,7 @@ func run(args []string, out io.Writer) error {
 		table2   = fs.Bool("table2", false, "print Table 2 scenarios")
 		stab     = fs.Bool("stability", false, "print the §5.1 hardware-tolerance stability sweep")
 		summary  = fs.Bool("summary", false, "print per-scenario QoS summaries")
-		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness")
+		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness|shedding")
 		systems  = fs.String("systems", "", "comma-separated system list for -fig6/-fig7/-summary (default: the paper's four; add REEF or Stream-Parallel here)")
 		seeds    = fs.Int("seeds", 1, "replications for -fig6/-fig7; >1 reports mean±std over seeds")
 		seed     = fs.Int64("seed", 1, "workload seed")
@@ -69,7 +69,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab ||
-		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness"
+		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness" ||
+		*ablation == "shedding"
 	var dep *core.Deployment
 	if needDeploy {
 		var err error
@@ -157,6 +158,9 @@ func run(args []string, out io.Writer) error {
 	case "burstiness":
 		ran = true
 		fmt.Fprint(out, core.RenderBurstinessAblation(core.BurstinessAblation(dep, *seed)))
+	case "shedding":
+		ran = true
+		fmt.Fprint(out, core.RenderSheddingAblation(core.SheddingAblation(dep, *seed)))
 	case "init":
 		ran = true
 		rows, err := core.InitAblation(cm, *seed)

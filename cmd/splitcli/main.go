@@ -5,6 +5,8 @@
 // Usage:
 //
 //	splitcli -addr 127.0.0.1:7100 -model yolov2
+//	splitcli -addr 127.0.0.1:7100 -model yolov2 -deadline 250
+//	splitcli -addr 127.0.0.1:7100 -cancel-after 10 -model vgg19
 //	splitcli -addr 127.0.0.1:7100 -load -interval 150 -count 100 -timescale 0.1
 //	splitcli -addr 127.0.0.1:7100 -stats
 //	splitcli -addr 127.0.0.1:7100 -list
@@ -43,6 +45,8 @@ func run(args []string, out io.Writer) error {
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7100", "server address")
 		modelName = fs.String("model", "", "send one request for this model")
+		deadline  = fs.Float64("deadline", 0, "per-request deadline in simulated ms (0 = server policy)")
+		cancelAt  = fs.Float64("cancel-after", 0, "submit -model asynchronously and cancel it after this many wall ms")
 		load      = fs.Bool("load", false, "generate Poisson load across the benchmark models")
 		interval  = fs.Float64("interval", 150, "per-task mean arrival interval in simulated ms for -load")
 		count     = fs.Int("count", 50, "request count for -load")
@@ -65,9 +69,28 @@ func run(args []string, out io.Writer) error {
 	defer client.Close()
 	ran := false
 
-	if *modelName != "" {
+	if *modelName != "" && *cancelAt > 0 {
+		// Submit/Cancel/Wait exercise the asynchronous lifecycle: the request
+		// is canceled mid-flight and the Wait reports how it ended.
 		ran = true
-		reply, err := client.Infer(*modelName)
+		id, err := client.Submit(*modelName, *deadline)
+		if err != nil {
+			return err
+		}
+		time.Sleep(time.Duration(*cancelAt * float64(time.Millisecond)))
+		state, err := client.Cancel(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cancel req %d: %s\n", id, state)
+		if reply, err := client.Wait(id); err != nil {
+			fmt.Fprintf(out, "req %d outcome: %v\n", id, err)
+		} else {
+			printReply(out, reply)
+		}
+	} else if *modelName != "" {
+		ran = true
+		reply, err := client.InferDeadline(*modelName, *deadline)
 		if err != nil {
 			return err
 		}
@@ -75,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if *load {
 		ran = true
-		if err := runLoad(out, client, *interval, *count, *timescale, *seed); err != nil {
+		if err := runLoad(out, client, *interval, *count, *timescale, *seed, *deadline); err != nil {
 			return err
 		}
 	}
@@ -140,8 +163,9 @@ func printReply(out io.Writer, r serve.InferReply) {
 }
 
 // runLoad fires count requests following per-model Poisson processes (the
-// paper's workload) and prints aggregate QoS on completion.
-func runLoad(out io.Writer, client *serve.Client, intervalMs float64, count int, timescale float64, seed int64) error {
+// paper's workload) and prints aggregate QoS on completion, separating
+// served requests from shed ones (deadline, drain, device fault).
+func runLoad(out io.Writer, client *serve.Client, intervalMs float64, count int, timescale float64, seed int64, deadlineMs float64) error {
 	rng := rand.New(rand.NewSource(seed))
 	type timed struct {
 		at    float64
@@ -163,6 +187,7 @@ func runLoad(out io.Writer, client *serve.Client, intervalMs float64, count int,
 
 	var mu sync.Mutex
 	var replies []serve.InferReply
+	shed := 0
 	var wg sync.WaitGroup
 	start := time.Now()
 	for _, p := range plan {
@@ -174,9 +199,13 @@ func runLoad(out io.Writer, client *serve.Client, intervalMs float64, count int,
 		wg.Add(1)
 		go func(m string) {
 			defer wg.Done()
-			reply, err := client.Infer(m)
+			reply, err := client.InferDeadline(m, deadlineMs)
 			if err != nil {
-				if !errors.Is(err, rpc.ErrShutdown) {
+				if serve.IsShed(err) {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				} else if !errors.Is(err, rpc.ErrShutdown) {
 					fmt.Fprintln(out, "infer error:", err)
 				}
 				return
@@ -194,7 +223,11 @@ func runLoad(out io.Writer, client *serve.Client, intervalMs float64, count int,
 		rrs[i] = r.ResponseRatio
 		waits[i] = r.WaitMs
 	}
-	fmt.Fprintf(out, "completed %d/%d requests in %.1fs wall\n", len(replies), len(plan), time.Since(start).Seconds())
+	fmt.Fprintf(out, "completed %d/%d requests in %.1fs wall", len(replies), len(plan), time.Since(start).Seconds())
+	if shed > 0 {
+		fmt.Fprintf(out, " (%d shed)", shed)
+	}
+	fmt.Fprintln(out)
 	fmt.Fprintf(out, "response ratio: %s\n", stats.Summarize(rrs))
 	fmt.Fprintf(out, "wait (ms):      %s\n", stats.Summarize(waits))
 	viol := 0

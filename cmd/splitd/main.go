@@ -8,10 +8,20 @@
 //	splitd -addr 127.0.0.1:7100
 //	splitd -addr 127.0.0.1:7100 -plans plans/ -timescale 0.1 -alpha 4
 //	splitd -addr 127.0.0.1:7100 -admin 127.0.0.1:7101
+//	splitd -addr 127.0.0.1:7100 -deadlines -drain-timeout 5s
+//	splitd -addr 127.0.0.1:7100 -fault-fail-prob 0.01 -fault-retries 2
 //
 // With -admin set, a live observability endpoint serves /metrics
 // (Prometheus text), /healthz, /queuez (JSON queue snapshot), /tracez
 // (flight-recorder JSONL) and /debug/pprof on that address.
+//
+// With -deadlines, every request gets the paper's latency target α·t_ext as
+// a deadline and doomed work is shed at block boundaries. With
+// -drain-timeout, SIGINT/SIGTERM drains gracefully — no new requests are
+// accepted, queued work runs to completion, and whatever remains when the
+// timeout lapses is shed — so shutdown is bounded by the timeout. The
+// -fault-* flags inject deterministic block-latency spikes and transient
+// block failures for resilience testing.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"syscall"
 
 	"split/internal/core"
+	"split/internal/gpusim"
 	"split/internal/model"
 	"split/internal/obs"
 	"split/internal/onnxlite"
@@ -66,6 +77,16 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		maxQueue  = fs.Int("max-queue", 0, "reject requests once this many are waiting (0 = unbounded)")
 		ringCap   = fs.Int("trace-ring", 4096, "flight-recorder capacity in events (with -admin)")
 		qosWindow = fs.Int("qos-window", 0, "rolling QoS window in completions (0 = default)")
+
+		deadlines  = fs.Bool("deadlines", false, "enforce per-request deadlines of α·t_ext; shed doomed work at block boundaries")
+		predictive = fs.Bool("predictive-shed", false, "with -deadlines, also shed requests that cannot finish in time even if not yet expired")
+		drainTO    = fs.Duration("drain-timeout", 0, "drain gracefully on the first signal, shedding what remains after this long (0 = stop immediately)")
+
+		spikeProb   = fs.Float64("fault-spike-prob", 0, "per-block probability of a latency spike")
+		spikeFactor = fs.Float64("fault-spike-factor", 3, "latency multiplier for spiked blocks")
+		failProb    = fs.Float64("fault-fail-prob", 0, "per-block probability of a transient failure")
+		faultRetry  = fs.Int("fault-retries", 1, "retries per block before the request is shed as a device fault")
+		faultSeed   = fs.Int64("fault-seed", 1, "fault injector seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,12 +115,25 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		elastic.Enabled = false
 	}
 	cfg := serve.Config{
-		Catalog:   catalog,
-		Alpha:     *alpha,
-		Elastic:   elastic,
-		TimeScale: *timescale,
-		MaxQueue:  *maxQueue,
-		QoSWindow: *qosWindow,
+		Catalog:          catalog,
+		Alpha:            *alpha,
+		Elastic:          elastic,
+		TimeScale:        *timescale,
+		MaxQueue:         *maxQueue,
+		QoSWindow:        *qosWindow,
+		EnforceDeadlines: *deadlines,
+		PredictiveShed:   *predictive,
+	}
+	if *spikeProb > 0 || *failProb > 0 {
+		cfg.Faults = &gpusim.FaultInjector{
+			Seed:        *faultSeed,
+			SpikeProb:   *spikeProb,
+			SpikeFactor: *spikeFactor,
+			FailProb:    *failProb,
+			MaxRetries:  *faultRetry,
+		}
+		fmt.Fprintf(out, "fault injection on: spike p=%.3f ×%.1f, fail p=%.3f, retries=%d\n",
+			*spikeProb, *spikeFactor, *failProb, *faultRetry)
 	}
 	var (
 		reg  *obs.Registry
@@ -149,7 +183,16 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 	}
 
 	<-stop
-	fmt.Fprintln(out, "shutting down")
+	if *drainTO > 0 {
+		fmt.Fprintf(out, "draining (timeout %s)\n", *drainTO)
+		if shed := srv.Drain(*drainTO); shed > 0 {
+			fmt.Fprintf(out, "drain timeout: shed %d queued requests\n", shed)
+		} else {
+			fmt.Fprintln(out, "drained cleanly")
+		}
+	} else {
+		fmt.Fprintln(out, "shutting down")
+	}
 	if admin != nil {
 		admin.Close()
 	}

@@ -1,0 +1,89 @@
+package gpusim
+
+import "testing"
+
+func TestNilInjectorDrawsNothing(t *testing.T) {
+	var f *FaultInjector
+	for i := 0; i < 100; i++ {
+		out := f.Draw(i, i%3, 0)
+		if out.Fail || out.SpikeFactor != 1 {
+			t.Fatalf("nil injector drew %+v", out)
+		}
+	}
+	if !f.Exhausted(0) {
+		t.Error("nil injector grants retries")
+	}
+}
+
+func TestDrawDeterministic(t *testing.T) {
+	a := &FaultInjector{Seed: 7, SpikeProb: 0.3, SpikeFactor: 3, FailProb: 0.2, MaxRetries: 2}
+	b := &FaultInjector{Seed: 7, SpikeProb: 0.3, SpikeFactor: 3, FailProb: 0.2, MaxRetries: 2}
+	for req := 0; req < 50; req++ {
+		for blk := 0; blk < 4; blk++ {
+			for att := 0; att < 3; att++ {
+				if a.Draw(req, blk, att) != b.Draw(req, blk, att) {
+					t.Fatalf("draw (%d,%d,%d) not reproducible", req, blk, att)
+				}
+			}
+		}
+	}
+}
+
+func TestDrawRates(t *testing.T) {
+	f := &FaultInjector{Seed: 1, SpikeProb: 0.25, SpikeFactor: 2, FailProb: 0.1}
+	const n = 20000
+	spikes, fails := 0, 0
+	for i := 0; i < n; i++ {
+		out := f.Draw(i, 0, 0)
+		if out.SpikeFactor > 1 {
+			spikes++
+		}
+		if out.Fail {
+			fails++
+		}
+	}
+	if r := float64(spikes) / n; r < 0.22 || r > 0.28 {
+		t.Errorf("spike rate %.3f, want ~0.25", r)
+	}
+	if r := float64(fails) / n; r < 0.08 || r > 0.12 {
+		t.Errorf("fail rate %.3f, want ~0.1", r)
+	}
+}
+
+func TestDrawVariesWithCoordinatesAndSeed(t *testing.T) {
+	f := &FaultInjector{Seed: 1, FailProb: 0.5}
+	g := &FaultInjector{Seed: 2, FailProb: 0.5}
+	sameAll, seedSame := true, true
+	for i := 0; i < 64; i++ {
+		if f.Draw(i, 0, 0) != f.Draw(i, 1, 0) || f.Draw(i, 0, 0) != f.Draw(i, 0, 1) {
+			sameAll = false
+		}
+		if f.Draw(i, 0, 0) != g.Draw(i, 0, 0) {
+			seedSame = false
+		}
+	}
+	if sameAll {
+		t.Error("draws do not depend on block/attempt coordinates")
+	}
+	if seedSame {
+		t.Error("draws do not depend on the seed")
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	f := &FaultInjector{MaxRetries: 2}
+	for att, want := range map[int]bool{0: false, 1: false, 2: true, 3: true} {
+		if got := f.Exhausted(att); got != want {
+			t.Errorf("Exhausted(%d) = %v, want %v", att, got, want)
+		}
+	}
+	zero := &FaultInjector{}
+	if !zero.Exhausted(0) {
+		t.Error("zero retry budget allows a retry")
+	}
+	// Spikes need SpikeFactor > 1 to take effect.
+	s := &FaultInjector{SpikeProb: 1, SpikeFactor: 1}
+	if out := s.Draw(1, 0, 0); out.SpikeFactor != 1 {
+		t.Errorf("factor-1 spike inflated: %+v", out)
+	}
+}

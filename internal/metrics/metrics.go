@@ -25,18 +25,41 @@ func DefaultAlphas() []float64 {
 
 // ViolationRate returns the fraction of requests whose response ratio
 // exceeds α (a request violates its latency target α·t_ext when
-// RR = t_ete/t_ext > α).
+// RR = t_ete/t_ext > α). A request that was shed instead of served —
+// deadline, cancellation, device fault — never met its target and counts
+// as a violation at every α.
 func ViolationRate(recs []policy.Record, alpha float64) float64 {
 	if len(recs) == 0 {
 		return 0
 	}
 	violated := 0
 	for _, r := range recs {
-		if r.ResponseRatio() > alpha {
+		if !r.Served() || r.ResponseRatio() > alpha {
 			violated++
 		}
 	}
 	return float64(violated) / float64(len(recs))
+}
+
+// Served filters to the records that completed normally; latency-derived
+// metrics are only meaningful over these.
+func Served(recs []policy.Record) []policy.Record {
+	out := make([]policy.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Served() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DropRate returns the fraction of records that were shed rather than
+// served.
+func DropRate(recs []policy.Record) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	return float64(len(recs)-len(Served(recs))) / float64(len(recs))
 }
 
 // ViolationCurve evaluates ViolationRate at every α, producing one Figure 6
@@ -49,20 +72,25 @@ func ViolationCurve(recs []policy.Record, alphas []float64) []float64 {
 	return curve
 }
 
-// ResponseRatios extracts all response ratios.
+// ResponseRatios extracts the response ratios of served requests (a shed
+// record's DoneMs is its shed time, not a completion).
 func ResponseRatios(recs []policy.Record) []float64 {
-	out := make([]float64, len(recs))
-	for i, r := range recs {
-		out[i] = r.ResponseRatio()
+	out := make([]float64, 0, len(recs))
+	for _, r := range recs {
+		if r.Served() {
+			out = append(out, r.ResponseRatio())
+		}
 	}
 	return out
 }
 
-// E2EByModel groups end-to-end latencies by model name.
+// E2EByModel groups end-to-end latencies of served requests by model name.
 func E2EByModel(recs []policy.Record) map[string][]float64 {
 	by := make(map[string][]float64)
 	for _, r := range recs {
-		by[r.Model] = append(by[r.Model], r.E2EMs())
+		if r.Served() {
+			by[r.Model] = append(by[r.Model], r.E2EMs())
+		}
 	}
 	return by
 }
@@ -77,11 +105,13 @@ func JitterByModel(recs []policy.Record) map[string]float64 {
 	return out
 }
 
-// JitterByClass aggregates jitter across all short and all long requests.
+// JitterByClass aggregates jitter across all served short and long requests.
 func JitterByClass(recs []policy.Record) map[model.RequestClass]float64 {
 	by := make(map[model.RequestClass][]float64)
 	for _, r := range recs {
-		by[r.Class] = append(by[r.Class], r.E2EMs())
+		if r.Served() {
+			by[r.Class] = append(by[r.Class], r.E2EMs())
+		}
 	}
 	out := make(map[model.RequestClass]float64, len(by))
 	for c, xs := range by {
@@ -95,16 +125,18 @@ func MeanResponseRatio(recs []policy.Record) float64 {
 	return stats.Mean(ResponseRatios(recs))
 }
 
-// MeanWait returns the average waiting latency (E2E − t_ext).
+// MeanWait returns the average waiting latency (E2E − t_ext) of served
+// requests.
 func MeanWait(recs []policy.Record) float64 {
-	if len(recs) == 0 {
+	served := Served(recs)
+	if len(served) == 0 {
 		return 0
 	}
 	var s float64
-	for _, r := range recs {
+	for _, r := range served {
 		s += r.WaitMs()
 	}
-	return s / float64(len(recs))
+	return s / float64(len(served))
 }
 
 // ByClass partitions records into short and long requests.
@@ -127,8 +159,11 @@ func ByModel(recs []policy.Record) map[string][]policy.Record {
 
 // Summary is a compact per-run QoS digest used by the experiment harness.
 type Summary struct {
-	System          string
-	Requests        int
+	System   string
+	Requests int
+	// Dropped counts requests shed rather than served (deadline,
+	// cancellation, device fault).
+	Dropped         int
 	MeanRR          float64
 	P95RR           float64
 	MeanWaitMs      float64
@@ -150,6 +185,7 @@ func Summarize(system string, recs []policy.Record) Summary {
 	s := Summary{
 		System:          system,
 		Requests:        len(recs),
+		Dropped:         len(recs) - len(Served(recs)),
 		MeanRR:          stats.Mean(rrs),
 		MeanWaitMs:      MeanWait(recs),
 		ViolationAt4:    ViolationRate(recs, 4),

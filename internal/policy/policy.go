@@ -63,6 +63,22 @@ func (c Catalog) BlocksFor(name string) []float64 {
 	return []float64{info.ExtMs}
 }
 
+// Request outcomes beyond successful service, mirroring the serving path's
+// split_drops_total reasons so sim and serve results line up label-for-label.
+const (
+	// OutcomeServed marks a completed request (the zero value, so legacy
+	// construction sites keep producing served records).
+	OutcomeServed = ""
+	// OutcomeDeadline marks a request shed because its deadline passed (or,
+	// under predictive shedding, became unmeetable).
+	OutcomeDeadline = "deadline"
+	// OutcomeCanceled marks a request canceled by its client.
+	OutcomeCanceled = "canceled"
+	// OutcomeDeviceFault marks a request whose block kept failing past the
+	// injected-fault retry budget.
+	OutcomeDeviceFault = "device_fault"
+)
+
 // Record is the per-request outcome every system reports.
 type Record struct {
 	ID          int
@@ -75,7 +91,14 @@ type Record struct {
 	Preemptions int
 	// Split reports whether the request executed under a multi-block plan.
 	Split bool
+	// Outcome is OutcomeServed for completed requests, else the shed
+	// reason. For shed records DoneMs is the shed time, so E2E-derived
+	// metrics are only meaningful when Served() is true.
+	Outcome string
 }
+
+// Served reports whether the request completed normally.
+func (r Record) Served() bool { return r.Outcome == OutcomeServed }
 
 // E2EMs is the end-to-end latency (wait + execution).
 func (r Record) E2EMs() float64 { return r.DoneMs - r.ArriveMs }

@@ -33,6 +33,19 @@ type Split struct {
 	// which both tightens their violation accounting and raises their
 	// scheduling priority through Algorithm 1's E·T ordering.
 	AlphaByClass map[model.RequestClass]float64
+	// EnforceDeadlines derives an absolute deadline ArriveMs + α·t_ext for
+	// every request (unless the arrival supplies its own) and sheds expired
+	// requests at block boundaries — the discrete-event mirror of the
+	// serving path's deadline shedding.
+	EnforceDeadlines bool
+	// PredictiveShed additionally sheds requests that can no longer finish
+	// by their deadline even if granted the device immediately.
+	PredictiveShed bool
+	// Faults, when non-nil, injects the same deterministic block-latency
+	// spikes and transient failures as the serving path, with bounded
+	// per-block retry; draws are a pure hash of (seed, request, block,
+	// attempt), so sim and serve replay identical fault schedules.
+	Faults *gpusim.FaultInjector
 }
 
 // NewSplit returns the default SPLIT configuration (α=4 for decision
@@ -57,53 +70,121 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 	queue.StarveGuardRR = s.StarveGuardRR
 	busy := false
 	var records []Record
+	// live tracks undecided requests (queued or in flight) for the
+	// cancellation hook; inflight is the one currently holding the token.
+	live := make(map[int]*sched.Request, 8)
+	var inflight *sched.Request
+
+	record := func(r *sched.Request, doneMs float64, outcome string) {
+		delete(live, r.ID)
+		records = append(records, Record{
+			ID:          r.ID,
+			Model:       r.Model,
+			Class:       r.Class,
+			ArriveMs:    r.ArriveMs,
+			StartMs:     r.StartMs,
+			DoneMs:      doneMs,
+			ExtMs:       r.ExtMs,
+			Preemptions: r.Preemptions,
+			Split:       len(r.BlockTimes) > 1,
+			Outcome:     outcome,
+		})
+	}
+	shed := func(now float64, r *sched.Request, outcome string) {
+		tr.Recordf(now, trace.Shed, r.ID, r.Model, r.Next, "%s", outcome)
+		record(r, now, outcome)
+	}
 
 	var startNext func(now float64)
 	startNext = func(now float64) {
+		// Shed doomed queued work before granting the token — an expired
+		// request must never occupy the device for another block. This
+		// mirrors serve.(*Server).pickLocked.
+		for _, ex := range queue.SweepExpired(now, s.PredictiveShed) {
+			shed(now, ex, OutcomeDeadline)
+		}
 		r := queue.PopFront()
 		if r == nil {
 			busy = false
+			inflight = nil
 			return
 		}
 		busy = true
+		inflight = r
 		if r.StartMs < 0 {
 			r.StartMs = now
 		}
 		block := r.Next
-		dur := r.BlockTimes[block]
+		baseDur := r.BlockTimes[block]
 		r.Next++
-		tr.Recordf(now, trace.StartBlock, r.ID, r.Model, block, "dur=%.3f", dur)
-		sim.After(dur, func(now float64) {
-			tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
-			if r.Finished() {
-				r.DoneMs = now
-				tr.Recordf(now, trace.Complete, r.ID, r.Model, block, "rr=%.2f", r.ResponseRatio())
-				records = append(records, Record{
-					ID:          r.ID,
-					Model:       r.Model,
-					Class:       r.Class,
-					ArriveMs:    r.ArriveMs,
-					StartMs:     r.StartMs,
-					DoneMs:      r.DoneMs,
-					ExtMs:       r.ExtMs,
-					Preemptions: r.Preemptions,
-					Split:       len(r.BlockTimes) > 1,
-				})
-			} else {
-				var pos int
-				if s.PartialPreemption {
-					queue.PushBack(r)
-					pos = queue.Len() - 1
-				} else {
-					pos = queue.InsertGreedy(now, r)
-				}
-				if pos > 0 {
-					r.Preemptions++
-					tr.Recordf(now, trace.Preempt, r.ID, r.Model, r.Next, "requeued at %d", pos)
-				}
+		tr.Recordf(now, trace.StartBlock, r.ID, r.Model, block, "dur=%.3f", baseDur)
+
+		// Execute the block, retrying injected transient failures within
+		// the fault budget; each attempt spends device time.
+		var attemptRun func(now float64, attempt int)
+		attemptRun = func(now float64, attempt int) {
+			fault := s.Faults.Draw(r.ID, block, attempt)
+			if fault.SpikeFactor > 1 {
+				tr.Recordf(now, trace.Fault, r.ID, r.Model, block,
+					"spike x%.2f attempt=%d", fault.SpikeFactor, attempt)
 			}
-			startNext(now)
-		})
+			sim.After(baseDur*fault.SpikeFactor, func(now float64) {
+				if fault.Fail {
+					if s.Faults.Exhausted(attempt) {
+						tr.Recordf(now, trace.Fault, r.ID, r.Model, block, "terminal after %d attempts", attempt+1)
+						tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
+						inflight = nil
+						shed(now, r, OutcomeDeviceFault)
+						startNext(now)
+						return
+					}
+					// An attempt boundary is a block boundary for lifecycle
+					// purposes: re-check the request's fate before spending
+					// more device time on it.
+					if r.Canceled || r.Expired(now) {
+						tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
+						inflight = nil
+						outcome := OutcomeDeadline
+						if r.Canceled {
+							outcome = OutcomeCanceled
+						}
+						shed(now, r, outcome)
+						startNext(now)
+						return
+					}
+					tr.Recordf(now, trace.Fault, r.ID, r.Model, block, "transient attempt=%d, retrying", attempt)
+					attemptRun(now, attempt+1)
+					return
+				}
+				tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
+				inflight = nil
+				switch {
+				case r.Finished():
+					// Work is done — deliver even if canceled meanwhile.
+					r.DoneMs = now
+					tr.Recordf(now, trace.Complete, r.ID, r.Model, block, "rr=%.2f", r.ResponseRatio())
+					record(r, now, OutcomeServed)
+				case r.Canceled:
+					shed(now, r, OutcomeCanceled)
+				case r.Expired(now):
+					shed(now, r, OutcomeDeadline)
+				default:
+					var pos int
+					if s.PartialPreemption {
+						queue.PushBack(r)
+						pos = queue.Len() - 1
+					} else {
+						pos = queue.InsertGreedy(now, r)
+					}
+					if pos > 0 {
+						r.Preemptions++
+						tr.Recordf(now, trace.Preempt, r.ID, r.Model, r.Next, "requeued at %d", pos)
+					}
+				}
+				startNext(now)
+			})
+		}
+		attemptRun(now, 0)
 	}
 
 	for _, a := range arrivals {
@@ -118,6 +199,12 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 			if alpha, ok := s.AlphaByClass[info.Class]; ok {
 				r.AlphaOverride = alpha
 			}
+			if a.DeadlineMs > 0 {
+				r.DeadlineMs = now + a.DeadlineMs
+			} else if s.EnforceDeadlines {
+				r.SetDeadline(s.Alpha)
+			}
+			live[r.ID] = r
 			var pos int
 			if tr != nil { // tracer active: record Algorithm 1's scan length
 				var decisions []sched.Decision
@@ -132,6 +219,26 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 				startNext(now)
 			}
 		})
+		if a.CancelAtMs > 0 {
+			id := a.ID
+			sim.At(a.CancelAtMs, func(now float64) {
+				r := live[id]
+				if r == nil {
+					return // already completed or shed
+				}
+				if removed := queue.Remove(id); removed != nil {
+					r.Canceled = true
+					tr.Recordf(now, trace.Cancel, id, r.Model, r.Next, "queued")
+					shed(now, r, OutcomeCanceled)
+					return
+				}
+				// In flight: shed at the next block boundary.
+				if inflight == r && !r.Canceled {
+					r.Canceled = true
+					tr.Recordf(now, trace.Cancel, id, r.Model, r.Next, "inflight")
+				}
+			})
+		}
 	}
 	sim.Run()
 	return sortRecords(records)

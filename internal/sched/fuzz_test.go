@@ -56,16 +56,23 @@ func FuzzInsertGreedy(f *testing.F) {
 	})
 }
 
-// FuzzQueueLifecycle drives the full serving loop — arrivals interleaved
-// with block executions and block-boundary re-inserts (preemption points) —
-// and checks the lifecycle invariants after every operation: no request is
-// lost or duplicated, committed blocks only accumulate (Next is monotone,
-// never past the plan length), finished requests never re-enter the queue,
-// and same-task requests stay FIFO through arbitrary preemption.
+// FuzzQueueLifecycle drives the full serving loop — arrivals (some with
+// deadlines) interleaved with block executions, block-boundary re-inserts
+// (preemption points), expiry sweeps, and cancellations — and checks the
+// lifecycle invariants after every operation: no request is lost or
+// duplicated (queued + completed + shed + canceled = inserted), committed
+// blocks only accumulate (Next is monotone, never past the plan length),
+// finished requests never re-enter the queue, a shed or canceled request
+// never runs another block, and same-task requests stay FIFO through
+// arbitrary preemption.
 func FuzzQueueLifecycle(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(4), false)
 	f.Add([]byte{2, 9, 2, 9, 2, 9, 2, 9, 2}, uint8(1), true)
 	f.Add([]byte{255, 0, 255, 0, 128, 64, 32}, uint8(8), false)
+	// Shutdown-race schedule: a burst of deadline-carrying arrivals, one
+	// block executed, then a storm of sweeps and cancellations against the
+	// half-drained queue — the drain-under-load interleaving.
+	f.Add([]byte{6, 0, 12, 3, 7, 11, 31, 15, 3, 23, 7, 31}, uint8(2), false)
 	f.Fuzz(func(t *testing.T, ops []byte, alphaRaw uint8, guard bool) {
 		if len(ops) > 96 {
 			ops = ops[:96]
@@ -81,11 +88,12 @@ func FuzzQueueLifecycle(f *testing.F) {
 		now := 0.0
 		nextID := 0
 		completed := 0
-		committed := map[int]int{} // request ID -> highest Next observed
+		terminated := map[int]bool{} // shed or canceled: must never run again
+		committed := map[int]int{}   // request ID -> highest Next observed
 		check := func(op byte) {
-			if q.Len()+completed != nextID {
-				t.Fatalf("op %d: conservation broken: %d queued + %d completed != %d inserted",
-					op, q.Len(), completed, nextID)
+			if q.Len()+completed+len(terminated) != nextID {
+				t.Fatalf("op %d: conservation broken: %d queued + %d completed + %d terminated != %d inserted",
+					op, q.Len(), completed, len(terminated), nextID)
 			}
 			lastArrive := map[string]float64{}
 			for i := 0; i < q.Len(); i++ {
@@ -99,6 +107,9 @@ func FuzzQueueLifecycle(f *testing.F) {
 				if r.DoneMs >= 0 {
 					t.Fatalf("finished request %d is queued", r.ID)
 				}
+				if terminated[r.ID] {
+					t.Fatalf("shed/canceled request %d is queued", r.ID)
+				}
 				if prev, ok := lastArrive[r.Model]; ok && r.ArriveMs < prev {
 					t.Fatalf("same-task FIFO violated for %s at position %d", r.Model, i)
 				}
@@ -107,24 +118,45 @@ func FuzzQueueLifecycle(f *testing.F) {
 		}
 		for _, op := range ops {
 			now += float64(op%5) + 0.25
-			if op%2 == 0 || q.Len() == 0 {
-				// Arrival: wrap a request with the model's split plan.
-				k := int(op>>1) % len(models)
+			switch {
+			case op%4 <= 1 || q.Len() == 0:
+				// Arrival: wrap a request with the model's split plan;
+				// every third one carries a deadline derived from op.
+				k := int(op>>2) % len(models)
 				m := splits[k]
 				bt := make([]float64, m)
 				for j := range bt {
 					bt[j] = exts[k]/float64(m) + 0.9
 				}
 				r := NewRequest(nextID, models[k], model.Short, now, exts[k], bt)
+				if op%3 == 0 {
+					r.DeadlineMs = now + float64(op%32) + 0.5
+				}
 				nextID++
 				pos := q.InsertGreedy(now, r)
 				if pos < 0 || pos >= q.Len() || q.At(pos) != r {
 					t.Fatalf("bad insert position %d (len %d)", pos, q.Len())
 				}
-			} else {
-				// Execute the head's next block, then re-insert at the block
-				// boundary (the preemption point) or complete.
+			case op%4 == 2:
+				// Block boundary: sweep doomed work (the executor's
+				// pre-grant shed), then run the head's next block and
+				// re-insert or complete.
+				for _, ex := range q.SweepExpired(now, op%8 >= 4) {
+					if ex.DeadlineMs <= 0 {
+						t.Fatalf("swept request %d has no deadline", ex.ID)
+					}
+					if terminated[ex.ID] {
+						t.Fatalf("request %d shed twice", ex.ID)
+					}
+					terminated[ex.ID] = true
+				}
 				r := q.PopFront()
+				if r == nil {
+					break
+				}
+				if terminated[r.ID] {
+					t.Fatalf("shed/canceled request %d granted the device", r.ID)
+				}
 				if r.StartMs < 0 {
 					r.StartMs = now
 				}
@@ -135,14 +167,89 @@ func FuzzQueueLifecycle(f *testing.F) {
 						r.ID, r.Next, committed[r.ID], len(r.BlockTimes))
 				}
 				committed[r.ID] = r.Next
-				if r.Finished() {
+				switch {
+				case r.Canceled || (r.DeadlineMs > 0 && r.Expired(now)):
+					// Boundary shed: the request must not re-enter the queue.
+					terminated[r.ID] = true
+				case r.Finished():
 					r.DoneMs = now
 					completed++
-				} else {
+				default:
 					q.InsertGreedy(now, r)
+				}
+			default:
+				// Cancellation of an arbitrary known ID: queued work is
+				// removed immediately, anything else is a no-op here (the
+				// executor handles in-flight marks at boundaries).
+				if nextID == 0 {
+					break
+				}
+				id := int(op>>2) % nextID
+				if r := q.Remove(id); r != nil {
+					if terminated[id] {
+						t.Fatalf("request %d was already terminated yet queued", id)
+					}
+					r.Canceled = true
+					terminated[id] = true
 				}
 			}
 			check(op)
+		}
+	})
+}
+
+// FuzzDeadlineSweep hammers SweepExpired directly with fuzz-chosen queues
+// and sweep times: everything shed must actually be expired (or doomed,
+// under predictive sweeps), everything kept must not be, and the survivors
+// keep their relative order with no slot corruption.
+func FuzzDeadlineSweep(f *testing.F) {
+	f.Add([]byte{10, 200, 30, 0, 45}, uint8(50), false)
+	f.Add([]byte{0, 0, 0, 0}, uint8(0), true)
+	f.Add([]byte{255, 1, 254, 2, 253, 3}, uint8(128), true)
+	f.Fuzz(func(t *testing.T, spec []byte, nowRaw uint8, predictive bool) {
+		if len(spec) > 64 {
+			spec = spec[:64]
+		}
+		q := NewQueue(4)
+		var want []*Request
+		for i, b := range spec {
+			blocks := 1 + int(b)%3
+			bt := make([]float64, blocks)
+			for j := range bt {
+				bt[j] = float64(b%40) + 1
+			}
+			r := NewRequest(i, "m", model.Short, 0, bt[0]*float64(blocks), bt)
+			if b%2 == 1 { // odd bytes carry deadlines
+				r.DeadlineMs = float64(b)
+			}
+			q.PushBack(r)
+			want = append(want, r)
+		}
+		now := float64(nowRaw)
+		shed := q.SweepExpired(now, predictive)
+		expired := func(r *Request) bool {
+			return r.Expired(now) || (predictive && r.Doomed(now))
+		}
+		for _, r := range shed {
+			if !expired(r) {
+				t.Fatalf("request %d shed while viable (deadline %v, now %v)", r.ID, r.DeadlineMs, now)
+			}
+		}
+		if q.Len()+len(shed) != len(want) {
+			t.Fatalf("sweep lost requests: %d kept + %d shed != %d", q.Len(), len(shed), len(want))
+		}
+		keep := 0
+		for _, r := range want {
+			if expired(r) {
+				continue
+			}
+			if q.At(keep) != r {
+				t.Fatalf("survivor order broken at %d", keep)
+			}
+			keep++
+		}
+		if keep != q.Len() {
+			t.Fatalf("queue holds %d requests, want %d survivors", q.Len(), keep)
 		}
 	})
 }

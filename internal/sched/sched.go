@@ -49,6 +49,16 @@ type Request struct {
 	// carry stricter targets than long ones. 0 keeps the queue default
 	// (the paper's uniform-α evaluation setting).
 	AlphaOverride float64
+	// DeadlineMs is the absolute deadline on the caller's clock: once it
+	// passes, the request must never be granted the device for another
+	// block — it is shed at the next block boundary instead (the
+	// EdgeServing-style extension of the α·t_ext target). <= 0 (the
+	// default) means no deadline.
+	DeadlineMs float64
+	// Canceled marks the request cancel-at-next-boundary: the scheduler
+	// must not grant it another block. The serving path sets it for client
+	// cancellations and connection losses; the queue itself never does.
+	Canceled bool
 }
 
 // NewRequest builds a request with sentinel times set.
@@ -93,6 +103,25 @@ func (r *Request) TargetMs(alpha float64) float64 {
 		alpha = r.AlphaOverride
 	}
 	return alpha * r.ExtMs
+}
+
+// SetDeadline derives the absolute deadline from the latency target:
+// ArriveMs + α·t_ext (honoring AlphaOverride). A request that completes at
+// its deadline has RR exactly α, so "expired" and "target blown" coincide.
+func (r *Request) SetDeadline(alpha float64) {
+	r.DeadlineMs = r.ArriveMs + r.TargetMs(alpha)
+}
+
+// Expired reports whether the deadline has passed at nowMs.
+func (r *Request) Expired(nowMs float64) bool {
+	return r.DeadlineMs > 0 && nowMs > r.DeadlineMs
+}
+
+// Doomed reports whether the request can no longer finish by its deadline
+// even if granted the device immediately and uninterrupted: the predictive
+// shedding predicate (expired requests are trivially doomed).
+func (r *Request) Doomed(nowMs float64) bool {
+	return r.DeadlineMs > 0 && nowMs+r.RemainingMs() > r.DeadlineMs
 }
 
 // E2EMs returns the end-to-end latency; it panics if the request is not
@@ -151,7 +180,17 @@ type Queue struct {
 	// on the hot path when Sink is nil, preserving the zero-cost default.
 	Sink trace.Sink
 	reqs []*Request
+	// popped counts PopFront reslices since the backing array was last
+	// reallocated: each one strands a dead slot ahead of the slice pointer
+	// that the GC cannot reclaim until the whole array is dropped, so the
+	// queue compacts once the dead region dominates the live one.
+	popped int
 }
+
+// compactMinPops is the dead-slot threshold below which PopFront never
+// compacts: small queues churn through their backing array fast enough
+// that copying would cost more than the few stranded slots.
+const compactMinPops = 32
 
 // NewQueue creates an empty queue with the given α.
 func NewQueue(alpha float64) *Queue {
@@ -168,13 +207,71 @@ func (q *Queue) At(i int) *Request { return q.reqs[i] }
 func (q *Queue) Requests() []*Request { return q.reqs }
 
 // PopFront removes and returns the next request to run, or nil when empty.
+// The popped slot is nilled (so the backing array never retains the
+// request) and the backing array is reallocated once the dead head region
+// it strands outgrows the live queue — without both, sustained traffic
+// retains every popped *Request and grows the head region without bound.
 func (q *Queue) PopFront() *Request {
 	if len(q.reqs) == 0 {
 		return nil
 	}
 	r := q.reqs[0]
+	q.reqs[0] = nil
 	q.reqs = q.reqs[1:]
+	q.popped++
+	if q.popped >= compactMinPops && q.popped > len(q.reqs) {
+		q.compact()
+	}
 	return r
+}
+
+// compact moves the live requests onto a fresh backing array, releasing
+// the dead head slots stranded by PopFront reslices.
+func (q *Queue) compact() {
+	fresh := make([]*Request, len(q.reqs))
+	copy(fresh, q.reqs)
+	q.reqs = fresh
+	q.popped = 0
+}
+
+// Remove extracts the waiting request with the given ID, preserving the
+// order of the survivors, and returns it — or nil if no such request is
+// waiting. This is the queued-work half of cancellation; the in-flight
+// request is not in the queue and must be handled by its executor.
+func (q *Queue) Remove(id int) *Request {
+	for i, r := range q.reqs {
+		if r.ID == id {
+			copy(q.reqs[i:], q.reqs[i+1:])
+			q.reqs[len(q.reqs)-1] = nil
+			q.reqs = q.reqs[:len(q.reqs)-1]
+			return r
+		}
+	}
+	return nil
+}
+
+// SweepExpired removes and returns every waiting request whose deadline
+// has passed at nowMs — and, when predictive is true, every request that
+// can no longer finish by its deadline even if granted the device
+// immediately (Doomed) — preserving the queue order of both the shed
+// requests and the survivors. Callers run it at block boundaries, before
+// the token is granted, so a doomed request never occupies the device.
+func (q *Queue) SweepExpired(nowMs float64, predictive bool) []*Request {
+	var shed []*Request
+	keep := q.reqs[:0]
+	for _, r := range q.reqs {
+		expired := r.Expired(nowMs) || (predictive && r.Doomed(nowMs))
+		if expired {
+			shed = append(shed, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	for i := len(keep); i < len(q.reqs); i++ {
+		q.reqs[i] = nil
+	}
+	q.reqs = keep
+	return shed
 }
 
 // PushBack appends r without any preemption logic (FIFO insertion).

@@ -10,6 +10,14 @@
 // Block execution is wall-clock: a block of d ms holds the device for
 // d·TimeScale real milliseconds, so TimeScale=1 serves in true Jetson-Nano
 // time and small TimeScale values accelerate tests.
+//
+// Beyond the paper, the package hardens the request lifecycle for overload
+// and shutdown: per-request deadlines derived from α·t_ext with expiry
+// sweeps that shed doomed requests at block boundaries, client cancellation
+// (an RPC plus connection-loss detection), graceful drain with a bounded
+// timeout, and deterministic fault injection with bounded per-block retry.
+// Every terminal outcome is a typed error, a split_drops_total reason, and
+// a trace event.
 package serve
 
 import (
@@ -18,9 +26,11 @@ import (
 	"net"
 	"net/rpc"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"split/internal/gpusim"
 	"split/internal/model"
 	"split/internal/obs"
 	"split/internal/policy"
@@ -28,24 +38,62 @@ import (
 	"split/internal/trace"
 )
 
-// Typed rejection errors, so clients and metrics can distinguish drop
-// causes. net/rpc flattens errors to strings on the wire, so the messages
-// are stable and prefix-matchable; in-process callers can use errors.Is.
+// Typed rejection and shedding errors, so clients and metrics can
+// distinguish drop causes. net/rpc flattens errors to strings on the wire,
+// so the messages are stable and prefix-matchable; in-process callers can
+// use errors.Is.
 var (
+	// ErrNotStarted rejects requests arriving before Start: the virtual
+	// clock has no epoch yet, so enqueueing would record garbage times.
+	ErrNotStarted = errors.New("serve: server not started")
 	// ErrStopped rejects requests arriving at a stopped server.
 	ErrStopped = errors.New("serve: server stopped")
 	// ErrUnknownModel rejects requests naming a model not in the catalog.
 	ErrUnknownModel = errors.New("serve: model not deployed")
 	// ErrQueueFull rejects requests when Config.MaxQueue is reached.
 	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDeadlineExceeded sheds requests whose deadline passed before they
+	// could finish; they never occupy the device for another block.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded")
+	// ErrCanceled sheds requests canceled by the client (an explicit
+	// Cancel call or a lost connection).
+	ErrCanceled = errors.New("serve: request canceled")
+	// ErrDrained sheds requests still queued when a graceful drain hit its
+	// timeout.
+	ErrDrained = errors.New("serve: shed by drain timeout")
+	// ErrDeviceFault sheds requests whose block kept failing past the
+	// injected-fault retry budget.
+	ErrDeviceFault = errors.New("serve: device fault")
 )
 
+// IsShed reports whether err is one of the lifecycle shed/rejection
+// outcomes — deadline, cancellation, drain, device fault, or server
+// shutdown — as opposed to a transport or usage error. It matches both
+// in-process errors (errors.Is) and errors flattened to strings by the
+// RPC layer (prefix match on the stable messages above).
+func IsShed(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, e := range []error{ErrStopped, ErrDeadlineExceeded, ErrCanceled, ErrDrained, ErrDeviceFault} {
+		if errors.Is(err, e) || strings.HasPrefix(err.Error(), e.Error()) {
+			return true
+		}
+	}
+	return false
+}
+
 // Drop reasons as they appear in the split_drops_total metric and in
-// trace.Drop event details.
+// trace.Drop / trace.Shed event details.
 const (
 	DropStopped      = "stopped"
 	DropUnknownModel = "unknown_model"
 	DropQueueFull    = "queue_full"
+	DropNotStarted   = "not_started"
+	DropDeadline     = "deadline"
+	DropCanceled     = "canceled"
+	DropDrained      = "drained"
+	DropDeviceFault  = "device_fault"
 )
 
 // Config parameterizes a server.
@@ -62,18 +110,47 @@ type Config struct {
 	// MaxQueue caps the number of waiting requests; arrivals beyond it are
 	// rejected with ErrQueueFull. 0 means unbounded (the paper's setting).
 	MaxQueue int
+	// EnforceDeadlines derives an absolute deadline ArriveMs + α·t_ext for
+	// every request (unless the RPC supplies its own) and sheds expired
+	// requests at block boundaries instead of letting them keep occupying
+	// the device. RPC-supplied deadlines are honored even when this is off.
+	EnforceDeadlines bool
+	// PredictiveShed additionally sheds requests that can no longer finish
+	// by their deadline even if granted the device immediately
+	// (EdgeServing-style), rather than waiting for the deadline to pass.
+	PredictiveShed bool
+	// Faults, when non-nil, injects deterministic block-latency spikes and
+	// transient block failures with bounded per-block retry — the chaos
+	// harness the shedding and drain paths are tested under.
+	Faults *gpusim.FaultInjector
 	// Obs, when non-nil, receives live metrics (request/completion/drop
 	// counters, queue-depth and elastic gauges, wait/e2e/RR histograms)
 	// under the split_* names documented in the README.
 	Obs *obs.Registry
 	// Sink, when non-nil, receives the live scheduling event stream
 	// (arrive, enqueue, block start/end, preempt, elastic transitions,
-	// complete, drop) — typically a trace.Ring flight recorder, a Tracer,
-	// or a Fanout of both.
+	// complete, drop, shed, cancel, fault, drain) — typically a trace.Ring
+	// flight recorder, a Tracer, or a Fanout of both.
 	Sink trace.Sink
 	// QoSWindow sizes the rolling online QoS window (completions);
 	// <= 0 selects obs.DefaultQoSWindow.
 	QoSWindow int
+}
+
+// outcome is what a waiter receives: the completed request, or a typed
+// terminal error (deadline, cancel, drain, stop, device fault).
+type outcome struct {
+	req *sched.Request
+	err error
+}
+
+// delivery pairs a waiter channel with its outcome. Like trace events,
+// deliveries are buffered while s.mu is held and sent only after it is
+// released; the channels are buffered (capacity 1, one send each), so the
+// sends can never block the serving path either way.
+type delivery struct {
+	ch  chan outcome
+	out outcome
 }
 
 // Server owns the request queue and the executor goroutine.
@@ -89,10 +166,22 @@ type Server struct {
 	closed  bool
 	served  int
 	dropped int
+	// draining is true between a Drain call and either the backlog
+	// emptying or the drain timeout shedding it.
+	draining bool
+	// stopReason/stopCause label the shed applied to the in-flight request
+	// when the server closes under it ("stopped", or "drained" once a
+	// drain times out).
+	stopReason string
+	stopCause  error
+	// inflight is the request currently occupying the device (nil while
+	// idle). It is not in the queue; Cancel marks it cancel-at-next-
+	// boundary instead of removing it.
+	inflight *sched.Request
 	// elasticSuppressed is the last §3.3 decision for a splittable arrival:
 	// true while the elastic mechanism is disabling splitting.
 	elasticSuppressed bool
-	waiters           map[int]chan *sched.Request
+	waiters           map[int]chan outcome
 	// perModel accumulates QoS aggregates per model since start.
 	perModel map[string]*modelAgg
 
@@ -101,6 +190,8 @@ type Server struct {
 	// server, so events are flushed to Config.Sink only after s.mu is
 	// released (the queue's own emissions are routed here via queueSink).
 	pending []trace.Event
+	// pendingOut buffers waiter deliveries the same way.
+	pendingOut []delivery
 
 	// met holds cached metric handles (nil when Config.Obs is nil); qos is
 	// the rolling online estimator and always exists.
@@ -108,7 +199,6 @@ type Server struct {
 	qos *obs.RollingQoS
 
 	listener net.Listener
-	rpcSrv   *rpc.Server
 	wg       sync.WaitGroup
 }
 
@@ -124,11 +214,13 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg.TimeScale = 1
 	}
 	s := &Server{
-		cfg:      cfg,
-		queue:    sched.NewQueue(cfg.Alpha),
-		waiters:  make(map[int]chan *sched.Request),
-		perModel: make(map[string]*modelAgg),
-		qos:      obs.NewRollingQoS(cfg.Alpha, cfg.QoSWindow),
+		cfg:        cfg,
+		queue:      sched.NewQueue(cfg.Alpha),
+		waiters:    make(map[int]chan outcome),
+		perModel:   make(map[string]*modelAgg),
+		qos:        obs.NewRollingQoS(cfg.Alpha, cfg.QoSWindow),
+		stopReason: DropStopped,
+		stopCause:  ErrStopped,
 	}
 	if cfg.Sink != nil {
 		s.queue.Sink = queueSink{s}
@@ -140,14 +232,22 @@ func NewServer(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// dropsHelp is the split_drops_total help text; the family covers both
+// pre-enqueue rejections and post-enqueue sheds, keyed by reason.
+const dropsHelp = "requests dropped, by reason (rejections before enqueue and sheds after)"
+
 // serveMetrics caches the registry handles the serving path updates, so the
 // hot path never rebuilds label keys. The catalog is fixed at deploy time,
-// which is what makes per-model precomputation possible.
+// which is what makes per-model precomputation possible; drop reasons are
+// open-ended (callers and future outcomes add new ones), so dropCounter
+// registers unseen reasons lazily instead of panicking on an unknown key.
 type serveMetrics struct {
+	reg         *obs.Registry
 	requests    map[string]*obs.Counter
 	completions map[string]*obs.Counter
 	drops       map[string]*obs.Counter
 	preemptions *obs.Counter
+	retries     *obs.Counter
 	queueDepth  *obs.Gauge
 	elastic     *obs.Gauge
 	violRate    *obs.Gauge
@@ -159,10 +259,12 @@ type serveMetrics struct {
 
 func newServeMetrics(reg *obs.Registry, catalog policy.Catalog) *serveMetrics {
 	m := &serveMetrics{
+		reg:         reg,
 		requests:    make(map[string]*obs.Counter, len(catalog)),
 		completions: make(map[string]*obs.Counter, len(catalog)),
-		drops:       make(map[string]*obs.Counter, 3),
+		drops:       make(map[string]*obs.Counter, 8),
 		preemptions: reg.Counter("split_preemptions_total", "block-boundary preemptions (requests passed while re-entering the queue)"),
+		retries:     reg.Counter("split_block_retries_total", "block re-executions after injected transient device failures"),
 		queueDepth:  reg.Gauge("split_queue_depth", "requests waiting in the scheduler queue"),
 		elastic:     reg.Gauge("split_elastic_suppressed", "1 while the elastic mechanism is suppressing splitting (§3.3), else 0"),
 		violRate:    reg.Gauge("split_rolling_violation_rate", "fraction of the rolling completion window with RR > α"),
@@ -175,14 +277,30 @@ func newServeMetrics(reg *obs.Registry, catalog policy.Catalog) *serveMetrics {
 		m.requests[name] = reg.Counter("split_requests_total", "requests accepted into the queue", "model", name)
 		m.completions[name] = reg.Counter("split_completions_total", "requests completed", "model", name)
 	}
-	for _, reason := range []string{DropStopped, DropUnknownModel, DropQueueFull} {
-		m.drops[reason] = reg.Counter("split_drops_total", "requests rejected before enqueue", "reason", reason)
+	for _, reason := range []string{
+		DropStopped, DropUnknownModel, DropQueueFull, DropNotStarted,
+		DropDeadline, DropCanceled, DropDrained, DropDeviceFault,
+	} {
+		m.drops[reason] = reg.Counter("split_drops_total", dropsHelp, "reason", reason)
 	}
 	return m
 }
 
+// dropCounter returns the drops counter for reason, registering reasons
+// not pre-seeded in newServeMetrics on first use — an unknown reason must
+// cost one registry lookup, not a nil-map panic on the serving path.
+// Caller holds s.mu, which also serializes access to the map.
+func (m *serveMetrics) dropCounter(reason string) *obs.Counter {
+	if c := m.drops[reason]; c != nil {
+		return c
+	}
+	c := m.reg.Counter("split_drops_total", dropsHelp, "reason", reason)
+	m.drops[reason] = c
+	return c
+}
+
 // emit records a live event for the configured sink, if any. Caller holds
-// s.mu; the event reaches the sink at the next takePending/flush pair.
+// s.mu; the event reaches the sink at the next takeOut/deliver pair.
 func (s *Server) emit(e trace.Event) {
 	if s.cfg.Sink != nil {
 		s.pending = append(s.pending, e)
@@ -196,28 +314,57 @@ type queueSink struct{ s *Server }
 
 func (qs queueSink) Emit(e trace.Event) { qs.s.pending = append(qs.s.pending, e) }
 
-// takePending hands the buffered events to the caller and resets the
-// buffer. Caller holds s.mu and flushes the returned slice after unlocking.
-func (s *Server) takePending() []trace.Event {
-	evs := s.pending
-	s.pending = nil
-	return evs
+// takeOut hands the buffered events and waiter deliveries to the caller
+// and resets the buffers. Caller holds s.mu and passes the result to
+// deliver after unlocking.
+func (s *Server) takeOut() ([]trace.Event, []delivery) {
+	evs, dels := s.pending, s.pendingOut
+	s.pending, s.pendingOut = nil, nil
+	return evs, dels
 }
 
-// flush forwards buffered events to the sink. Caller must NOT hold s.mu.
-func (s *Server) flush(evs []trace.Event) {
+// deliver forwards buffered events to the sink and buffered outcomes to
+// their waiters. Caller must NOT hold s.mu.
+func (s *Server) deliver(evs []trace.Event, dels []delivery) {
 	for _, e := range evs {
 		s.cfg.Sink.Emit(e)
 	}
+	for _, d := range dels {
+		d.ch <- d.out
+	}
 }
 
-// drop counts and traces one rejection. Caller holds s.mu.
+// drop counts and traces one pre-enqueue rejection. Caller holds s.mu.
 func (s *Server) drop(nowMs float64, modelName, reason string) {
 	s.dropped++
 	if s.met != nil {
-		s.met.drops[reason].Inc()
+		s.met.dropCounter(reason).Inc()
 	}
 	s.emit(trace.Event{AtMs: nowMs, Kind: trace.Drop, ReqID: -1, Model: modelName, Detail: reason})
+}
+
+// shedLocked drops an already-enqueued request: counts the reason, emits a
+// Shed event, and resolves the request's waiter with the typed cause. The
+// caller has already detached r from the queue (or owns it in flight).
+// Caller holds s.mu.
+func (s *Server) shedLocked(nowMs float64, r *sched.Request, reason string, cause error) {
+	s.dropped++
+	if s.met != nil {
+		s.met.dropCounter(reason).Inc()
+	}
+	s.emit(trace.Event{AtMs: nowMs, Kind: trace.Shed, ReqID: r.ID, Model: r.Model, Block: r.Next, Detail: reason})
+	s.resolveLocked(r.ID, outcome{err: fmt.Errorf("%w (request %d, %s)", cause, r.ID, r.Model)})
+}
+
+// resolveLocked queues the waiter's outcome for delivery and forgets the
+// waiter. Caller holds s.mu.
+func (s *Server) resolveLocked(id int, out outcome) {
+	ch, ok := s.waiters[id]
+	if !ok {
+		return
+	}
+	delete(s.waiters, id)
+	s.pendingOut = append(s.pendingOut, delivery{ch, out})
 }
 
 // modelAgg accumulates per-model QoS outcomes (under s.mu).
@@ -230,13 +377,18 @@ type modelAgg struct {
 	preempts   int
 }
 
-// nowMs returns milliseconds of virtual time since the server started.
+// nowMs returns milliseconds of virtual time since the server started, or
+// 0 before Start: time.Since on the zero epoch would report decades of
+// garbage uptime, poisoning every ArriveMs/WaitedMs derived from it.
 func (s *Server) nowMs() float64 {
+	if s.start.IsZero() {
+		return 0
+	}
 	return float64(time.Since(s.start)) / float64(time.Millisecond) / s.cfg.TimeScale
 }
 
 // Start begins serving RPCs on l and launches the executor. It returns
-// immediately; Stop shuts everything down.
+// immediately; Stop or Drain shuts everything down.
 func (s *Server) Start(l net.Listener) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -245,10 +397,6 @@ func (s *Server) Start(l net.Listener) error {
 	}
 	s.start = time.Now()
 	s.listener = l
-	s.rpcSrv = rpc.NewServer()
-	if err := s.rpcSrv.RegisterName("SPLIT", &Responder{srv: s}); err != nil {
-		return err
-	}
 	s.wg.Add(2)
 	go s.acceptLoop()
 	go s.executor()
@@ -265,26 +413,159 @@ func (s *Server) Addr() string {
 	return s.listener.Addr().String()
 }
 
-// Stop closes the listener and stops the executor after the current block.
-// In-flight RPCs receive errors for requests not yet completed.
+// Stop closes the listener, sheds every queued request with ErrStopped,
+// and stops the executor after the current block — whose request is NOT
+// shed: if that block completes its plan, the completion is delivered to
+// its client, otherwise the client receives ErrStopped at the boundary.
+// For a shutdown that finishes the backlog first, use Drain.
 func (s *Server) Stop() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return
 	}
 	s.closed = true
 	if s.listener != nil {
 		s.listener.Close()
 	}
-	// Fail every queued waiter.
-	for id, ch := range s.waiters {
-		close(ch)
-		delete(s.waiters, id)
+	now := s.nowMs()
+	for {
+		r := s.queue.PopFront()
+		if r == nil {
+			break
+		}
+		s.shedLocked(now, r, DropStopped, ErrStopped)
+	}
+	if s.met != nil {
+		s.met.queueDepth.SetInt(0)
 	}
 	s.cond.Broadcast()
+	evs, dels := s.takeOut()
 	s.mu.Unlock()
+	s.deliver(evs, dels)
 	s.wg.Wait()
+}
+
+// Drain stops accepting new work and lets the executor finish the backlog.
+// If the backlog is not done within timeout, every still-queued request is
+// shed with ErrDrained and the in-flight request is shed at its next block
+// boundary (or delivered, if that boundary completes it). Drain returns
+// the number of requests shed, 0 for a clean drain. Calling Drain on an
+// already-closed server just waits for shutdown to finish.
+func (s *Server) Drain(timeout time.Duration) int {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return 0
+	}
+	s.closed = true
+	s.draining = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.emit(trace.Event{AtMs: s.nowMs(), Kind: trace.DrainStart, ReqID: -1,
+		Detail: fmt.Sprintf("depth=%d timeout=%s", s.queue.Len(), timeout)})
+	s.cond.Broadcast()
+	evs, dels := s.takeOut()
+	s.mu.Unlock()
+	s.deliver(evs, dels)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return 0
+	case <-time.After(timeout):
+	}
+
+	// Timed out: shed the backlog and demote the in-flight request's
+	// eventual boundary outcome to "drained".
+	s.mu.Lock()
+	shed := 0
+	if s.draining {
+		s.draining = false
+		s.stopReason, s.stopCause = DropDrained, ErrDrained
+		now := s.nowMs()
+		for {
+			r := s.queue.PopFront()
+			if r == nil {
+				break
+			}
+			s.shedLocked(now, r, DropDrained, ErrDrained)
+			shed++
+		}
+		if s.met != nil {
+			s.met.queueDepth.SetInt(0)
+		}
+		s.emit(trace.Event{AtMs: now, Kind: trace.DrainEnd, ReqID: -1,
+			Detail: fmt.Sprintf("timeout, shed=%d", shed)})
+		s.cond.Broadcast()
+	}
+	evs, dels = s.takeOut()
+	s.mu.Unlock()
+	s.deliver(evs, dels)
+	<-done
+	return shed
+}
+
+// Cancel removes a queued request (its client receives ErrCanceled) or
+// marks the in-flight request cancel-at-next-boundary, and reports which.
+// Unknown IDs — never enqueued, already completed, already shed — return
+// CancelUnknown.
+func (s *Server) Cancel(id int) CancelState {
+	return s.cancel(id, "client cancel")
+}
+
+// CancelState reports what a cancellation found.
+type CancelState string
+
+// Cancel outcomes.
+const (
+	// CancelQueued: the request was waiting and has been removed and shed.
+	CancelQueued CancelState = "queued"
+	// CancelInflight: the request is executing a block; it will be shed at
+	// the next block boundary instead of continuing its plan.
+	CancelInflight CancelState = "inflight"
+	// CancelUnknown: no pending request with that ID.
+	CancelUnknown CancelState = "unknown"
+)
+
+func (s *Server) cancel(id int, why string) CancelState {
+	s.mu.Lock()
+	state := s.cancelLocked(id, why)
+	evs, dels := s.takeOut()
+	s.mu.Unlock()
+	s.deliver(evs, dels)
+	return state
+}
+
+// cancelLocked is the body of cancel. Caller holds s.mu.
+func (s *Server) cancelLocked(id int, why string) CancelState {
+	now := s.nowMs()
+	if r := s.queue.Remove(id); r != nil {
+		r.Canceled = true
+		s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: r.Model,
+			Block: r.Next, Detail: "queued: " + why})
+		s.shedLocked(now, r, DropCanceled, ErrCanceled)
+		if s.met != nil {
+			s.met.queueDepth.SetInt(s.queue.Len())
+		}
+		return CancelQueued
+	}
+	if s.inflight != nil && s.inflight.ID == id {
+		if !s.inflight.Canceled {
+			s.inflight.Canceled = true
+			s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: s.inflight.Model,
+				Block: s.inflight.Next, Detail: "inflight: " + why})
+		}
+		return CancelInflight
+	}
+	return CancelUnknown
 }
 
 func (s *Server) acceptLoop() {
@@ -294,24 +575,62 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		go s.rpcSrv.ServeConn(conn)
+		go s.serveConn(conn)
 	}
 }
 
+// serveConn serves one client connection with its own Responder, so that
+// requests submitted on the connection can be canceled when it drops: a
+// client that goes away must not keep occupying the device or the queue.
+func (s *Server) serveConn(conn net.Conn) {
+	resp := newResponder(s)
+	rs := rpc.NewServer()
+	if err := rs.RegisterName("SPLIT", resp); err != nil {
+		conn.Close()
+		return
+	}
+	rs.ServeConn(conn)
+	resp.cancelOrphans()
+}
+
 // executor is the token scheduler + assigner: it repeatedly grants the
-// device token to the queue head and executes that request's next block.
+// device token to the queue head and executes that request's next block,
+// shedding doomed work at every block boundary. All lock transitions stay
+// in this function so the buffered events and outcomes are always flushed
+// with s.mu released.
 func (s *Server) executor() {
 	defer s.wg.Done()
+	s.mu.Lock()
 	for {
-		s.mu.Lock()
-		for !s.closed && s.queue.Len() == 0 {
+		r := s.pickLocked()
+		if r == nil {
+			if s.closed {
+				// Stopped, or draining with an empty backlog: exit.
+				if s.draining {
+					s.draining = false
+					s.emit(trace.Event{AtMs: s.nowMs(), Kind: trace.DrainEnd, ReqID: -1, Detail: "clean"})
+				}
+				evs, dels := s.takeOut()
+				s.mu.Unlock()
+				s.deliver(evs, dels)
+				return
+			}
+			// Idle. Flush buffered events and outcomes before blocking: a
+			// shed client must not wait for the next arrival to learn its
+			// fate.
+			if len(s.pending) > 0 || len(s.pendingOut) > 0 {
+				evs, dels := s.takeOut()
+				s.mu.Unlock()
+				s.deliver(evs, dels)
+				s.mu.Lock()
+				continue
+			}
 			s.cond.Wait()
+			continue
 		}
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		r := s.queue.PopFront()
+
+		// Execute r's next block on the (simulated) device, retrying
+		// injected transient failures within the fault budget.
 		now := s.nowMs()
 		if r.StartMs < 0 {
 			r.StartMs = now
@@ -320,68 +639,127 @@ func (s *Server) executor() {
 		dur := r.BlockTimes[block]
 		r.Next++
 		s.busy = true
+		s.inflight = r
 		if s.met != nil {
 			s.met.queueDepth.SetInt(s.queue.Len())
 		}
 		s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: r.ID, Model: r.Model, Block: block})
-		evs := s.takePending()
-		s.mu.Unlock()
-		s.flush(evs)
-
-		time.Sleep(time.Duration(dur * s.cfg.TimeScale * float64(time.Millisecond)))
-
-		// doneCh, when set, delivers the completed request to its waiting
-		// Responder — after the lock is dropped, since the channel send may
-		// block until the RPC goroutine is scheduled.
-		var doneCh chan *sched.Request
-		s.mu.Lock()
-		s.busy = false
-		now = s.nowMs()
-		s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: r.ID, Model: r.Model, Block: block})
-		if r.Finished() {
-			r.DoneMs = now
-			s.served++
-			agg := s.perModel[r.Model]
-			if agg == nil {
-				agg = &modelAgg{}
-				s.perModel[r.Model] = agg
+		blockOK := false
+		for attempt := 0; ; {
+			fault := s.cfg.Faults.Draw(r.ID, block, attempt)
+			runMs := dur * fault.SpikeFactor
+			if fault.SpikeFactor > 1 {
+				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
+					Detail: fmt.Sprintf("spike x%.2f attempt=%d", fault.SpikeFactor, attempt)})
 			}
-			rr := r.ResponseRatio()
-			agg.served++
-			agg.sumRR += rr
-			if rr > agg.maxRR {
-				agg.maxRR = rr
+			evs, dels := s.takeOut()
+			s.mu.Unlock()
+			s.deliver(evs, dels)
+			time.Sleep(time.Duration(runMs * s.cfg.TimeScale * float64(time.Millisecond)))
+			s.mu.Lock()
+			now = s.nowMs()
+			if !fault.Fail {
+				blockOK = true
+				break
 			}
-			agg.sumWaitMs += r.E2EMs() - r.ExtMs
-			if rr > s.cfg.Alpha {
-				agg.violations++
+			if s.cfg.Faults.Exhausted(attempt) {
+				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
+					Detail: fmt.Sprintf("terminal after %d attempts", attempt+1)})
+				break
 			}
-			agg.preempts += r.Preemptions
-			s.observeCompletion(r, rr)
-			s.emit(trace.Event{AtMs: now, Kind: trace.Complete, ReqID: r.ID, Model: r.Model,
-				Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
-			if ch, ok := s.waiters[r.ID]; ok {
-				doneCh = ch
-				delete(s.waiters, r.ID)
-			}
-		} else {
-			if pos := s.queue.InsertGreedy(now, r); pos > 0 {
-				r.Preemptions++
-				if s.met != nil {
-					s.met.preemptions.Inc()
-				}
-				s.emit(trace.Event{AtMs: now, Kind: trace.Preempt, ReqID: r.ID, Model: r.Model,
-					Block: r.Next, Detail: fmt.Sprintf("pos=%d", pos)})
+			// Re-check the request's fate before spending more device time
+			// on it: an attempt boundary is a block boundary for lifecycle
+			// purposes, and settleLocked sheds for the right reason.
+			if r.Canceled || (s.closed && !s.draining) || r.Expired(now) {
+				break
 			}
 			if s.met != nil {
-				s.met.queueDepth.SetInt(s.queue.Len())
+				s.met.retries.Inc()
 			}
+			s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
+				Detail: fmt.Sprintf("transient attempt=%d, retrying", attempt)})
+			attempt++
 		}
-		evs = s.takePending()
+		s.busy = false
+		s.inflight = nil
+		s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: r.ID, Model: r.Model, Block: block})
+		s.settleLocked(now, r, blockOK)
+		evs, dels := s.takeOut()
 		s.mu.Unlock()
-		s.flush(evs)
-		if doneCh != nil {
-			doneCh <- r
+		s.deliver(evs, dels)
+		s.mu.Lock()
+	}
+}
+
+// pickLocked sweeps doomed queued requests — so an expired request never
+// takes the token — and pops the next runnable one. It returns nil when
+// the queue is empty or the server is past accepting work; the executor
+// decides between idling and exiting. Caller holds s.mu.
+func (s *Server) pickLocked() *sched.Request {
+	now := s.nowMs()
+	if shed := s.queue.SweepExpired(now, s.cfg.PredictiveShed); len(shed) > 0 {
+		for _, r := range shed {
+			s.shedLocked(now, r, DropDeadline, ErrDeadlineExceeded)
+		}
+		if s.met != nil {
+			s.met.queueDepth.SetInt(s.queue.Len())
+		}
+	}
+	if s.closed && !s.draining {
+		return nil
+	}
+	return s.queue.PopFront()
+}
+
+// settleLocked decides a request's fate at its block boundary: deliver the
+// completion, shed it (cancel, shutdown, deadline, device fault), or
+// re-insert it into the queue. Caller holds s.mu.
+func (s *Server) settleLocked(nowMs float64, r *sched.Request, blockOK bool) {
+	switch {
+	case blockOK && r.Finished():
+		// Work is done — deliver even if the request was canceled or the
+		// server is stopping: the client paid for the answer.
+		r.DoneMs = nowMs
+		s.served++
+		agg := s.perModel[r.Model]
+		if agg == nil {
+			agg = &modelAgg{}
+			s.perModel[r.Model] = agg
+		}
+		rr := r.ResponseRatio()
+		agg.served++
+		agg.sumRR += rr
+		if rr > agg.maxRR {
+			agg.maxRR = rr
+		}
+		agg.sumWaitMs += r.E2EMs() - r.ExtMs
+		if rr > s.cfg.Alpha {
+			agg.violations++
+		}
+		agg.preempts += r.Preemptions
+		s.observeCompletion(r, rr)
+		s.emit(trace.Event{AtMs: nowMs, Kind: trace.Complete, ReqID: r.ID, Model: r.Model,
+			Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
+		s.resolveLocked(r.ID, outcome{req: r})
+	case r.Canceled:
+		s.shedLocked(nowMs, r, DropCanceled, ErrCanceled)
+	case s.closed && !s.draining:
+		s.shedLocked(nowMs, r, s.stopReason, s.stopCause)
+	case r.Expired(nowMs):
+		s.shedLocked(nowMs, r, DropDeadline, ErrDeadlineExceeded)
+	case !blockOK:
+		s.shedLocked(nowMs, r, DropDeviceFault, ErrDeviceFault)
+	default:
+		if pos := s.queue.InsertGreedy(nowMs, r); pos > 0 {
+			r.Preemptions++
+			if s.met != nil {
+				s.met.preemptions.Inc()
+			}
+			s.emit(trace.Event{AtMs: nowMs, Kind: trace.Preempt, ReqID: r.ID, Model: r.Model,
+				Block: r.Next, Detail: fmt.Sprintf("pos=%d", pos)})
+		}
+		if s.met != nil {
+			s.met.queueDepth.SetInt(s.queue.Len())
 		}
 	}
 }
@@ -408,33 +786,38 @@ func (s *Server) observeCompletion(r *sched.Request, rr float64) {
 }
 
 // enqueue wraps a model request (request wrapper + token scheduler insert)
-// and returns the channel that will deliver the completed request. Every
-// rejection path is typed and counted so live metrics can distinguish
-// causes.
-func (s *Server) enqueue(modelName string) (chan *sched.Request, error) {
+// and returns the request ID and the channel that will deliver the
+// outcome. deadlineMs > 0 sets a client-supplied deadline that many
+// virtual milliseconds after arrival. Every rejection path is typed and
+// counted so live metrics can distinguish causes.
+func (s *Server) enqueue(modelName string, deadlineMs float64) (int, chan outcome, error) {
 	s.mu.Lock()
-	ch, err := s.enqueueLocked(modelName)
-	evs := s.takePending()
+	id, ch, err := s.enqueueLocked(modelName, deadlineMs)
+	evs, dels := s.takeOut()
 	s.mu.Unlock()
-	s.flush(evs)
-	return ch, err
+	s.deliver(evs, dels)
+	return id, ch, err
 }
 
 // enqueueLocked is the body of enqueue. Caller holds s.mu.
-func (s *Server) enqueueLocked(modelName string) (chan *sched.Request, error) {
+func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan outcome, error) {
 	now := s.nowMs()
+	if s.start.IsZero() {
+		s.drop(now, modelName, DropNotStarted)
+		return 0, nil, ErrNotStarted
+	}
 	if s.closed {
 		s.drop(now, modelName, DropStopped)
-		return nil, ErrStopped
+		return 0, nil, ErrStopped
 	}
 	info, ok := s.cfg.Catalog[modelName]
 	if !ok {
 		s.drop(now, modelName, DropUnknownModel)
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
+		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
 	}
 	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
 		s.drop(now, modelName, DropQueueFull)
-		return nil, fmt.Errorf("%w: %d waiting", ErrQueueFull, s.queue.Len())
+		return 0, nil, fmt.Errorf("%w: %d waiting", ErrQueueFull, s.queue.Len())
 	}
 	blocks := s.cfg.Catalog.BlocksFor(modelName)
 	if len(blocks) > 1 {
@@ -447,6 +830,11 @@ func (s *Server) enqueueLocked(modelName string) (chan *sched.Request, error) {
 	id := s.nextID
 	s.nextID++
 	r := sched.NewRequest(id, modelName, info.Class, now, info.ExtMs, blocks)
+	if deadlineMs > 0 {
+		r.DeadlineMs = now + deadlineMs
+	} else if s.cfg.EnforceDeadlines {
+		r.SetDeadline(s.cfg.Alpha)
+	}
 	if s.met != nil {
 		s.met.requests[modelName].Inc()
 	}
@@ -456,10 +844,10 @@ func (s *Server) enqueueLocked(modelName string) (chan *sched.Request, error) {
 	if s.met != nil {
 		s.met.queueDepth.SetInt(s.queue.Len())
 	}
-	ch := make(chan *sched.Request, 1)
+	ch := make(chan outcome, 1)
 	s.waiters[id] = ch
 	s.cond.Signal()
-	return ch, nil
+	return id, ch, nil
 }
 
 // setElastic tracks §3.3 elastic-mode transitions for the gauge and the
@@ -498,6 +886,8 @@ type QueuedRequest struct {
 	// zero extra wait) — the live Figure 6 axis value.
 	CurrentRR   float64 `json:"current_rr"`
 	Preemptions int     `json:"preemptions"`
+	// DeadlineMs is the absolute virtual-time deadline, 0 when none.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
 // QueueSnapshot is the /queuez payload: the live queue plus rolling QoS.
@@ -506,6 +896,7 @@ type QueueSnapshot struct {
 	Alpha             float64         `json:"alpha"`
 	Depth             int             `json:"depth"`
 	Busy              bool            `json:"busy"`
+	Draining          bool            `json:"draining"`
 	Served            int             `json:"served"`
 	Dropped           int             `json:"dropped"`
 	ElasticSuppressed bool            `json:"elastic_suppressed"`
@@ -513,7 +904,9 @@ type QueueSnapshot struct {
 	Requests          []QueuedRequest `json:"requests"`
 }
 
-// QueueSnapshot captures the live queue state for the admin endpoint.
+// QueueSnapshot captures the live queue state for the admin endpoint. On a
+// server that has not started, NowMs and all derived times are 0 rather
+// than zero-epoch garbage.
 func (s *Server) QueueSnapshot() QueueSnapshot {
 	s.mu.Lock()
 	now := s.nowMs()
@@ -522,6 +915,7 @@ func (s *Server) QueueSnapshot() QueueSnapshot {
 		Alpha:             s.cfg.Alpha,
 		Depth:             s.queue.Len(),
 		Busy:              s.busy,
+		Draining:          s.draining,
 		Served:            s.served,
 		Dropped:           s.dropped,
 		ElasticSuppressed: s.elasticSuppressed,
@@ -538,6 +932,7 @@ func (s *Server) QueueSnapshot() QueueSnapshot {
 			WaitedMs:    now - r.ArriveMs,
 			CurrentRR:   r.PredictedPlainRR(now, 0),
 			Preemptions: r.Preemptions,
+			DeadlineMs:  r.DeadlineMs,
 		})
 	}
 	s.mu.Unlock()
@@ -552,7 +947,7 @@ func (s *Server) RollingQoS() *obs.RollingQoS { return s.qos }
 
 // Health is the /healthz payload.
 type Health struct {
-	Status     string  `json:"status"` // "ok" or "stopped"
+	Status     string  `json:"status"` // "ok", "draining" or "stopped"
 	UptimeS    float64 `json:"uptime_s"`
 	Models     int     `json:"models"`
 	Served     int     `json:"served"`
@@ -576,19 +971,68 @@ func (s *Server) Health() Health {
 	}
 	if s.closed {
 		h.Status = "stopped"
+		if s.draining {
+			h.Status = "draining"
+		}
 	}
 	return h
 }
 
-// Responder is the RPC surface (§4.2 "Responder"): it accepts user requests,
-// blocks until the scheduler completes them, and replies with the outcome.
+// Responder is the RPC surface (§4.2 "Responder"): it accepts user
+// requests, blocks until the scheduler completes or sheds them, and
+// replies with the outcome. Each client connection gets its own Responder
+// so that work submitted on a connection can be canceled when the
+// connection is lost.
 type Responder struct {
 	srv *Server
+	// mu guards calls: the requests submitted on this Responder's
+	// connection whose outcomes have not yet been claimed.
+	mu    sync.Mutex
+	calls map[int]chan outcome
+}
+
+// newResponder builds the per-connection RPC handler.
+func newResponder(s *Server) *Responder {
+	return &Responder{srv: s, calls: make(map[int]chan outcome)}
+}
+
+func (r *Responder) track(id int, ch chan outcome) {
+	r.mu.Lock()
+	r.calls[id] = ch
+	r.mu.Unlock()
+}
+
+func (r *Responder) untrack(id int) {
+	r.mu.Lock()
+	delete(r.calls, id)
+	r.mu.Unlock()
+}
+
+// cancelOrphans cancels every request submitted on this Responder's
+// connection that has not been delivered: the client is gone, so finishing
+// its work would burn device time nobody will read.
+func (r *Responder) cancelOrphans() {
+	r.mu.Lock()
+	ids := make([]int, 0, len(r.calls))
+	for id := range r.calls {
+		ids = append(ids, id)
+	}
+	r.calls = make(map[int]chan outcome)
+	r.mu.Unlock()
+	sort.Ints(ids) // deterministic cancel order for traces
+	for _, id := range ids {
+		r.srv.cancel(id, "connection lost")
+	}
 }
 
 // InferArgs names the model a user wants to run.
 type InferArgs struct {
 	Model string
+	// DeadlineMs, when > 0, sets the request's deadline that many virtual
+	// milliseconds after arrival, overriding the server-derived α·t_ext
+	// deadline. A request past its deadline is shed at the next block
+	// boundary with ErrDeadlineExceeded.
+	DeadlineMs float64
 }
 
 // InferReply reports the completed request's QoS outcome.
@@ -603,16 +1047,8 @@ type InferReply struct {
 	Preemptions   int
 }
 
-// Infer runs one inference request to completion.
-func (r *Responder) Infer(args InferArgs, reply *InferReply) error {
-	ch, err := r.srv.enqueue(args.Model)
-	if err != nil {
-		return err
-	}
-	req, ok := <-ch
-	if !ok {
-		return errors.New("serve: server stopped before request completed")
-	}
+// fill populates the reply from a completed request.
+func (reply *InferReply) fill(req *sched.Request) {
 	*reply = InferReply{
 		ReqID:         req.ID,
 		Model:         req.Model,
@@ -623,6 +1059,84 @@ func (r *Responder) Infer(args InferArgs, reply *InferReply) error {
 		ResponseRatio: req.ResponseRatio(),
 		Preemptions:   req.Preemptions,
 	}
+}
+
+// Infer runs one inference request to completion (or to a typed terminal
+// error: deadline, cancellation, drain, stop, device fault).
+func (r *Responder) Infer(args InferArgs, reply *InferReply) error {
+	id, ch, err := r.srv.enqueue(args.Model, args.DeadlineMs)
+	if err != nil {
+		return err
+	}
+	r.track(id, ch)
+	out := <-ch
+	r.untrack(id)
+	if out.err != nil {
+		return out.err
+	}
+	reply.fill(out.req)
+	return nil
+}
+
+// SubmitReply reports the ID of an asynchronously submitted request.
+type SubmitReply struct {
+	ReqID int
+}
+
+// Submit enqueues a request and returns immediately with its ID; the
+// client claims the outcome with Wait and may Cancel it meanwhile. The
+// pending outcome is scoped to this connection: if the connection drops
+// before Wait, the request is canceled.
+func (r *Responder) Submit(args InferArgs, reply *SubmitReply) error {
+	id, ch, err := r.srv.enqueue(args.Model, args.DeadlineMs)
+	if err != nil {
+		return err
+	}
+	r.track(id, ch)
+	reply.ReqID = id
+	return nil
+}
+
+// WaitArgs names the submitted request to wait for.
+type WaitArgs struct {
+	ReqID int
+}
+
+// Wait blocks until the submitted request completes or is shed, then
+// reports the outcome. Waiting on an ID not submitted on this connection
+// (or already claimed) is an error.
+func (r *Responder) Wait(args WaitArgs, reply *InferReply) error {
+	r.mu.Lock()
+	ch := r.calls[args.ReqID]
+	r.mu.Unlock()
+	if ch == nil {
+		return fmt.Errorf("serve: no pending request %d on this connection", args.ReqID)
+	}
+	out := <-ch
+	r.untrack(args.ReqID)
+	if out.err != nil {
+		return out.err
+	}
+	reply.fill(out.req)
+	return nil
+}
+
+// CancelArgs names the request to cancel.
+type CancelArgs struct {
+	ReqID int
+}
+
+// CancelReply reports what the cancellation found ("queued", "inflight",
+// "unknown").
+type CancelReply struct {
+	State string
+}
+
+// Cancel cancels a pending request: queued work is removed immediately,
+// in-flight work stops at its next block boundary. The canceled request's
+// Wait (or Infer) receives ErrCanceled.
+func (r *Responder) Cancel(args CancelArgs, reply *CancelReply) error {
+	reply.State = string(r.srv.Cancel(args.ReqID))
 	return nil
 }
 
@@ -639,10 +1153,12 @@ func (r *Responder) Stats(_ struct{}, reply *StatsReply) error {
 	r.srv.mu.Lock()
 	defer r.srv.mu.Unlock()
 	*reply = StatsReply{
-		Served:  r.srv.served,
-		Queued:  r.srv.queue.Len(),
-		Models:  len(r.srv.cfg.Catalog),
-		UptimeS: time.Since(r.srv.start).Seconds(),
+		Served: r.srv.served,
+		Queued: r.srv.queue.Len(),
+		Models: len(r.srv.cfg.Catalog),
+	}
+	if !r.srv.start.IsZero() {
+		reply.UptimeS = time.Since(r.srv.start).Seconds()
 	}
 	return nil
 }
@@ -708,8 +1224,14 @@ func Dial(addr string) (*Client, error) {
 
 // Infer runs one request synchronously.
 func (c *Client) Infer(modelName string) (InferReply, error) {
+	return c.InferDeadline(modelName, 0)
+}
+
+// InferDeadline runs one request synchronously with a client-supplied
+// deadline (virtual milliseconds after arrival; 0 = server default).
+func (c *Client) InferDeadline(modelName string, deadlineMs float64) (InferReply, error) {
 	var reply InferReply
-	err := c.rpc.Call("SPLIT.Infer", InferArgs{Model: modelName}, &reply)
+	err := c.rpc.Call("SPLIT.Infer", InferArgs{Model: modelName, DeadlineMs: deadlineMs}, &reply)
 	return reply, err
 }
 
@@ -717,6 +1239,27 @@ func (c *Client) Infer(modelName string) (InferReply, error) {
 func (c *Client) InferAsync(modelName string) *rpc.Call {
 	reply := new(InferReply)
 	return c.rpc.Go("SPLIT.Infer", InferArgs{Model: modelName}, reply, nil)
+}
+
+// Submit enqueues a request and returns its ID without waiting.
+func (c *Client) Submit(modelName string, deadlineMs float64) (int, error) {
+	var reply SubmitReply
+	err := c.rpc.Call("SPLIT.Submit", InferArgs{Model: modelName, DeadlineMs: deadlineMs}, &reply)
+	return reply.ReqID, err
+}
+
+// Wait claims the outcome of a submitted request.
+func (c *Client) Wait(reqID int) (InferReply, error) {
+	var reply InferReply
+	err := c.rpc.Call("SPLIT.Wait", WaitArgs{ReqID: reqID}, &reply)
+	return reply, err
+}
+
+// Cancel cancels a pending request and reports what it found.
+func (c *Client) Cancel(reqID int) (CancelState, error) {
+	var reply CancelReply
+	err := c.rpc.Call("SPLIT.Cancel", CancelArgs{ReqID: reqID}, &reply)
+	return CancelState(reply.State), err
 }
 
 // Stats fetches server counters.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"split/internal/metrics"
 	"split/internal/model"
@@ -296,8 +297,8 @@ func TestModelStats(t *testing.T) {
 	}
 }
 
-// unstartedServer builds a server without launching the executor, so queue
-// contents are deterministic for enqueue/snapshot tests.
+// unstartedServer builds a server whose clock is running but whose executor
+// is not, so queue contents are deterministic for enqueue/snapshot tests.
 func unstartedServer(t *testing.T, mut func(*Config)) *Server {
 	t.Helper()
 	cfg := Config{Catalog: testCatalog(), Alpha: 4, TimeScale: 1}
@@ -308,26 +309,50 @@ func unstartedServer(t *testing.T, mut func(*Config)) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Start the virtual clock without Start's listener/executor machinery:
+	// enqueue rejects requests while the epoch is unset.
+	srv.start = time.Now()
 	return srv
+}
+
+func TestEnqueueBeforeStartRejected(t *testing.T) {
+	srv, err := NewServer(Config{Catalog: testCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.enqueue("short", 0); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("enqueue before Start: %v", err)
+	}
+	// The snapshot of a never-started server must not report zero-epoch
+	// garbage uptimes.
+	snap := srv.QueueSnapshot()
+	if snap.NowMs != 0 {
+		t.Errorf("NowMs = %v before Start, want 0", snap.NowMs)
+	}
+	if h := srv.Health(); h.UptimeS != 0 || h.Dropped != 1 {
+		t.Errorf("health = %+v", h)
+	}
 }
 
 func TestTypedRejectionErrors(t *testing.T) {
 	srv := unstartedServer(t, func(c *Config) { c.MaxQueue = 1 })
-	if _, err := srv.enqueue("mystery"); !errors.Is(err, ErrUnknownModel) {
+	if _, _, err := srv.enqueue("mystery", 0); !errors.Is(err, ErrUnknownModel) {
 		t.Errorf("unknown model: %v", err)
 	}
-	if _, err := srv.enqueue("long"); err != nil {
+	if _, _, err := srv.enqueue("long", 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.enqueue("short"); !errors.Is(err, ErrQueueFull) {
+	if _, _, err := srv.enqueue("short", 0); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("full queue: %v", err)
 	}
 	srv.Stop()
-	if _, err := srv.enqueue("short"); !errors.Is(err, ErrStopped) {
+	if _, _, err := srv.enqueue("short", 0); !errors.Is(err, ErrStopped) {
 		t.Errorf("stopped server: %v", err)
 	}
+	// Drops: mystery, queue-full short, the queued long shed by Stop, and
+	// the post-stop short.
 	h := srv.Health()
-	if h.Status != "stopped" || h.Dropped != 3 {
+	if h.Status != "stopped" || h.Dropped != 4 {
 		t.Errorf("health = %+v", h)
 	}
 }
@@ -335,9 +360,9 @@ func TestTypedRejectionErrors(t *testing.T) {
 func TestDropsCountedByReason(t *testing.T) {
 	reg := obs.NewRegistry()
 	srv := unstartedServer(t, func(c *Config) { c.MaxQueue = 1; c.Obs = reg })
-	srv.enqueue("mystery")
-	srv.enqueue("long")
-	srv.enqueue("short")
+	srv.enqueue("mystery", 0)
+	srv.enqueue("long", 0)
+	srv.enqueue("short", 0)
 	var b strings.Builder
 	if err := reg.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
@@ -364,14 +389,12 @@ func TestElasticSuppressionObserved(t *testing.T) {
 		c.Sink = ring
 		c.Elastic = sched.Elastic{Enabled: true, HighLoadQueueLen: 2}
 	})
-	srv.enqueue("long")
-	srv.enqueue("long")
+	srv.enqueue("long", 0)
+	srv.enqueue("long", 0)
 	// Queue now holds 2 requests: the elastic trigger fires for the third.
-	ch, err := srv.enqueue("long")
-	if err != nil {
+	if _, _, err := srv.enqueue("long", 0); err != nil {
 		t.Fatal(err)
 	}
-	_ = ch
 	snap := srv.QueueSnapshot()
 	if !snap.ElasticSuppressed {
 		t.Error("elastic suppression not reflected in snapshot")
@@ -395,8 +418,8 @@ func TestElasticSuppressionObserved(t *testing.T) {
 
 func TestQueueSnapshotContents(t *testing.T) {
 	srv := unstartedServer(t, nil)
-	srv.enqueue("long")
-	srv.enqueue("short")
+	srv.enqueue("long", 0)
+	srv.enqueue("short", 0)
 	snap := srv.QueueSnapshot()
 	if snap.Depth != 2 || len(snap.Requests) != 2 || snap.Alpha != 4 {
 		t.Fatalf("snapshot = %+v", snap)

@@ -29,6 +29,21 @@ const (
 	// ElasticOn means splitting is being suppressed (elastic mode active).
 	ElasticOn  EventKind = "elastic_on"
 	ElasticOff EventKind = "elastic_off"
+	// Shed records a request dropped after it was enqueued — deadline
+	// expiry, cancellation, drain timeout, stop, or device fault — with the
+	// drop reason in Detail. Distinct from Drop, which records pre-enqueue
+	// rejections.
+	Shed EventKind = "shed"
+	// Cancel records a cancellation taking effect on a request (Detail says
+	// whether it was queued or in flight, and why).
+	Cancel EventKind = "cancel"
+	// Fault records an injected device fault on a block attempt: a latency
+	// spike, a transient failure being retried, or a terminal device fault.
+	Fault EventKind = "fault"
+	// DrainStart / DrainEnd bracket a graceful drain: between them the
+	// server accepts no new work and is finishing or shedding the backlog.
+	DrainStart EventKind = "drain_start"
+	DrainEnd   EventKind = "drain_end"
 )
 
 // Event is one timeline entry.

@@ -16,6 +16,15 @@ type Arrival struct {
 	ID    int
 	Model string
 	AtMs  float64
+	// DeadlineMs, when > 0, is a client-supplied relative deadline: the
+	// request must finish within this many ms of AtMs or be shed. 0 leaves
+	// the deadline to the system's policy (α·t_ext when deadline
+	// enforcement is on, none otherwise).
+	DeadlineMs float64
+	// CancelAtMs, when > 0, is the absolute time at which the client
+	// cancels the request: queued work is removed, in-flight work stops at
+	// its next block boundary. 0 means the client never cancels.
+	CancelAtMs float64
 }
 
 // Scenario is a Table 2 row: a mean arrival interval and its load label.

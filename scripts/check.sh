@@ -16,4 +16,9 @@ go vet ./...
 go build ./...
 go run ./cmd/splitlint ./...
 go test -race ./...
+
+# Brief fuzz smoke past the seed corpora; CI runs the same targets longer.
+for target in FuzzInsertGreedy FuzzQueueLifecycle FuzzDeadlineSweep; do
+    go test ./internal/sched -run '^$' -fuzz "$target" -fuzztime "${FUZZTIME:-2s}"
+done
 echo "check: ok"
