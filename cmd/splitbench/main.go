@@ -12,6 +12,7 @@
 //	splitbench -table2
 //	splitbench -summary
 //	splitbench -ablation search|evenness|elastic|blocks|init|starvation|burstiness|shedding
+//	splitbench -ablation placement [-devices 2] [-csv placement.csv]
 package main
 
 import (
@@ -45,13 +46,18 @@ func run(args []string, out io.Writer) error {
 		table2   = fs.Bool("table2", false, "print Table 2 scenarios")
 		stab     = fs.Bool("stability", false, "print the §5.1 hardware-tolerance stability sweep")
 		summary  = fs.Bool("summary", false, "print per-scenario QoS summaries")
-		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness|shedding")
+		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness|shedding|placement")
+		devices  = fs.Int("devices", 2, "fleet size for -ablation placement")
+		csvPath  = fs.String("csv", "", "also write -ablation placement rows as CSV to this file")
 		systems  = fs.String("systems", "", "comma-separated system list for -fig6/-fig7/-summary (default: the paper's four; add REEF or Stream-Parallel here)")
 		seeds    = fs.Int("seeds", 1, "replications for -fig6/-fig7; >1 reports mean±std over seeds")
 		seed     = fs.Int64("seed", 1, "workload seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ablation == "placement" && *devices < 1 {
+		return fmt.Errorf("-devices must be >= 1, got %d", *devices)
 	}
 	cm := model.DefaultCostModel()
 	ran := false
@@ -70,7 +76,7 @@ func run(args []string, out io.Writer) error {
 
 	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab ||
 		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness" ||
-		*ablation == "shedding"
+		*ablation == "shedding" || *ablation == "placement"
 	var dep *core.Deployment
 	if needDeploy {
 		var err error
@@ -161,6 +167,23 @@ func run(args []string, out io.Writer) error {
 	case "shedding":
 		ran = true
 		fmt.Fprint(out, core.RenderSheddingAblation(core.SheddingAblation(dep, *seed)))
+	case "placement":
+		ran = true
+		rows := core.PlacementAblation(dep, *devices, *seed)
+		fmt.Fprint(out, core.RenderPlacementAblation(rows))
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				return err
+			}
+			if err := core.PlacementAblationCSV(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
 	case "init":
 		ran = true
 		rows, err := core.InitAblation(cm, *seed)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -60,6 +62,29 @@ func TestBlocksAblationOutput(t *testing.T) {
 	out := runOK(t, "-ablation", "blocks")
 	if !strings.Contains(out, "E[wait] GA") || strings.Count(out, "resnet50") < 8 {
 		t.Errorf("blocks ablation output wrong:\n%s", out[:200])
+	}
+}
+
+func TestPlacementAblationOutput(t *testing.T) {
+	csv := filepath.Join(t.TempDir(), "placement.csv")
+	out := runOK(t, "-ablation", "placement", "-devices", "2", "-csv", csv)
+	for _, want := range []string{"round-robin", "least-loaded", "affinity", "util mean/min/max"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("placement output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "scenario,devices,placement,") {
+		t.Errorf("placement CSV wrong:\n%s", data)
+	}
+
+	var b strings.Builder
+	if err := run([]string{"-ablation", "placement", "-devices", "0"}, &b); err == nil {
+		t.Error("-devices 0 accepted")
 	}
 }
 

@@ -10,6 +10,7 @@
 //	splitd -addr 127.0.0.1:7100 -admin 127.0.0.1:7101
 //	splitd -addr 127.0.0.1:7100 -deadlines -drain-timeout 5s
 //	splitd -addr 127.0.0.1:7100 -fault-fail-prob 0.01 -fault-retries 2
+//	splitd -addr 127.0.0.1:7100 -devices 4 -placement least-loaded
 //
 // With -admin set, a live observability endpoint serves /metrics
 // (Prometheus text), /healthz, /queuez (JSON queue snapshot), /tracez
@@ -22,6 +23,10 @@
 // timeout lapses is shed — so shutdown is bounded by the timeout. The
 // -fault-* flags inject deterministic block-latency spikes and transient
 // block failures for resilience testing.
+//
+// With -devices N > 1, the daemon schedules a fleet of N devices — one
+// executor and queue per device — and routes each arrival with the
+// -placement policy ("round-robin", "least-loaded" or "affinity").
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"split/internal/model"
 	"split/internal/obs"
 	"split/internal/onnxlite"
+	"split/internal/place"
 	"split/internal/policy"
 	"split/internal/sched"
 	"split/internal/serve"
@@ -77,6 +83,8 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		maxQueue  = fs.Int("max-queue", 0, "reject requests once this many are waiting (0 = unbounded)")
 		ringCap   = fs.Int("trace-ring", 4096, "flight-recorder capacity in events (with -admin)")
 		qosWindow = fs.Int("qos-window", 0, "rolling QoS window in completions (0 = default)")
+		devices   = fs.Int("devices", 1, "fleet size: executors and queues, one per device")
+		placement = fs.String("placement", "", "fleet placement policy: round-robin|least-loaded|affinity (default round-robin)")
 
 		deadlines  = fs.Bool("deadlines", false, "enforce per-request deadlines of α·t_ext; shed doomed work at block boundaries")
 		predictive = fs.Bool("predictive-shed", false, "with -deadlines, also shed requests that cannot finish in time even if not yet expired")
@@ -123,6 +131,8 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		QoSWindow:        *qosWindow,
 		EnforceDeadlines: *deadlines,
 		PredictiveShed:   *predictive,
+		Devices:          *devices,
+		Placement:        *placement,
 	}
 	if *spikeProb > 0 || *failProb > 0 {
 		cfg.Faults = &gpusim.FaultInjector{
@@ -178,6 +188,13 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 
 	fmt.Fprintf(out, "splitd serving %d models on %s (timescale %.2f, α=%.0f)\n",
 		len(catalog), srv.Addr(), *timescale, *alpha)
+	if *devices > 1 {
+		pol := *placement
+		if pol == "" {
+			pol = place.Default
+		}
+		fmt.Fprintf(out, "fleet: %d devices, %s placement\n", *devices, pol)
+	}
 	if ready != nil {
 		ready <- srv.Addr()
 	}

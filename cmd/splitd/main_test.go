@@ -81,6 +81,69 @@ func TestDaemonServesAndStops(t *testing.T) {
 	}
 }
 
+// TestDaemonFleet boots a 2-device daemon and checks the fleet shape is
+// negotiated back to the client and reported in the log.
+func TestDaemonFleet(t *testing.T) {
+	dir := t.TempDir()
+	if err := onnxlite.SavePlan(filepath.Join(dir, "vgg19.plan.json"), planFor(t, "vgg19", []int{16, 29})); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	out := &syncBuilder{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-plans", dir,
+			"-timescale", "0.01",
+			"-devices", "2",
+			"-placement", "least-loaded",
+		}, out, ready, nil, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	client, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devs, pol := client.Fleet(); devs != 2 || pol != "least-loaded" {
+		t.Errorf("negotiated fleet = (%d, %q)", devs, pol)
+	}
+	if _, err := client.Infer("vgg19"); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit error: %v", err)
+	}
+	if o := out.String(); !strings.Contains(o, "fleet: 2 devices, least-loaded placement") {
+		t.Errorf("daemon log: %s", o)
+	}
+}
+
+// TestDaemonRejectsUnknownPlacement: an invalid -placement fails fast.
+func TestDaemonRejectsUnknownPlacement(t *testing.T) {
+	dir := t.TempDir()
+	if err := onnxlite.SavePlan(filepath.Join(dir, "yolov2.plan.json"), planFor(t, "yolov2", []int{40})); err != nil {
+		t.Fatal(err)
+	}
+	out := &syncBuilder{}
+	stop := make(chan struct{})
+	close(stop)
+	err := run([]string{"-addr", "127.0.0.1:0", "-plans", dir, "-devices", "2", "-placement", "nope"}, out, nil, nil, stop)
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("unknown placement accepted: %v", err)
+	}
+}
+
 func TestDaemonCannotListenOnOccupiedPort(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

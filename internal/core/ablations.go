@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 
@@ -9,9 +10,11 @@ import (
 	"split/internal/ga"
 	"split/internal/metrics"
 	"split/internal/model"
+	"split/internal/place"
 	"split/internal/policy"
 	"split/internal/profiler"
 	"split/internal/stats"
+	"split/internal/trace"
 	"split/internal/workload"
 	"split/internal/zoo"
 )
@@ -574,6 +577,96 @@ func RenderSheddingAblation(rows []SheddingRow) string {
 			r.Scenario.Name, r.Mode, r.Dropped, r.Viol4*100, r.MeanRR, r.MeanWaitMs)
 	}
 	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 10 — fleet placement policies (extension beyond the paper)
+// ---------------------------------------------------------------------------
+
+// PlacementRow compares one fleet placement policy on the heavy scenario.
+type PlacementRow struct {
+	Scenario  workload.Scenario
+	Devices   int
+	Placement string
+	MeanRR    float64
+	Viol4     float64
+	JitterSMs float64
+	// Per-device utilization spread over the trace horizon: a policy that
+	// balances well has a narrow min..max band.
+	UtilMean float64
+	UtilMin  float64
+	UtilMax  float64
+}
+
+// PlacementAblation replays the heaviest Table 2 scenario through the
+// fleet simulator under every placement policy. The arrival rate is scaled
+// by the device count so each device sees Scenario6-level load — otherwise
+// adding devices would turn the heavy scenario into an idle one and every
+// policy would look alike.
+func PlacementAblation(d *Deployment, devices int, seed int64) []PlacementRow {
+	sc := workload.Table2()[5]
+	cfg := workload.ForScenario(sc, zoo.BenchmarkModels, seed)
+	cfg.MeanIntervalMs /= float64(devices)
+	arrivals := workload.MustGenerate(cfg)
+	var rows []PlacementRow
+	for _, pol := range place.Names() {
+		sys := policy.NewSplit()
+		sys.Devices = devices
+		sys.Placement = pol
+		tr := trace.New()
+		recs := sys.Run(arrivals, d.Catalog, tr)
+		sum := metrics.Summarize(pol, recs)
+		row := PlacementRow{
+			Scenario:  sc,
+			Devices:   devices,
+			Placement: pol,
+			MeanRR:    sum.MeanRR,
+			Viol4:     sum.ViolationAt4,
+			JitterSMs: sum.JitterShortMs,
+		}
+		if an := tr.Analyze(); an.HorizonMs > 0 {
+			for i := 0; i < devices; i++ {
+				u := an.PerDeviceBusyMs[i] / an.HorizonMs
+				row.UtilMean += u / float64(devices)
+				if i == 0 || u < row.UtilMin {
+					row.UtilMin = u
+				}
+				if u > row.UtilMax {
+					row.UtilMax = u
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderPlacementAblation formats the rows.
+func RenderPlacementAblation(rows []PlacementRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %7s %-13s %8s %8s %10s %22s\n",
+		"scenario", "devices", "placement", "meanRR", "viol@4", "jitterS", "util mean/min/max")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %7d %-13s %8.2f %7.1f%% %10.2f %6.1f%% %6.1f%% %6.1f%%\n",
+			r.Scenario.Name, r.Devices, r.Placement, r.MeanRR, r.Viol4*100, r.JitterSMs,
+			r.UtilMean*100, r.UtilMin*100, r.UtilMax*100)
+	}
+	return b.String()
+}
+
+// PlacementAblationCSV writes the rows as CSV with a header.
+func PlacementAblationCSV(w io.Writer, rows []PlacementRow) error {
+	if _, err := fmt.Fprintln(w, "scenario,devices,placement,mean_rr,viol_at_4,jitter_short_ms,util_mean,util_min,util_max"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			r.Scenario.Name, r.Devices, r.Placement, r.MeanRR, r.Viol4, r.JitterSMs,
+			r.UtilMean, r.UtilMin, r.UtilMax); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -57,9 +57,24 @@ func (f *FaultInjector) Draw(reqID, block, attempt int) BlockFault {
 // Salts decouple the spike draw from the failure draw at the same
 // coordinates.
 const (
-	saltSpike uint64 = 0x53504b45 // "SPKE"
-	saltFail  uint64 = 0x4641494c // "FAIL"
+	saltSpike  uint64 = 0x53504b45 // "SPKE"
+	saltFail   uint64 = 0x4641494c // "FAIL"
+	saltDevice uint64 = 0x44455649 // "DEVI"
 )
+
+// ForDevice derives the device-local injector for one fleet member.
+// Device 0 returns the receiver itself, so a single-device fleet replays
+// the base injector's exact fault schedule bit-for-bit; other devices get
+// a copy with a splitmix64-decorrelated seed, so fleet members fail
+// independently while every run stays deterministic. Nil-safe.
+func (f *FaultInjector) ForDevice(dev int) *FaultInjector {
+	if f == nil || dev == 0 {
+		return f
+	}
+	d := *f
+	d.Seed = int64(splitmix64(uint64(f.Seed) ^ saltDevice ^ uint64(dev)))
+	return &d
+}
 
 // Exhausted reports whether a failing attempt index has consumed the
 // retry budget: attempts 0..MaxRetries may run, so a failure on attempt

@@ -1,0 +1,103 @@
+package gpusim
+
+// This file generalizes the simulator from one shared device to a fleet:
+// a DevicePool is N independent device timelines advancing under ONE
+// virtual clock. Each Device serializes its own blocks (the paper's
+// single-GPU execution model, replicated), carries its own fault
+// schedule, and accounts its own occupancy so fleet experiments can
+// report per-device utilization. The pool itself owns no scheduling —
+// which queue a request joins is the placement layer's decision
+// (internal/place); the pool only guards and measures the timelines.
+
+import "fmt"
+
+// Device is one execution timeline of a DevicePool. Exactly one block may
+// occupy it at a time; Acquire/Release bracket each block and accumulate
+// occupancy.
+type Device struct {
+	// ID is the device index in the pool, 0-based.
+	ID int
+	// Faults is the device-local fault schedule (nil when the pool was
+	// built without fault injection). Device 0 replays the base injector's
+	// exact schedule so single-device runs stay bit-identical.
+	Faults *FaultInjector
+
+	busy        bool
+	busySinceMs float64
+	busyMs      float64
+	blocks      int
+}
+
+// Busy reports whether a block currently occupies the device.
+func (d *Device) Busy() bool { return d.busy }
+
+// Acquire marks the device occupied from nowMs. Acquiring a busy device
+// panics: two blocks on one timeline is always a scheduler bug.
+func (d *Device) Acquire(nowMs float64) {
+	if d.busy {
+		panic(fmt.Sprintf("gpusim: device %d acquired while busy", d.ID))
+	}
+	d.busy = true
+	d.busySinceMs = nowMs
+}
+
+// Release marks the device idle at nowMs and accounts the occupancy.
+// Releasing an idle device panics.
+func (d *Device) Release(nowMs float64) {
+	if !d.busy {
+		panic(fmt.Sprintf("gpusim: device %d released while idle", d.ID))
+	}
+	d.busy = false
+	d.busyMs += nowMs - d.busySinceMs
+	d.blocks++
+}
+
+// BusyMs returns the accumulated occupancy in virtual milliseconds
+// (completed holds only; an in-progress hold is not counted until
+// Release).
+func (d *Device) BusyMs() float64 { return d.busyMs }
+
+// Blocks returns the number of completed device holds.
+func (d *Device) Blocks() int { return d.blocks }
+
+// Utilization returns BusyMs over the given horizon, or 0 for a
+// non-positive horizon.
+func (d *Device) Utilization(horizonMs float64) float64 {
+	if horizonMs <= 0 {
+		return 0
+	}
+	return d.busyMs / horizonMs
+}
+
+// DevicePool is a fleet of N device timelines under one simulator clock.
+type DevicePool struct {
+	sim     *Sim
+	devices []*Device
+}
+
+// NewDevicePool builds n devices sharing sim's clock. faults, when
+// non-nil, is split per device with ForDevice: device 0 keeps the base
+// schedule, others get decorrelated seeds. n < 1 panics.
+func NewDevicePool(sim *Sim, n int, faults *FaultInjector) *DevicePool {
+	if n < 1 {
+		panic(fmt.Sprintf("gpusim: device pool size %d, want >= 1", n))
+	}
+	p := &DevicePool{sim: sim, devices: make([]*Device, n)}
+	for i := range p.devices {
+		p.devices[i] = &Device{ID: i, Faults: faults.ForDevice(i)}
+	}
+	return p
+}
+
+// Sim returns the shared clock.
+func (p *DevicePool) Sim() *Sim { return p.sim }
+
+// Len returns the fleet size.
+func (p *DevicePool) Len() int { return len(p.devices) }
+
+// Device returns device i.
+func (p *DevicePool) Device(i int) *Device { return p.devices[i] }
+
+// Devices returns the fleet in ID order; callers must not mutate the
+// slice.
+func (p *DevicePool) Devices() []*Device { return p.devices }

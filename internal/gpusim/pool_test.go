@@ -1,0 +1,107 @@
+package gpusim
+
+import "testing"
+
+func TestDevicePoolAccounting(t *testing.T) {
+	sim := New()
+	pool := NewDevicePool(sim, 2, nil)
+	if pool.Len() != 2 || pool.Sim() != sim {
+		t.Fatalf("pool shape: len=%d", pool.Len())
+	}
+	d0, d1 := pool.Device(0), pool.Device(1)
+	// Two overlapping holds on different timelines under one clock.
+	sim.At(0, func(now float64) { d0.Acquire(now) })
+	sim.At(5, func(now float64) { d1.Acquire(now) })
+	sim.At(20, func(now float64) { d0.Release(now) })
+	sim.At(45, func(now float64) { d1.Release(now) })
+	sim.Run()
+	if got := d0.BusyMs(); got != 20 {
+		t.Errorf("d0 busy = %v ms, want 20", got)
+	}
+	if got := d1.BusyMs(); got != 40 {
+		t.Errorf("d1 busy = %v ms, want 40", got)
+	}
+	if d0.Blocks() != 1 || d1.Blocks() != 1 {
+		t.Errorf("blocks = %d,%d, want 1,1", d0.Blocks(), d1.Blocks())
+	}
+	if got := d1.Utilization(80); got != 0.5 {
+		t.Errorf("d1 utilization over 80ms = %v, want 0.5", got)
+	}
+	if got := d1.Utilization(0); got != 0 {
+		t.Errorf("utilization over empty horizon = %v, want 0", got)
+	}
+}
+
+func TestDeviceDoubleAcquirePanics(t *testing.T) {
+	d := &Device{}
+	d.Acquire(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double acquire did not panic")
+			}
+		}()
+		d.Acquire(1)
+	}()
+	d.Release(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double release did not panic")
+			}
+		}()
+		d.Release(3)
+	}()
+}
+
+func TestNewDevicePoolRejectsEmptyFleet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty pool did not panic")
+		}
+	}()
+	NewDevicePool(New(), 0, nil)
+}
+
+// TestForDeviceZeroIsIdentity pins the single-device bit-identity
+// guarantee: device 0 shares the base injector, so every draw matches.
+func TestForDeviceZeroIsIdentity(t *testing.T) {
+	base := &FaultInjector{Seed: 7, SpikeProb: 0.3, SpikeFactor: 2, FailProb: 0.2, MaxRetries: 1}
+	if got := base.ForDevice(0); got != base {
+		t.Error("ForDevice(0) is not the base injector")
+	}
+	var nilInj *FaultInjector
+	if nilInj.ForDevice(3) != nil {
+		t.Error("nil injector did not stay nil")
+	}
+}
+
+// TestForDeviceDecorrelates: sibling devices draw different schedules but
+// each device's schedule is stable across derivations.
+func TestForDeviceDecorrelates(t *testing.T) {
+	base := &FaultInjector{Seed: 7, SpikeProb: 0.5, SpikeFactor: 2, FailProb: 0.5, MaxRetries: 1}
+	d1, d2 := base.ForDevice(1), base.ForDevice(2)
+	if d1.Seed == base.Seed || d2.Seed == base.Seed || d1.Seed == d2.Seed {
+		t.Fatalf("seeds not decorrelated: base=%d d1=%d d2=%d", base.Seed, d1.Seed, d2.Seed)
+	}
+	if again := base.ForDevice(1); again.Seed != d1.Seed {
+		t.Error("ForDevice(1) not stable across calls")
+	}
+	// The pool wires the derived injectors in device order.
+	pool := NewDevicePool(New(), 3, base)
+	if pool.Device(0).Faults != base {
+		t.Error("pool device 0 lost the base schedule")
+	}
+	if pool.Device(1).Faults.Seed != d1.Seed || pool.Device(2).Faults.Seed != d2.Seed {
+		t.Error("pool devices 1,2 have wrong derived seeds")
+	}
+	differ := false
+	for i := 0; i < 64 && !differ; i++ {
+		if d1.Draw(i, 0, 0) != d2.Draw(i, 0, 0) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("derived injectors drew identical schedules over 64 draws")
+	}
+}

@@ -16,13 +16,13 @@ import (
 // WriteRecordsCSV emits per-request records as CSV with a header, the raw
 // data behind every figure.
 func WriteRecordsCSV(w io.Writer, recs []policy.Record) error {
-	if _, err := fmt.Fprintln(w, "id,model,class,arrive_ms,start_ms,done_ms,ext_ms,e2e_ms,wait_ms,response_ratio,preemptions,split"); err != nil {
+	if _, err := fmt.Fprintln(w, "id,model,class,arrive_ms,start_ms,done_ms,ext_ms,e2e_ms,wait_ms,response_ratio,preemptions,split,device"); err != nil {
 		return err
 	}
 	for _, r := range recs {
-		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%t\n",
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%d,%t,%d\n",
 			r.ID, r.Model, r.Class, r.ArriveMs, r.StartMs, r.DoneMs, r.ExtMs,
-			r.E2EMs(), r.WaitMs(), r.ResponseRatio(), r.Preemptions, r.Split); err != nil {
+			r.E2EMs(), r.WaitMs(), r.ResponseRatio(), r.Preemptions, r.Split, r.Device); err != nil {
 			return err
 		}
 	}
@@ -81,6 +81,13 @@ func ReadRecordsCSV(r io.Reader) ([]policy.Record, error) {
 		}
 		if rec.Split, err = strconv.ParseBool(fields[col["split"]]); err != nil {
 			return nil, fail("split", err)
+		}
+		// device is optional so archives written before the fleet format
+		// revision keep loading; absent means device 0.
+		if i, ok := col["device"]; ok {
+			if rec.Device, err = strconv.Atoi(fields[i]); err != nil {
+				return nil, fail("device", err)
+			}
 		}
 		recs = append(recs, rec)
 	}

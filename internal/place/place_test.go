@@ -1,0 +1,137 @@
+package place
+
+import (
+	"testing"
+)
+
+func idle(n int) []Load {
+	fleet := make([]Load, n)
+	for i := range fleet {
+		fleet[i].Device = i
+	}
+	return fleet
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("round-robin", 0); err == nil {
+		t.Error("fleet size 0 accepted")
+	}
+	if _, err := New("josek", 2); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	for _, name := range append(Names(), "") {
+		p, err := New(name, 3)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = Default
+		}
+		if p.Name() != want {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p, _ := New(RoundRobin, 3)
+	var got []int
+	for i := 0; i < 7; i++ {
+		got = append(got, p.Place(Request{ID: i}, idle(3)))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("placements = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeastLoadedJoinsShortestBacklog(t *testing.T) {
+	p, _ := New(LeastLoaded, 3)
+	fleet := idle(3)
+	fleet[0].QueuedMs, fleet[0].InflightMs = 40, 10
+	fleet[1].QueuedMs, fleet[1].InflightMs = 0, 30
+	fleet[2].QueuedMs, fleet[2].InflightMs = 45, 0
+	if dev := p.Place(Request{}, fleet); dev != 1 {
+		t.Errorf("placed on %d, want 1 (expected backlog 30 < 45 < 50)", dev)
+	}
+	fleet[1].InflightMs = 46
+	if dev := p.Place(Request{}, fleet); dev != 2 {
+		t.Errorf("placed on %d, want 2 (45 < 46 < 50)", dev)
+	}
+	// Ties break toward the lowest device ID.
+	fleet[1].InflightMs = 50
+	fleet[2].InflightMs = 5 // all at 50
+	if dev := p.Place(Request{}, fleet); dev != 0 {
+		t.Errorf("placed on %d, want 0 (three-way tie breaks low)", dev)
+	}
+}
+
+func TestAffinityPinsModelsAndSpreads(t *testing.T) {
+	p, _ := New(Affinity, 2)
+	fleet := idle(2)
+	a0 := p.Place(Request{Model: "a"}, fleet)
+	b0 := p.Place(Request{Model: "b"}, fleet)
+	c0 := p.Place(Request{Model: "c"}, fleet)
+	if a0 != 0 || b0 != 1 || c0 != 0 {
+		t.Errorf("first sightings on %d,%d,%d; want 0,1,0 (fewest-warm spread)", a0, b0, c0)
+	}
+	// Repeats stay home regardless of load.
+	fleet[0].QueuedMs = 1e6
+	for i := 0; i < 3; i++ {
+		if dev := p.Place(Request{Model: "a"}, fleet); dev != a0 {
+			t.Fatalf("model a moved to %d after warm-up", dev)
+		}
+	}
+	if dev := p.Place(Request{Model: "b"}, fleet); dev != b0 {
+		t.Errorf("model b moved to %d", dev)
+	}
+}
+
+// TestDeterministicReplay pins the parity property: the same arrival
+// sequence shown the same load views yields the same placements.
+func TestDeterministicReplay(t *testing.T) {
+	models := []string{"a", "b", "c", "a", "b", "a", "d", "c"}
+	for _, name := range Names() {
+		run := func() []int {
+			p, err := New(name, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleet := idle(4)
+			var got []int
+			for i, m := range models {
+				dev := p.Place(Request{ID: i, Model: m, ExtMs: 10, PlannedMs: 10}, fleet)
+				if dev < 0 || dev >= len(fleet) {
+					t.Fatalf("%s placed out of range: %d", name, dev)
+				}
+				fleet[dev].Queued++
+				fleet[dev].QueuedMs += 10
+				got = append(got, dev)
+			}
+			return got
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: replay diverged at %d: %v vs %v", name, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSingleDeviceAlwaysZero(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if dev := p.Place(Request{ID: i, Model: "m"}, idle(1)); dev != 0 {
+				t.Errorf("%s: single-device fleet placed on %d", name, dev)
+			}
+		}
+	}
+}

@@ -95,6 +95,9 @@ type Record struct {
 	// reason. For shed records DoneMs is the shed time, so E2E-derived
 	// metrics are only meaningful when Served() is true.
 	Outcome string
+	// Device is the fleet device the request was placed on; 0 on the
+	// single-device systems.
+	Device int
 }
 
 // Served reports whether the request completed normally.

@@ -1,8 +1,11 @@
 package policy
 
 import (
+	"fmt"
+
 	"split/internal/gpusim"
 	"split/internal/model"
+	"split/internal/place"
 	"split/internal/sched"
 	"split/internal/trace"
 	"split/internal/workload"
@@ -44,8 +47,19 @@ type Split struct {
 	// Faults, when non-nil, injects the same deterministic block-latency
 	// spikes and transient failures as the serving path, with bounded
 	// per-block retry; draws are a pure hash of (seed, request, block,
-	// attempt), so sim and serve replay identical fault schedules.
+	// attempt), so sim and serve replay identical fault schedules. On a
+	// fleet the schedule is split per device exactly as the serving path
+	// splits it (FaultInjector.ForDevice).
 	Faults *gpusim.FaultInjector
+	// Devices is the fleet size: each device is an independent timeline
+	// with its own queue, elastic state, and fault schedule, fed by the
+	// placement policy. 0 or 1 reproduces the paper's single shared GPU
+	// bit-for-bit.
+	Devices int
+	// Placement names the fleet placement policy (see internal/place):
+	// "round-robin", "least-loaded" or "affinity". Empty selects
+	// place.Default. Ignored on a single device beyond validation.
+	Placement string
 }
 
 // NewSplit returns the default SPLIT configuration (α=4 for decision
@@ -62,18 +76,42 @@ func (s *Split) Name() string {
 	return "SPLIT"
 }
 
-// Run implements System.
+// device is one fleet member's scheduling state: the gpusim timeline plus
+// the per-device queue and token holder.
+type device struct {
+	d        *gpusim.Device
+	queue    *sched.Queue
+	inflight *sched.Request
+}
+
+// Run implements System. With Devices > 1 it runs the full fleet pipeline —
+// placement, N independent device timelines under one virtual clock,
+// per-device preemption/deadline/cancellation/fault handling — and with
+// Devices <= 1 it reduces exactly to the paper's single shared GPU: same
+// events, same records.
 func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Tracer) []Record {
 	validateArrivals(arrivals, catalog)
+	n := s.Devices
+	if n < 1 {
+		n = 1
+	}
+	placer, err := place.New(s.Placement, n)
+	if err != nil {
+		panic(fmt.Sprintf("policy: %v", err))
+	}
 	sim := gpusim.New()
-	queue := sched.NewQueue(s.Alpha)
-	queue.StarveGuardRR = s.StarveGuardRR
-	busy := false
+	pool := gpusim.NewDevicePool(sim, n, s.Faults)
+	devs := make([]*device, n)
+	for i := range devs {
+		q := sched.NewQueue(s.Alpha)
+		q.StarveGuardRR = s.StarveGuardRR
+		devs[i] = &device{d: pool.Device(i), queue: q}
+	}
+
 	var records []Record
 	// live tracks undecided requests (queued or in flight) for the
-	// cancellation hook; inflight is the one currently holding the token.
+	// cancellation hook, which routes by the request's placed device.
 	live := make(map[int]*sched.Request, 8)
-	var inflight *sched.Request
 
 	record := func(r *sched.Request, doneMs float64, outcome string) {
 		delete(live, r.ID)
@@ -88,81 +126,86 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 			Preemptions: r.Preemptions,
 			Split:       len(r.BlockTimes) > 1,
 			Outcome:     outcome,
+			Device:      r.Device,
 		})
 	}
 	shed := func(now float64, r *sched.Request, outcome string) {
-		tr.Recordf(now, trace.Shed, r.ID, r.Model, r.Next, "%s", outcome)
+		tr.DeviceRecordf(now, trace.Shed, r.Device, r.ID, r.Model, r.Next, "%s", outcome)
 		record(r, now, outcome)
 	}
 
-	var startNext func(now float64)
-	startNext = func(now float64) {
+	var startNext func(dv *device, now float64)
+	startNext = func(dv *device, now float64) {
 		// Shed doomed queued work before granting the token — an expired
 		// request must never occupy the device for another block. This
 		// mirrors serve.(*Server).pickLocked.
-		for _, ex := range queue.SweepExpired(now, s.PredictiveShed) {
+		for _, ex := range dv.queue.SweepExpired(now, s.PredictiveShed) {
 			shed(now, ex, OutcomeDeadline)
 		}
-		r := queue.PopFront()
+		r := dv.queue.PopFront()
 		if r == nil {
-			busy = false
-			inflight = nil
+			dv.inflight = nil
 			return
 		}
-		busy = true
-		inflight = r
+		dv.d.Acquire(now)
+		dv.inflight = r
 		if r.StartMs < 0 {
 			r.StartMs = now
 		}
 		block := r.Next
 		baseDur := r.BlockTimes[block]
 		r.Next++
-		tr.Recordf(now, trace.StartBlock, r.ID, r.Model, block, "dur=%.3f", baseDur)
+		tr.DeviceRecordf(now, trace.StartBlock, r.Device, r.ID, r.Model, block, "dur=%.3f", baseDur)
+
+		// endBlock closes the device hold at a boundary, whatever the
+		// block's fate; every exit path below runs it exactly once.
+		endBlock := func(now float64) {
+			tr.DeviceRecordf(now, trace.EndBlock, r.Device, r.ID, r.Model, block, "")
+			dv.d.Release(now)
+			dv.inflight = nil
+		}
 
 		// Execute the block, retrying injected transient failures within
 		// the fault budget; each attempt spends device time.
 		var attemptRun func(now float64, attempt int)
 		attemptRun = func(now float64, attempt int) {
-			fault := s.Faults.Draw(r.ID, block, attempt)
+			fault := dv.d.Faults.Draw(r.ID, block, attempt)
 			if fault.SpikeFactor > 1 {
-				tr.Recordf(now, trace.Fault, r.ID, r.Model, block,
+				tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, block,
 					"spike x%.2f attempt=%d", fault.SpikeFactor, attempt)
 			}
 			sim.After(baseDur*fault.SpikeFactor, func(now float64) {
 				if fault.Fail {
-					if s.Faults.Exhausted(attempt) {
-						tr.Recordf(now, trace.Fault, r.ID, r.Model, block, "terminal after %d attempts", attempt+1)
-						tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
-						inflight = nil
+					if dv.d.Faults.Exhausted(attempt) {
+						tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, block, "terminal after %d attempts", attempt+1)
+						endBlock(now)
 						shed(now, r, OutcomeDeviceFault)
-						startNext(now)
+						startNext(dv, now)
 						return
 					}
 					// An attempt boundary is a block boundary for lifecycle
 					// purposes: re-check the request's fate before spending
 					// more device time on it.
 					if r.Canceled || r.Expired(now) {
-						tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
-						inflight = nil
+						endBlock(now)
 						outcome := OutcomeDeadline
 						if r.Canceled {
 							outcome = OutcomeCanceled
 						}
 						shed(now, r, outcome)
-						startNext(now)
+						startNext(dv, now)
 						return
 					}
-					tr.Recordf(now, trace.Fault, r.ID, r.Model, block, "transient attempt=%d, retrying", attempt)
+					tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, block, "transient attempt=%d, retrying", attempt)
 					attemptRun(now, attempt+1)
 					return
 				}
-				tr.Recordf(now, trace.EndBlock, r.ID, r.Model, block, "")
-				inflight = nil
+				endBlock(now)
 				switch {
 				case r.Finished():
 					// Work is done — deliver even if canceled meanwhile.
 					r.DoneMs = now
-					tr.Recordf(now, trace.Complete, r.ID, r.Model, block, "rr=%.2f", r.ResponseRatio())
+					tr.DeviceRecordf(now, trace.Complete, r.Device, r.ID, r.Model, block, "rr=%.2f", r.ResponseRatio())
 					record(r, now, OutcomeServed)
 				case r.Canceled:
 					shed(now, r, OutcomeCanceled)
@@ -171,31 +214,68 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 				default:
 					var pos int
 					if s.PartialPreemption {
-						queue.PushBack(r)
-						pos = queue.Len() - 1
+						dv.queue.PushBack(r)
+						pos = dv.queue.Len() - 1
 					} else {
-						pos = queue.InsertGreedy(now, r)
+						pos = dv.queue.InsertGreedy(now, r)
 					}
 					if pos > 0 {
 						r.Preemptions++
-						tr.Recordf(now, trace.Preempt, r.ID, r.Model, r.Next, "requeued at %d", pos)
+						tr.DeviceRecordf(now, trace.Preempt, r.Device, r.ID, r.Model, r.Next, "requeued at %d", pos)
 					}
 				}
-				startNext(now)
+				startNext(dv, now)
 			})
 		}
 		attemptRun(now, 0)
+	}
+
+	// fleetView snapshots every device's placement-relevant load. Both
+	// sides of the parity guarantee compute the in-flight remainder the
+	// same way: the executing request's uncommitted blocks.
+	fleetView := func() []place.Load {
+		view := make([]place.Load, len(devs))
+		for i, dv := range devs {
+			view[i] = place.Load{
+				Device:   i,
+				Queued:   dv.queue.Len(),
+				QueuedMs: dv.queue.TotalRemainingMs(),
+				Busy:     dv.d.Busy(),
+			}
+			if dv.inflight != nil {
+				view[i].InflightMs = dv.inflight.RemainingMs()
+			}
+		}
+		return view
 	}
 
 	for _, a := range arrivals {
 		a := a
 		sim.At(a.AtMs, func(now float64) {
 			info := catalog[a.Model]
-			blocks := catalog.BlocksFor(a.Model)
-			if len(blocks) > 1 && !s.Elastic.ShouldSplit(queue, a.Model) {
+			plan := catalog.BlocksFor(a.Model)
+			planned := 0.0
+			for _, b := range plan {
+				planned += b
+			}
+			view := fleetView()
+			devID := placer.Place(place.Request{
+				ID: a.ID, Model: a.Model, ExtMs: info.ExtMs, PlannedMs: planned,
+			}, view)
+			if devID < 0 || devID >= len(devs) {
+				panic(fmt.Sprintf("policy: placer %q chose device %d of %d", placer.Name(), devID, len(devs)))
+			}
+			dv := devs[devID]
+			if len(devs) > 1 {
+				tr.Record(trace.Event{AtMs: now, Kind: trace.Place, ReqID: a.ID, Model: a.Model,
+					Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", placer.Name(), view[devID].Queued)})
+			}
+			blocks := plan
+			if len(blocks) > 1 && !s.Elastic.ShouldSplit(dv.queue, a.Model) {
 				blocks = []float64{info.ExtMs}
 			}
 			r := sched.NewRequest(a.ID, a.Model, info.Class, now, info.ExtMs, blocks)
+			r.Device = devID
 			if alpha, ok := s.AlphaByClass[info.Class]; ok {
 				r.AlphaOverride = alpha
 			}
@@ -208,15 +288,15 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 			var pos int
 			if tr != nil { // tracer active: record Algorithm 1's scan length
 				var decisions []sched.Decision
-				pos, decisions = queue.InsertGreedyExplain(now, r)
-				tr.Recordf(now, trace.Arrive, r.ID, r.Model, 0,
-					"pos=%d blocks=%d scanned=%d qlen=%d", pos, len(blocks), len(decisions), queue.Len()-1)
+				pos, decisions = dv.queue.InsertGreedyExplain(now, r)
+				tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0,
+					"pos=%d blocks=%d scanned=%d qlen=%d", pos, len(blocks), len(decisions), dv.queue.Len()-1)
 			} else {
-				pos = queue.InsertGreedy(now, r)
-				tr.Recordf(now, trace.Arrive, r.ID, r.Model, 0, "pos=%d blocks=%d", pos, len(blocks))
+				pos = dv.queue.InsertGreedy(now, r)
+				tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0, "pos=%d blocks=%d", pos, len(blocks))
 			}
-			if !busy {
-				startNext(now)
+			if !dv.d.Busy() {
+				startNext(dv, now)
 			}
 		})
 		if a.CancelAtMs > 0 {
@@ -226,16 +306,17 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 				if r == nil {
 					return // already completed or shed
 				}
-				if removed := queue.Remove(id); removed != nil {
+				dv := devs[r.Device]
+				if removed := dv.queue.Remove(id); removed != nil {
 					r.Canceled = true
-					tr.Recordf(now, trace.Cancel, id, r.Model, r.Next, "queued")
+					tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "queued")
 					shed(now, r, OutcomeCanceled)
 					return
 				}
 				// In flight: shed at the next block boundary.
-				if inflight == r && !r.Canceled {
+				if dv.inflight == r && !r.Canceled {
 					r.Canceled = true
-					tr.Recordf(now, trace.Cancel, id, r.Model, r.Next, "inflight")
+					tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "inflight")
 				}
 			})
 		}

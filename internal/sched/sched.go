@@ -59,6 +59,11 @@ type Request struct {
 	// must not grant it another block. The serving path sets it for client
 	// cancellations and connection losses; the queue itself never does.
 	Canceled bool
+	// Device is the fleet device the placement layer assigned the request
+	// to. The queue itself never reads it — each device has its own queue —
+	// but executors and cancellation paths route by it. 0 on a
+	// single-device deployment.
+	Device int
 }
 
 // NewRequest builds a request with sentinel times set.

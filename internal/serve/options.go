@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"split/internal/gpusim"
+	"split/internal/obs"
+	"split/internal/policy"
+	"split/internal/sched"
+	"split/internal/trace"
+)
+
+// OptionsVersion is the current server-options schema revision. Version 1
+// was the flat single-device Config struct; version 2 added the fleet
+// fields (Devices, Placement) and the functional-option constructor. The
+// version is recorded on the built Options so deployment tooling can
+// assert which schema a server was configured under.
+const OptionsVersion = 2
+
+// Options is the versioned server configuration New assembles from
+// functional options. It embeds the legacy flat Config so every knob has
+// exactly one storage location; Config itself remains usable through the
+// deprecated NewServer shim.
+type Options struct {
+	// Version is the options schema revision the constructor stamped.
+	Version int
+	Config
+}
+
+// Option mutates one server option; pass a sequence to New.
+type Option func(*Options)
+
+// New builds a server for catalog with the given options — the versioned
+// replacement for NewServer(Config). Zero options yield the paper's
+// defaults: α=4, real-time scale, one device, unbounded queue, no
+// deadlines, no fault injection.
+func New(catalog policy.Catalog, opts ...Option) (*Server, error) {
+	o := Options{Version: OptionsVersion}
+	o.Catalog = catalog
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return newServer(o)
+}
+
+// WithAlpha sets the latency-target multiplier used in scheduling
+// decisions (values <= 0 fall back to the default 4).
+func WithAlpha(alpha float64) Option {
+	return func(o *Options) { o.Alpha = alpha }
+}
+
+// WithElastic configures §3.3 elastic splitting.
+func WithElastic(e sched.Elastic) Option {
+	return func(o *Options) { o.Elastic = e }
+}
+
+// WithTimeScale converts simulated block milliseconds to wall-clock
+// milliseconds (1.0 = real time; 0.01 = 100x accelerated).
+func WithTimeScale(scale float64) Option {
+	return func(o *Options) { o.TimeScale = scale }
+}
+
+// WithMaxQueue caps the number of waiting requests across the fleet;
+// arrivals beyond it are rejected with ErrQueueFull. 0 means unbounded.
+func WithMaxQueue(n int) Option {
+	return func(o *Options) { o.MaxQueue = n }
+}
+
+// WithQoSWindow sizes the rolling online QoS window (completions);
+// <= 0 selects obs.DefaultQoSWindow.
+func WithQoSWindow(n int) Option {
+	return func(o *Options) { o.QoSWindow = n }
+}
+
+// WithDeadlines enables deadline enforcement: every request gets an
+// absolute deadline ArriveMs + α·t_ext (unless the RPC supplies its own)
+// and expired requests are shed at block boundaries. alpha > 0 also sets
+// the scheduling α; pass 0 to keep the configured one.
+func WithDeadlines(alpha float64) Option {
+	return func(o *Options) {
+		o.EnforceDeadlines = true
+		if alpha > 0 {
+			o.Alpha = alpha
+		}
+	}
+}
+
+// WithPredictiveShed additionally sheds requests that can no longer finish
+// by their deadline even if granted the device immediately.
+func WithPredictiveShed(on bool) Option {
+	return func(o *Options) { o.PredictiveShed = on }
+}
+
+// WithFaults injects deterministic block-latency spikes and transient
+// block failures with bounded per-block retry; on a fleet each device gets
+// a decorrelated schedule (FaultInjector.ForDevice).
+func WithFaults(f *gpusim.FaultInjector) Option {
+	return func(o *Options) { o.Faults = f }
+}
+
+// WithObs attaches a live metrics registry (split_* families, plus
+// split_device_* on fleets).
+func WithObs(reg *obs.Registry) Option {
+	return func(o *Options) { o.Obs = reg }
+}
+
+// WithSink attaches a live scheduling-event sink (typically a trace.Ring
+// flight recorder, a Tracer, or a Fanout of both).
+func WithSink(sink trace.Sink) Option {
+	return func(o *Options) { o.Sink = sink }
+}
+
+// WithDevices sets the fleet size: one executor goroutine and scheduler
+// queue per device. Values < 1 mean a single device.
+func WithDevices(n int) Option {
+	return func(o *Options) { o.Devices = n }
+}
+
+// WithPlacement selects the fleet placement policy (see internal/place):
+// "round-robin", "least-loaded" or "affinity". Empty selects the default.
+func WithPlacement(name string) Option {
+	return func(o *Options) { o.Placement = name }
+}

@@ -26,6 +26,7 @@ import (
 	"net"
 	"net/rpc"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"split/internal/gpusim"
 	"split/internal/model"
 	"split/internal/obs"
+	"split/internal/place"
 	"split/internal/policy"
 	"split/internal/sched"
 	"split/internal/trace"
@@ -97,6 +99,11 @@ const (
 )
 
 // Config parameterizes a server.
+//
+// Deprecated: Config is the flat version-1 configuration kept for
+// compatibility; NewServer maps it onto the versioned Options. New code
+// should use New with functional options (WithDevices, WithPlacement,
+// WithDeadlines, ...).
 type Config struct {
 	// Catalog holds the deployed models and split plans.
 	Catalog policy.Catalog
@@ -135,6 +142,15 @@ type Config struct {
 	// QoSWindow sizes the rolling online QoS window (completions);
 	// <= 0 selects obs.DefaultQoSWindow.
 	QoSWindow int
+	// Devices is the fleet size: the server runs one executor goroutine per
+	// device, each draining its own scheduler queue, with arrivals routed by
+	// the Placement policy. 0 or 1 serves on a single device exactly as the
+	// paper describes.
+	Devices int
+	// Placement names the fleet placement policy (see internal/place):
+	// "round-robin", "least-loaded" or "affinity". Empty selects
+	// place.Default. Ignored on a single device beyond validation.
+	Placement string
 }
 
 // outcome is what a waiter receives: the completed request, or a typed
@@ -153,19 +169,41 @@ type delivery struct {
 	out outcome
 }
 
-// Server owns the request queue and the executor goroutine.
+// srvDevice is one fleet member of the serving path: its own scheduler
+// queue, fault schedule, and executor goroutine, all sharing the server
+// mutex. With one device the server degenerates to the paper's single
+// shared GPU.
+type srvDevice struct {
+	id     int
+	queue  *sched.Queue
+	faults *gpusim.FaultInjector
+	busy   bool
+	// inflight is the request currently occupying this device (nil while
+	// idle). It is not in the queue; Cancel marks it cancel-at-next-
+	// boundary instead of removing it.
+	inflight *sched.Request
+	// busyMsTotal accumulates virtual-ms device occupancy.
+	busyMsTotal float64
+}
+
+// Server owns the per-device request queues and executor goroutines.
 type Server struct {
 	cfg   Config
 	start time.Time
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   *sched.Queue
+	mu   sync.Mutex
+	cond *sync.Cond
+	// devs are the fleet members; len(devs) >= 1. placer routes arrivals to
+	// them and is only called with mu held (placers are not concurrency-safe).
+	devs    []*srvDevice
+	placer  place.Placer
 	nextID  int
-	busy    bool
 	closed  bool
 	served  int
 	dropped int
+	// running counts live executor goroutines; the last one to exit under a
+	// drain owns the clean DrainEnd event.
+	running int
 	// draining is true between a Drain call and either the backlog
 	// emptying or the drain timeout shedding it.
 	draining bool
@@ -174,10 +212,6 @@ type Server struct {
 	// drain times out).
 	stopReason string
 	stopCause  error
-	// inflight is the request currently occupying the device (nil while
-	// idle). It is not in the queue; Cancel marks it cancel-at-next-
-	// boundary instead of removing it.
-	inflight *sched.Request
 	// elasticSuppressed is the last §3.3 decision for a splittable arrival:
 	// true while the elastic mechanism is disabling splitting.
 	elasticSuppressed bool
@@ -203,7 +237,32 @@ type Server struct {
 }
 
 // NewServer validates cfg and builds a stopped server.
+//
+// Deprecated: Config is the flat version-1 configuration surface, kept as
+// a shim for existing callers; it maps field-for-field onto the versioned
+// functional options. New code should call New with options:
+//
+//	srv, err := serve.New(catalog, serve.WithDevices(2), serve.WithDeadlines(4))
 func NewServer(cfg Config) (*Server, error) {
+	return New(cfg.Catalog,
+		WithAlpha(cfg.Alpha),
+		WithElastic(cfg.Elastic),
+		WithTimeScale(cfg.TimeScale),
+		WithMaxQueue(cfg.MaxQueue),
+		WithQoSWindow(cfg.QoSWindow),
+		func(o *Options) { o.EnforceDeadlines = cfg.EnforceDeadlines },
+		WithPredictiveShed(cfg.PredictiveShed),
+		WithFaults(cfg.Faults),
+		WithObs(cfg.Obs),
+		WithSink(cfg.Sink),
+		WithDevices(cfg.Devices),
+		WithPlacement(cfg.Placement),
+	)
+}
+
+// newServer validates assembled options and builds a stopped server.
+func newServer(o Options) (*Server, error) {
+	cfg := o.Config
 	if len(cfg.Catalog) == 0 {
 		return nil, errors.New("serve: empty catalog")
 	}
@@ -213,23 +272,76 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1
 	}
+	if cfg.Devices < 1 {
+		cfg.Devices = 1
+	}
+	placer, err := place.New(cfg.Placement, cfg.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	s := &Server{
 		cfg:        cfg,
-		queue:      sched.NewQueue(cfg.Alpha),
+		placer:     placer,
 		waiters:    make(map[int]chan outcome),
 		perModel:   make(map[string]*modelAgg),
 		qos:        obs.NewRollingQoS(cfg.Alpha, cfg.QoSWindow),
 		stopReason: DropStopped,
 		stopCause:  ErrStopped,
 	}
-	if cfg.Sink != nil {
-		s.queue.Sink = queueSink{s}
+	s.devs = make([]*srvDevice, cfg.Devices)
+	for i := range s.devs {
+		dv := &srvDevice{id: i, queue: sched.NewQueue(cfg.Alpha), faults: cfg.Faults.ForDevice(i)}
+		if cfg.Sink != nil {
+			dv.queue.Sink = queueSink{s, i}
+		}
+		s.devs[i] = dv
 	}
 	if cfg.Obs != nil {
-		s.met = newServeMetrics(cfg.Obs, cfg.Catalog)
+		s.met = newServeMetrics(cfg.Obs, cfg.Catalog, cfg.Devices)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
+}
+
+// depthLocked is the total number of waiting requests across the fleet.
+// Caller holds s.mu.
+func (s *Server) depthLocked() int {
+	depth := 0
+	for _, dv := range s.devs {
+		depth += dv.queue.Len()
+	}
+	return depth
+}
+
+// anyBusyLocked reports whether any device is executing a block. Caller
+// holds s.mu.
+func (s *Server) anyBusyLocked() bool {
+	for _, dv := range s.devs {
+		if dv.busy {
+			return true
+		}
+	}
+	return false
+}
+
+// fleetViewLocked snapshots per-device load for the placer, computed with
+// the exact formula the fleet simulator uses (queued remaining ms plus the
+// in-flight request's uncommitted blocks) so sim and serve make identical
+// placement decisions. Caller holds s.mu.
+func (s *Server) fleetViewLocked() []place.Load {
+	view := make([]place.Load, len(s.devs))
+	for i, dv := range s.devs {
+		view[i] = place.Load{
+			Device:   i,
+			Queued:   dv.queue.Len(),
+			QueuedMs: dv.queue.TotalRemainingMs(),
+			Busy:     dv.busy,
+		}
+		if dv.inflight != nil {
+			view[i].InflightMs = dv.inflight.RemainingMs()
+		}
+	}
+	return view
 }
 
 // dropsHelp is the split_drops_total help text; the family covers both
@@ -255,9 +367,16 @@ type serveMetrics struct {
 	waitMs      *obs.Histogram
 	e2eMs       *obs.Histogram
 	rr          *obs.Histogram
+	// Per-device families, indexed by device ID. Registered only on fleets
+	// (devices > 1) so single-device deployments keep today's exact
+	// /metrics output.
+	deviceDepth  []*obs.Gauge
+	deviceBusyMs []*obs.Gauge
+	deviceBlocks []*obs.Counter
+	deviceDrops  []*obs.Counter
 }
 
-func newServeMetrics(reg *obs.Registry, catalog policy.Catalog) *serveMetrics {
+func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int) *serveMetrics {
 	m := &serveMetrics{
 		reg:         reg,
 		requests:    make(map[string]*obs.Counter, len(catalog)),
@@ -283,7 +402,28 @@ func newServeMetrics(reg *obs.Registry, catalog policy.Catalog) *serveMetrics {
 	} {
 		m.drops[reason] = reg.Counter("split_drops_total", dropsHelp, "reason", reason)
 	}
+	if devices > 1 {
+		for i := 0; i < devices; i++ {
+			d := strconv.Itoa(i)
+			m.deviceDepth = append(m.deviceDepth,
+				reg.Gauge("split_device_queue_depth", "requests waiting per fleet device", "device", d))
+			m.deviceBusyMs = append(m.deviceBusyMs,
+				reg.Gauge("split_device_busy_ms_total", "cumulative virtual-ms block occupancy per fleet device", "device", d))
+			m.deviceBlocks = append(m.deviceBlocks,
+				reg.Counter("split_device_blocks_total", "blocks executed per fleet device", "device", d))
+			m.deviceDrops = append(m.deviceDrops,
+				reg.Counter("split_device_drops_total", "post-enqueue sheds per fleet device", "device", d))
+		}
+	}
 	return m
+}
+
+// setDeviceDepth refreshes the per-device depth gauge on fleets. Caller
+// holds s.mu.
+func (s *Server) setDeviceDepth(dv *srvDevice) {
+	if s.met != nil && len(s.met.deviceDepth) > 0 {
+		s.met.deviceDepth[dv.id].SetInt(dv.queue.Len())
+	}
 }
 
 // dropCounter returns the drops counter for reason, registering reasons
@@ -307,12 +447,19 @@ func (s *Server) emit(e trace.Event) {
 	}
 }
 
-// queueSink adapts the scheduler queue's event stream (enqueue positions,
-// explain details) into the server's pending buffer: the queue is only ever
-// mutated with s.mu held, so its emissions must be buffered too.
-type queueSink struct{ s *Server }
+// queueSink adapts a device queue's event stream (enqueue positions,
+// explain details) into the server's pending buffer, stamping the owning
+// device: the queues are only ever mutated with s.mu held, so their
+// emissions must be buffered too.
+type queueSink struct {
+	s   *Server
+	dev int
+}
 
-func (qs queueSink) Emit(e trace.Event) { qs.s.pending = append(qs.s.pending, e) }
+func (qs queueSink) Emit(e trace.Event) {
+	e.Device = qs.dev
+	qs.s.pending = append(qs.s.pending, e)
+}
 
 // takeOut hands the buffered events and waiter deliveries to the caller
 // and resets the buffers. Caller holds s.mu and passes the result to
@@ -351,8 +498,12 @@ func (s *Server) shedLocked(nowMs float64, r *sched.Request, reason string, caus
 	s.dropped++
 	if s.met != nil {
 		s.met.dropCounter(reason).Inc()
+		if len(s.met.deviceDrops) > 0 {
+			s.met.deviceDrops[r.Device].Inc()
+		}
 	}
-	s.emit(trace.Event{AtMs: nowMs, Kind: trace.Shed, ReqID: r.ID, Model: r.Model, Block: r.Next, Detail: reason})
+	s.emit(trace.Event{AtMs: nowMs, Kind: trace.Shed, ReqID: r.ID, Model: r.Model, Block: r.Next,
+		Device: r.Device, Detail: reason})
 	s.resolveLocked(r.ID, outcome{err: fmt.Errorf("%w (request %d, %s)", cause, r.ID, r.Model)})
 }
 
@@ -397,9 +548,12 @@ func (s *Server) Start(l net.Listener) error {
 	}
 	s.start = time.Now()
 	s.listener = l
-	s.wg.Add(2)
+	s.running = len(s.devs)
+	s.wg.Add(1 + len(s.devs))
 	go s.acceptLoop()
-	go s.executor()
+	for _, dv := range s.devs {
+		go s.executor(dv)
+	}
 	return nil
 }
 
@@ -430,12 +584,15 @@ func (s *Server) Stop() {
 		s.listener.Close()
 	}
 	now := s.nowMs()
-	for {
-		r := s.queue.PopFront()
-		if r == nil {
-			break
+	for _, dv := range s.devs {
+		for {
+			r := dv.queue.PopFront()
+			if r == nil {
+				break
+			}
+			s.shedLocked(now, r, DropStopped, ErrStopped)
 		}
-		s.shedLocked(now, r, DropStopped, ErrStopped)
+		s.setDeviceDepth(dv)
 	}
 	if s.met != nil {
 		s.met.queueDepth.SetInt(0)
@@ -466,7 +623,7 @@ func (s *Server) Drain(timeout time.Duration) int {
 		s.listener.Close()
 	}
 	s.emit(trace.Event{AtMs: s.nowMs(), Kind: trace.DrainStart, ReqID: -1,
-		Detail: fmt.Sprintf("depth=%d timeout=%s", s.queue.Len(), timeout)})
+		Detail: fmt.Sprintf("depth=%d timeout=%s", s.depthLocked(), timeout)})
 	s.cond.Broadcast()
 	evs, dels := s.takeOut()
 	s.mu.Unlock()
@@ -491,13 +648,16 @@ func (s *Server) Drain(timeout time.Duration) int {
 		s.draining = false
 		s.stopReason, s.stopCause = DropDrained, ErrDrained
 		now := s.nowMs()
-		for {
-			r := s.queue.PopFront()
-			if r == nil {
-				break
+		for _, dv := range s.devs {
+			for {
+				r := dv.queue.PopFront()
+				if r == nil {
+					break
+				}
+				s.shedLocked(now, r, DropDrained, ErrDrained)
+				shed++
 			}
-			s.shedLocked(now, r, DropDrained, ErrDrained)
-			shed++
+			s.setDeviceDepth(dv)
 		}
 		if s.met != nil {
 			s.met.queueDepth.SetInt(0)
@@ -544,26 +704,32 @@ func (s *Server) cancel(id int, why string) CancelState {
 	return state
 }
 
-// cancelLocked is the body of cancel. Caller holds s.mu.
+// cancelLocked is the body of cancel: it searches every device's queue,
+// then every device's in-flight slot. Caller holds s.mu.
 func (s *Server) cancelLocked(id int, why string) CancelState {
 	now := s.nowMs()
-	if r := s.queue.Remove(id); r != nil {
-		r.Canceled = true
-		s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: r.Model,
-			Block: r.Next, Detail: "queued: " + why})
-		s.shedLocked(now, r, DropCanceled, ErrCanceled)
-		if s.met != nil {
-			s.met.queueDepth.SetInt(s.queue.Len())
+	for _, dv := range s.devs {
+		if r := dv.queue.Remove(id); r != nil {
+			r.Canceled = true
+			s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: r.Model,
+				Block: r.Next, Device: r.Device, Detail: "queued: " + why})
+			s.shedLocked(now, r, DropCanceled, ErrCanceled)
+			if s.met != nil {
+				s.met.queueDepth.SetInt(s.depthLocked())
+			}
+			s.setDeviceDepth(dv)
+			return CancelQueued
 		}
-		return CancelQueued
 	}
-	if s.inflight != nil && s.inflight.ID == id {
-		if !s.inflight.Canceled {
-			s.inflight.Canceled = true
-			s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: s.inflight.Model,
-				Block: s.inflight.Next, Detail: "inflight: " + why})
+	for _, dv := range s.devs {
+		if dv.inflight != nil && dv.inflight.ID == id {
+			if !dv.inflight.Canceled {
+				dv.inflight.Canceled = true
+				s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: dv.inflight.Model,
+					Block: dv.inflight.Next, Device: dv.id, Detail: "inflight: " + why})
+			}
+			return CancelInflight
 		}
-		return CancelInflight
 	}
 	return CancelUnknown
 }
@@ -593,20 +759,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	resp.cancelOrphans()
 }
 
-// executor is the token scheduler + assigner: it repeatedly grants the
-// device token to the queue head and executes that request's next block,
-// shedding doomed work at every block boundary. All lock transitions stay
-// in this function so the buffered events and outcomes are always flushed
-// with s.mu released.
-func (s *Server) executor() {
+// executor is one device's token scheduler + assigner: it repeatedly
+// grants the device token to its queue head and executes that request's
+// next block, shedding doomed work at every block boundary. A fleet runs
+// one executor per device, all sharing s.mu and the condition variable.
+// All lock transitions stay in this function so the buffered events and
+// outcomes are always flushed with s.mu released.
+func (s *Server) executor(dv *srvDevice) {
 	defer s.wg.Done()
 	s.mu.Lock()
 	for {
-		r := s.pickLocked()
+		r := s.pickLocked(dv)
 		if r == nil {
 			if s.closed {
-				// Stopped, or draining with an empty backlog: exit.
-				if s.draining {
+				// Stopped, or draining with this device's backlog empty:
+				// exit. The last executor out of a drain owns the clean
+				// DrainEnd — earlier exits would end the drain while other
+				// devices still hold work.
+				s.running--
+				if s.draining && s.running == 0 {
 					s.draining = false
 					s.emit(trace.Event{AtMs: s.nowMs(), Kind: trace.DrainEnd, ReqID: -1, Detail: "clean"})
 				}
@@ -638,19 +809,22 @@ func (s *Server) executor() {
 		block := r.Next
 		dur := r.BlockTimes[block]
 		r.Next++
-		s.busy = true
-		s.inflight = r
+		dv.busy = true
+		dv.inflight = r
+		blockStartMs := now
 		if s.met != nil {
-			s.met.queueDepth.SetInt(s.queue.Len())
+			s.met.queueDepth.SetInt(s.depthLocked())
 		}
-		s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: r.ID, Model: r.Model, Block: block})
+		s.setDeviceDepth(dv)
+		s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: r.ID, Model: r.Model, Block: block,
+			Device: dv.id})
 		blockOK := false
 		for attempt := 0; ; {
-			fault := s.cfg.Faults.Draw(r.ID, block, attempt)
+			fault := dv.faults.Draw(r.ID, block, attempt)
 			runMs := dur * fault.SpikeFactor
 			if fault.SpikeFactor > 1 {
 				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
-					Detail: fmt.Sprintf("spike x%.2f attempt=%d", fault.SpikeFactor, attempt)})
+					Device: dv.id, Detail: fmt.Sprintf("spike x%.2f attempt=%d", fault.SpikeFactor, attempt)})
 			}
 			evs, dels := s.takeOut()
 			s.mu.Unlock()
@@ -662,9 +836,9 @@ func (s *Server) executor() {
 				blockOK = true
 				break
 			}
-			if s.cfg.Faults.Exhausted(attempt) {
+			if dv.faults.Exhausted(attempt) {
 				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
-					Detail: fmt.Sprintf("terminal after %d attempts", attempt+1)})
+					Device: dv.id, Detail: fmt.Sprintf("terminal after %d attempts", attempt+1)})
 				break
 			}
 			// Re-check the request's fate before spending more device time
@@ -677,13 +851,19 @@ func (s *Server) executor() {
 				s.met.retries.Inc()
 			}
 			s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
-				Detail: fmt.Sprintf("transient attempt=%d, retrying", attempt)})
+				Device: dv.id, Detail: fmt.Sprintf("transient attempt=%d, retrying", attempt)})
 			attempt++
 		}
-		s.busy = false
-		s.inflight = nil
-		s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: r.ID, Model: r.Model, Block: block})
-		s.settleLocked(now, r, blockOK)
+		dv.busy = false
+		dv.inflight = nil
+		dv.busyMsTotal += now - blockStartMs
+		if s.met != nil && len(s.met.deviceBusyMs) > 0 {
+			s.met.deviceBusyMs[dv.id].Add(now - blockStartMs)
+			s.met.deviceBlocks[dv.id].Inc()
+		}
+		s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: r.ID, Model: r.Model, Block: block,
+			Device: dv.id})
+		s.settleLocked(now, dv, r, blockOK)
 		evs, dels := s.takeOut()
 		s.mu.Unlock()
 		s.deliver(evs, dels)
@@ -691,30 +871,32 @@ func (s *Server) executor() {
 	}
 }
 
-// pickLocked sweeps doomed queued requests — so an expired request never
-// takes the token — and pops the next runnable one. It returns nil when
-// the queue is empty or the server is past accepting work; the executor
-// decides between idling and exiting. Caller holds s.mu.
-func (s *Server) pickLocked() *sched.Request {
+// pickLocked sweeps doomed queued requests on one device — so an expired
+// request never takes its token — and pops the device's next runnable one.
+// It returns nil when the device's queue is empty or the server is past
+// accepting work; the executor decides between idling and exiting. Caller
+// holds s.mu.
+func (s *Server) pickLocked(dv *srvDevice) *sched.Request {
 	now := s.nowMs()
-	if shed := s.queue.SweepExpired(now, s.cfg.PredictiveShed); len(shed) > 0 {
+	if shed := dv.queue.SweepExpired(now, s.cfg.PredictiveShed); len(shed) > 0 {
 		for _, r := range shed {
 			s.shedLocked(now, r, DropDeadline, ErrDeadlineExceeded)
 		}
 		if s.met != nil {
-			s.met.queueDepth.SetInt(s.queue.Len())
+			s.met.queueDepth.SetInt(s.depthLocked())
 		}
+		s.setDeviceDepth(dv)
 	}
 	if s.closed && !s.draining {
 		return nil
 	}
-	return s.queue.PopFront()
+	return dv.queue.PopFront()
 }
 
 // settleLocked decides a request's fate at its block boundary: deliver the
 // completion, shed it (cancel, shutdown, deadline, device fault), or
-// re-insert it into the queue. Caller holds s.mu.
-func (s *Server) settleLocked(nowMs float64, r *sched.Request, blockOK bool) {
+// re-insert it into its device's queue. Caller holds s.mu.
+func (s *Server) settleLocked(nowMs float64, dv *srvDevice, r *sched.Request, blockOK bool) {
 	switch {
 	case blockOK && r.Finished():
 		// Work is done — deliver even if the request was canceled or the
@@ -739,7 +921,7 @@ func (s *Server) settleLocked(nowMs float64, r *sched.Request, blockOK bool) {
 		agg.preempts += r.Preemptions
 		s.observeCompletion(r, rr)
 		s.emit(trace.Event{AtMs: nowMs, Kind: trace.Complete, ReqID: r.ID, Model: r.Model,
-			Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
+			Device: r.Device, Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
 		s.resolveLocked(r.ID, outcome{req: r})
 	case r.Canceled:
 		s.shedLocked(nowMs, r, DropCanceled, ErrCanceled)
@@ -750,17 +932,18 @@ func (s *Server) settleLocked(nowMs float64, r *sched.Request, blockOK bool) {
 	case !blockOK:
 		s.shedLocked(nowMs, r, DropDeviceFault, ErrDeviceFault)
 	default:
-		if pos := s.queue.InsertGreedy(nowMs, r); pos > 0 {
+		if pos := dv.queue.InsertGreedy(nowMs, r); pos > 0 {
 			r.Preemptions++
 			if s.met != nil {
 				s.met.preemptions.Inc()
 			}
 			s.emit(trace.Event{AtMs: nowMs, Kind: trace.Preempt, ReqID: r.ID, Model: r.Model,
-				Block: r.Next, Detail: fmt.Sprintf("pos=%d", pos)})
+				Block: r.Next, Device: r.Device, Detail: fmt.Sprintf("pos=%d", pos)})
 		}
 		if s.met != nil {
-			s.met.queueDepth.SetInt(s.queue.Len())
+			s.met.queueDepth.SetInt(s.depthLocked())
 		}
+		s.setDeviceDepth(dv)
 	}
 }
 
@@ -771,7 +954,7 @@ func (s *Server) observeCompletion(r *sched.Request, rr float64) {
 		ID: r.ID, Model: r.Model, Class: r.Class,
 		ArriveMs: r.ArriveMs, StartMs: r.StartMs, DoneMs: r.DoneMs,
 		ExtMs: r.ExtMs, Preemptions: r.Preemptions,
-		Split: len(r.BlockTimes) > 1,
+		Split: len(r.BlockTimes) > 1, Device: r.Device,
 	})
 	if s.met == nil {
 		return
@@ -815,21 +998,37 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 		s.drop(now, modelName, DropUnknownModel)
 		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
 	}
-	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
+	if depth := s.depthLocked(); s.cfg.MaxQueue > 0 && depth >= s.cfg.MaxQueue {
 		s.drop(now, modelName, DropQueueFull)
-		return 0, nil, fmt.Errorf("%w: %d waiting", ErrQueueFull, s.queue.Len())
+		return 0, nil, fmt.Errorf("%w: %d waiting", ErrQueueFull, depth)
 	}
-	blocks := s.cfg.Catalog.BlocksFor(modelName)
+	id := s.nextID
+	s.nextID++
+	plan := s.cfg.Catalog.BlocksFor(modelName)
+	planned := 0.0
+	for _, b := range plan {
+		planned += b
+	}
+	view := s.fleetViewLocked()
+	devID := s.placer.Place(place.Request{ID: id, Model: modelName, ExtMs: info.ExtMs, PlannedMs: planned}, view)
+	if devID < 0 || devID >= len(s.devs) {
+		devID = 0
+	}
+	dv := s.devs[devID]
+	if len(s.devs) > 1 {
+		s.emit(trace.Event{AtMs: now, Kind: trace.Place, ReqID: id, Model: modelName,
+			Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", s.placer.Name(), view[devID].Queued)})
+	}
+	blocks := plan
 	if len(blocks) > 1 {
-		split := s.cfg.Elastic.ShouldSplit(s.queue, modelName)
+		split := s.cfg.Elastic.ShouldSplit(dv.queue, modelName)
 		if !split {
 			blocks = []float64{info.ExtMs}
 		}
 		s.setElastic(now, !split)
 	}
-	id := s.nextID
-	s.nextID++
 	r := sched.NewRequest(id, modelName, info.Class, now, info.ExtMs, blocks)
+	r.Device = devID
 	if deadlineMs > 0 {
 		r.DeadlineMs = now + deadlineMs
 	} else if s.cfg.EnforceDeadlines {
@@ -839,14 +1038,17 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 		s.met.requests[modelName].Inc()
 	}
 	s.emit(trace.Event{AtMs: now, Kind: trace.Arrive, ReqID: id, Model: modelName,
-		Detail: fmt.Sprintf("blocks=%d", len(blocks))})
-	s.queue.InsertGreedy(now, r)
+		Device: devID, Detail: fmt.Sprintf("blocks=%d", len(blocks))})
+	dv.queue.InsertGreedy(now, r)
 	if s.met != nil {
-		s.met.queueDepth.SetInt(s.queue.Len())
+		s.met.queueDepth.SetInt(s.depthLocked())
 	}
+	s.setDeviceDepth(dv)
 	ch := make(chan outcome, 1)
 	s.waiters[id] = ch
-	s.cond.Signal()
+	// Broadcast, not Signal: only the placed device's executor can run this
+	// request, and Signal could wake a different one.
+	s.cond.Broadcast()
 	return id, ch, nil
 }
 
@@ -869,7 +1071,7 @@ func (s *Server) setElastic(nowMs float64, suppressed bool) {
 		kind = trace.ElasticOn
 	}
 	s.emit(trace.Event{AtMs: nowMs, Kind: kind, ReqID: -1,
-		Detail: fmt.Sprintf("depth=%d", s.queue.Len())})
+		Detail: fmt.Sprintf("depth=%d", s.depthLocked())})
 }
 
 // QueuedRequest is one waiting request in a QueueSnapshot.
@@ -888,6 +1090,20 @@ type QueuedRequest struct {
 	Preemptions int     `json:"preemptions"`
 	// DeadlineMs is the absolute virtual-time deadline, 0 when none.
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// Device is the fleet device the request is queued on (omitted on
+	// single-device deployments, where it is always 0).
+	Device int `json:"device,omitempty"`
+}
+
+// DeviceSnapshot is one fleet device's live state in a QueueSnapshot.
+type DeviceSnapshot struct {
+	Device int  `json:"device"`
+	Depth  int  `json:"depth"`
+	Busy   bool `json:"busy"`
+	// InflightID is the executing request's ID, -1 while idle.
+	InflightID int `json:"inflight_id"`
+	// BusyMsTotal is cumulative virtual-ms block occupancy.
+	BusyMsTotal float64 `json:"busy_ms_total"`
 }
 
 // QueueSnapshot is the /queuez payload: the live queue plus rolling QoS.
@@ -902,6 +1118,10 @@ type QueueSnapshot struct {
 	ElasticSuppressed bool            `json:"elastic_suppressed"`
 	QoS               obs.QoSSnapshot `json:"qos"`
 	Requests          []QueuedRequest `json:"requests"`
+	// Placement and Devices describe the fleet; both omitted on
+	// single-device deployments, whose payload is unchanged.
+	Placement string           `json:"placement,omitempty"`
+	Devices   []DeviceSnapshot `json:"devices,omitempty"`
 }
 
 // QueueSnapshot captures the live queue state for the admin endpoint. On a
@@ -913,27 +1133,41 @@ func (s *Server) QueueSnapshot() QueueSnapshot {
 	snap := QueueSnapshot{
 		NowMs:             now,
 		Alpha:             s.cfg.Alpha,
-		Depth:             s.queue.Len(),
-		Busy:              s.busy,
+		Depth:             s.depthLocked(),
+		Busy:              s.anyBusyLocked(),
 		Draining:          s.draining,
 		Served:            s.served,
 		Dropped:           s.dropped,
 		ElasticSuppressed: s.elasticSuppressed,
-		Requests:          make([]QueuedRequest, 0, s.queue.Len()),
+		Requests:          make([]QueuedRequest, 0, s.depthLocked()),
 	}
-	for i, r := range s.queue.Requests() {
-		snap.Requests = append(snap.Requests, QueuedRequest{
-			ID:          r.ID,
-			Model:       r.Model,
-			Class:       r.Class,
-			Pos:         i,
-			BlocksDone:  r.Next,
-			BlocksTotal: len(r.BlockTimes),
-			WaitedMs:    now - r.ArriveMs,
-			CurrentRR:   r.PredictedPlainRR(now, 0),
-			Preemptions: r.Preemptions,
-			DeadlineMs:  r.DeadlineMs,
-		})
+	for _, dv := range s.devs {
+		for i, r := range dv.queue.Requests() {
+			snap.Requests = append(snap.Requests, QueuedRequest{
+				ID:          r.ID,
+				Model:       r.Model,
+				Class:       r.Class,
+				Pos:         i,
+				BlocksDone:  r.Next,
+				BlocksTotal: len(r.BlockTimes),
+				WaitedMs:    now - r.ArriveMs,
+				CurrentRR:   r.PredictedPlainRR(now, 0),
+				Preemptions: r.Preemptions,
+				DeadlineMs:  r.DeadlineMs,
+				Device:      r.Device,
+			})
+		}
+	}
+	if len(s.devs) > 1 {
+		snap.Placement = s.placer.Name()
+		for _, dv := range s.devs {
+			ds := DeviceSnapshot{Device: dv.id, Depth: dv.queue.Len(), Busy: dv.busy,
+				InflightID: -1, BusyMsTotal: dv.busyMsTotal}
+			if dv.inflight != nil {
+				ds.InflightID = dv.inflight.ID
+			}
+			snap.Devices = append(snap.Devices, ds)
+		}
 	}
 	s.mu.Unlock()
 	// The rolling window has its own lock; read it outside s.mu.
@@ -964,7 +1198,7 @@ func (s *Server) Health() Health {
 		Models:     len(s.cfg.Catalog),
 		Served:     s.served,
 		Dropped:    s.dropped,
-		QueueDepth: s.queue.Len(),
+		QueueDepth: s.depthLocked(),
 	}
 	if !s.start.IsZero() {
 		h.UptimeS = time.Since(s.start).Seconds()
@@ -1045,6 +1279,10 @@ type InferReply struct {
 	WaitMs        float64
 	ResponseRatio float64
 	Preemptions   int
+	// Device is the fleet device that served the request (0 on
+	// single-device deployments). New fields are wire-safe: gob ignores
+	// fields the peer does not know.
+	Device int
 }
 
 // fill populates the reply from a completed request.
@@ -1058,6 +1296,7 @@ func (reply *InferReply) fill(req *sched.Request) {
 		WaitMs:        req.E2EMs() - req.ExtMs,
 		ResponseRatio: req.ResponseRatio(),
 		Preemptions:   req.Preemptions,
+		Device:        req.Device,
 	}
 }
 
@@ -1154,7 +1393,7 @@ func (r *Responder) Stats(_ struct{}, reply *StatsReply) error {
 	defer r.srv.mu.Unlock()
 	*reply = StatsReply{
 		Served: r.srv.served,
-		Queued: r.srv.queue.Len(),
+		Queued: r.srv.depthLocked(),
 		Models: len(r.srv.cfg.Catalog),
 	}
 	if !r.srv.start.IsZero() {
@@ -1208,18 +1447,52 @@ func (r *Responder) ModelStats(_ struct{}, reply *ModelStatsReply) error {
 	return nil
 }
 
-// Client is a thin wrapper over the rpc client.
+// Client is a thin wrapper over the rpc client. Dial negotiates the
+// protocol version with a Hello handshake; against v2 servers the client
+// uses the *V2 methods so typed errors (errors.Is) survive the wire, and
+// against v1 servers it falls back to prefix-matching the stable error
+// messages.
 type Client struct {
-	rpc *rpc.Client
+	rpc       *rpc.Client
+	proto     int
+	caps      map[string]bool
+	devices   int
+	placement string
 }
 
-// Dial connects to a SPLIT server.
+// Dial connects to a SPLIT server and negotiates the protocol version.
 func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
+	rc, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{rpc: c}, nil
+	c := &Client{rpc: rc, proto: ProtoV1}
+	var hello HelloReply
+	// A v1 server has no Hello method; any handshake failure degrades to
+	// protocol v1 rather than failing the dial.
+	if err := rc.Call("SPLIT.Hello", HelloArgs{Version: ProtoV2}, &hello); err == nil {
+		c.proto = hello.Version
+		c.caps = make(map[string]bool, len(hello.Capabilities))
+		for _, cap := range hello.Capabilities {
+			c.caps[cap] = true
+		}
+		c.devices = hello.Devices
+		c.placement = hello.Placement
+	}
+	return c, nil
+}
+
+// Proto reports the negotiated protocol version (ProtoV1 or ProtoV2).
+func (c *Client) Proto() int { return c.proto }
+
+// Has reports whether the server advertised a capability (always false on
+// protocol v1 servers, which advertise nothing).
+func (c *Client) Has(capability string) bool { return c.caps[capability] }
+
+// Fleet reports the server's device count and placement policy as
+// advertised by the handshake (0, "" against v1 servers).
+func (c *Client) Fleet() (devices int, placement string) {
+	return c.devices, c.placement
 }
 
 // Infer runs one request synchronously.
@@ -1230,9 +1503,17 @@ func (c *Client) Infer(modelName string) (InferReply, error) {
 // InferDeadline runs one request synchronously with a client-supplied
 // deadline (virtual milliseconds after arrival; 0 = server default).
 func (c *Client) InferDeadline(modelName string, deadlineMs float64) (InferReply, error) {
+	args := InferArgs{Model: modelName, DeadlineMs: deadlineMs}
+	if c.proto >= ProtoV2 {
+		var reply InferV2Reply
+		if err := c.rpc.Call("SPLIT.InferV2", args, &reply); err != nil {
+			return reply.Reply, err
+		}
+		return reply.Reply, ErrorFromCode(reply.Err.Code, reply.Err.Msg)
+	}
 	var reply InferReply
-	err := c.rpc.Call("SPLIT.Infer", InferArgs{Model: modelName, DeadlineMs: deadlineMs}, &reply)
-	return reply, err
+	err := c.rpc.Call("SPLIT.Infer", args, &reply)
+	return reply, errorFromV1(err)
 }
 
 // InferAsync starts a request and returns the pending call.
@@ -1243,16 +1524,31 @@ func (c *Client) InferAsync(modelName string) *rpc.Call {
 
 // Submit enqueues a request and returns its ID without waiting.
 func (c *Client) Submit(modelName string, deadlineMs float64) (int, error) {
+	args := InferArgs{Model: modelName, DeadlineMs: deadlineMs}
+	if c.proto >= ProtoV2 {
+		var reply SubmitV2Reply
+		if err := c.rpc.Call("SPLIT.SubmitV2", args, &reply); err != nil {
+			return reply.Reply.ReqID, err
+		}
+		return reply.Reply.ReqID, ErrorFromCode(reply.Err.Code, reply.Err.Msg)
+	}
 	var reply SubmitReply
-	err := c.rpc.Call("SPLIT.Submit", InferArgs{Model: modelName, DeadlineMs: deadlineMs}, &reply)
-	return reply.ReqID, err
+	err := c.rpc.Call("SPLIT.Submit", args, &reply)
+	return reply.ReqID, errorFromV1(err)
 }
 
 // Wait claims the outcome of a submitted request.
 func (c *Client) Wait(reqID int) (InferReply, error) {
+	if c.proto >= ProtoV2 {
+		var reply InferV2Reply
+		if err := c.rpc.Call("SPLIT.WaitV2", WaitArgs{ReqID: reqID}, &reply); err != nil {
+			return reply.Reply, err
+		}
+		return reply.Reply, ErrorFromCode(reply.Err.Code, reply.Err.Msg)
+	}
 	var reply InferReply
 	err := c.rpc.Call("SPLIT.Wait", WaitArgs{ReqID: reqID}, &reply)
-	return reply, err
+	return reply, errorFromV1(err)
 }
 
 // Cancel cancels a pending request and reports what it found.

@@ -8,9 +8,11 @@ import (
 
 // Span is one contiguous device occupancy interval by a request.
 type Span struct {
-	ReqID   int
-	Model   string
-	Block   int
+	ReqID int
+	Model string
+	Block int
+	// Device is the fleet device the block ran on (0 single-device).
+	Device  int
 	StartMs float64
 	EndMs   float64
 }
@@ -23,22 +25,24 @@ func (s Span) DurationMs() float64 { return s.EndMs - s.StartMs }
 // dropped.
 func (t *Tracer) Spans() []Span {
 	type open struct {
-		at    float64
-		block int
-		model string
+		at     float64
+		block  int
+		device int
+		model  string
 	}
 	pending := map[int]open{}
 	var spans []Span
 	for _, e := range t.Events() {
 		switch e.Kind {
 		case StartBlock:
-			pending[e.ReqID] = open{at: e.AtMs, block: e.Block, model: e.Model}
+			pending[e.ReqID] = open{at: e.AtMs, block: e.Block, device: e.Device, model: e.Model}
 		case EndBlock:
 			if o, ok := pending[e.ReqID]; ok {
 				spans = append(spans, Span{
 					ReqID:   e.ReqID,
 					Model:   o.model,
 					Block:   o.block,
+					Device:  o.device,
 					StartMs: o.at,
 					EndMs:   e.AtMs,
 				})
@@ -66,6 +70,9 @@ type Analysis struct {
 	MeanBusyPeriodMs float64
 	// PerModelBusyMs attributes occupancy to models.
 	PerModelBusyMs map[string]float64
+	// PerDeviceBusyMs attributes occupancy to fleet devices; a
+	// single-device trace has all its occupancy under key 0.
+	PerDeviceBusyMs map[int]float64
 	// Preemptions counts preempt events.
 	Preemptions int
 	// Completions counts complete events.
@@ -74,7 +81,7 @@ type Analysis struct {
 
 // Analyze computes the occupancy analysis of the trace.
 func (t *Tracer) Analyze() Analysis {
-	a := Analysis{PerModelBusyMs: map[string]float64{}}
+	a := Analysis{PerModelBusyMs: map[string]float64{}, PerDeviceBusyMs: map[int]float64{}}
 	events := t.Events()
 	if len(events) == 0 {
 		return a
@@ -100,6 +107,7 @@ func (t *Tracer) Analyze() Analysis {
 	for _, s := range spans {
 		a.BusyMs += s.DurationMs()
 		a.PerModelBusyMs[s.Model] += s.DurationMs()
+		a.PerDeviceBusyMs[s.Device] += s.DurationMs()
 	}
 	if a.HorizonMs > 0 {
 		a.Utilization = a.BusyMs / a.HorizonMs

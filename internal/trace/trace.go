@@ -44,16 +44,23 @@ const (
 	// server accepts no new work and is finishing or shedding the backlog.
 	DrainStart EventKind = "drain_start"
 	DrainEnd   EventKind = "drain_end"
+	// Place records a fleet placement decision: the chosen device is in
+	// Device, the policy name in Detail. Emitted only by multi-device
+	// deployments, so single-device traces are unchanged.
+	Place EventKind = "place"
 )
 
 // Event is one timeline entry.
 type Event struct {
-	AtMs   float64   `json:"at_ms"`
-	Kind   EventKind `json:"kind"`
-	ReqID  int       `json:"req"`
-	Model  string    `json:"model"`
-	Block  int       `json:"block,omitempty"`
-	Detail string    `json:"detail,omitempty"`
+	AtMs  float64   `json:"at_ms"`
+	Kind  EventKind `json:"kind"`
+	ReqID int       `json:"req"`
+	Model string    `json:"model"`
+	Block int       `json:"block,omitempty"`
+	// Device is the fleet device the event happened on; 0 (and omitted
+	// from JSON) on single-device deployments.
+	Device int    `json:"device,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // Sink receives a live stream of trace events. Implementations must be safe
@@ -119,6 +126,15 @@ func (t *Tracer) Recordf(atMs float64, kind EventKind, reqID int, model string, 
 		Detail: fmt.Sprintf(format, args...)})
 }
 
+// DeviceRecordf is Recordf with an explicit fleet device.
+func (t *Tracer) DeviceRecordf(atMs float64, kind EventKind, device, reqID int, model string, block int, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Record(Event{AtMs: atMs, Kind: kind, ReqID: reqID, Model: model, Block: block,
+		Device: device, Detail: fmt.Sprintf(format, args...)})
+}
+
 // Events returns the recorded events in insertion order. Nil-safe.
 func (t *Tracer) Events() []Event {
 	if t == nil {
@@ -137,12 +153,12 @@ func (t *Tracer) Len() int {
 
 // WriteCSV emits the trace as CSV with a header row.
 func (t *Tracer) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "at_ms,kind,req,model,block,detail"); err != nil {
+	if _, err := fmt.Fprintln(w, "at_ms,kind,req,model,block,device,detail"); err != nil {
 		return err
 	}
 	for _, e := range t.Events() {
-		if _, err := fmt.Fprintf(w, "%.4f,%s,%d,%s,%d,%q\n",
-			e.AtMs, e.Kind, e.ReqID, e.Model, e.Block, e.Detail); err != nil {
+		if _, err := fmt.Fprintf(w, "%.4f,%s,%d,%s,%d,%d,%q\n",
+			e.AtMs, e.Kind, e.ReqID, e.Model, e.Block, e.Device, e.Detail); err != nil {
 			return err
 		}
 	}

@@ -21,4 +21,5 @@ go test -race ./...
 for target in FuzzInsertGreedy FuzzQueueLifecycle FuzzDeadlineSweep; do
     go test ./internal/sched -run '^$' -fuzz "$target" -fuzztime "${FUZZTIME:-2s}"
 done
+go test ./internal/policy -run '^$' -fuzz FuzzPlacement -fuzztime "${FUZZTIME:-2s}"
 echo "check: ok"

@@ -13,7 +13,7 @@
 //
 // or start the serving path:
 //
-//	srv, _ := split.NewServer(split.ServerConfig{Catalog: catalog})
+//	srv, _ := split.NewServerWith(catalog, split.WithDevices(2))
 //	l, _ := net.Listen("tcp", "127.0.0.1:0")
 //	srv.Start(l)
 //	c, _ := split.Dial(srv.Addr())
@@ -88,11 +88,53 @@ type (
 	// Server is the real-time RPC serving path.
 	Server = serve.Server
 	// ServerConfig parameterizes a Server.
+	//
+	// Deprecated: the flat version-1 configuration, kept as a shim; use
+	// NewServerWith with ServerOption values instead.
 	ServerConfig = serve.Config
+	// ServerOption is one functional server option (WithDevices,
+	// WithPlacement, WithDeadlines, ...).
+	ServerOption = serve.Option
+	// ServerOptions is the versioned option set NewServerWith assembles.
+	ServerOptions = serve.Options
 	// Client talks to a Server.
 	Client = serve.Client
 	// InferReply is a completed request's QoS outcome.
 	InferReply = serve.InferReply
+)
+
+// ServerOptionsVersion is the current server-options schema revision.
+const ServerOptionsVersion = serve.OptionsVersion
+
+// Functional server options for NewServerWith.
+var (
+	// WithDevices sets the fleet size (one executor and queue per device).
+	WithDevices = serve.WithDevices
+	// WithPlacement selects the fleet placement policy: "round-robin",
+	// "least-loaded" or "affinity".
+	WithPlacement = serve.WithPlacement
+	// WithDeadlines enables α·t_ext deadline enforcement (alpha > 0 also
+	// sets the scheduling α).
+	WithDeadlines = serve.WithDeadlines
+	// WithAlpha sets the latency-target multiplier.
+	WithAlpha = serve.WithAlpha
+	// WithTimeScale accelerates or slows the virtual clock.
+	WithTimeScale = serve.WithTimeScale
+	// WithElastic configures §3.3 elastic splitting.
+	WithElastic = serve.WithElastic
+	// WithMaxQueue caps the fleet-wide waiting-request count.
+	WithMaxQueue = serve.WithMaxQueue
+	// WithPredictiveShed sheds requests that can no longer meet their
+	// deadline even if granted the device immediately.
+	WithPredictiveShed = serve.WithPredictiveShed
+	// WithFaults injects the deterministic fault schedule.
+	WithFaults = serve.WithFaults
+	// WithObs attaches a live metrics registry.
+	WithObs = serve.WithObs
+	// WithSink attaches a live scheduling-event sink.
+	WithSink = serve.WithSink
+	// WithQoSWindow sizes the rolling online QoS window.
+	WithQoSWindow = serve.WithQoSWindow
 )
 
 // Request classes.
@@ -203,8 +245,20 @@ func SaveGraph(path string, g *Graph) error { return onnxlite.SaveGraph(path, g)
 // LoadGraph reads a persisted model graph.
 func LoadGraph(path string) (*Graph, error) { return onnxlite.LoadGraph(path) }
 
-// NewServer builds the real-time RPC server.
+// NewServer builds the real-time RPC server from the flat config.
+//
+// Deprecated: use NewServerWith with functional options.
 func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }
+
+// NewServerWith builds the real-time RPC server from functional options —
+// the versioned replacement for NewServer:
+//
+//	srv, err := split.NewServerWith(catalog,
+//	    split.WithDevices(2), split.WithPlacement("least-loaded"),
+//	    split.WithDeadlines(4))
+func NewServerWith(catalog Catalog, opts ...ServerOption) (*Server, error) {
+	return serve.New(catalog, opts...)
+}
 
 // Dial connects to a running server.
 func Dial(addr string) (*Client, error) { return serve.Dial(addr) }
