@@ -13,9 +13,14 @@
 //	splitbench -summary
 //	splitbench -ablation search|evenness|elastic|blocks|init|starvation|burstiness|shedding
 //	splitbench -ablation placement [-devices 2] [-csv placement.csv]
+//	splitbench -ablation batching [-batch-max 8]
+//
+// Command-line mistakes (unknown ablation, -devices 0, -batch-max 0) exit
+// with status 2 and a one-line error; runtime failures exit with status 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,9 +32,26 @@ import (
 	"split/internal/workload"
 )
 
+// usageError marks a command-line mistake — bad flag value, unknown mode —
+// so main can exit with the conventional usage status 2 rather than the
+// runtime-failure status 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError from a format string.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "splitbench:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -46,18 +68,22 @@ func run(args []string, out io.Writer) error {
 		table2   = fs.Bool("table2", false, "print Table 2 scenarios")
 		stab     = fs.Bool("stability", false, "print the §5.1 hardware-tolerance stability sweep")
 		summary  = fs.Bool("summary", false, "print per-scenario QoS summaries")
-		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness|shedding|placement")
+		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness|shedding|placement|batching")
 		devices  = fs.Int("devices", 2, "fleet size for -ablation placement")
+		batchMax = fs.Int("batch-max", 8, "micro-batch cap for -ablation batching (1 disables batching)")
 		csvPath  = fs.String("csv", "", "also write -ablation placement rows as CSV to this file")
 		systems  = fs.String("systems", "", "comma-separated system list for -fig6/-fig7/-summary (default: the paper's four; add REEF or Stream-Parallel here)")
 		seeds    = fs.Int("seeds", 1, "replications for -fig6/-fig7; >1 reports mean±std over seeds")
 		seed     = fs.Int64("seed", 1, "workload seed")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
-	if *ablation == "placement" && *devices < 1 {
-		return fmt.Errorf("-devices must be >= 1, got %d", *devices)
+	if *devices < 1 {
+		return usagef("-devices must be >= 1, got %d", *devices)
+	}
+	if *batchMax < 1 {
+		return usagef("-batch-max must be >= 1, got %d", *batchMax)
 	}
 	cm := model.DefaultCostModel()
 	ran := false
@@ -76,7 +102,7 @@ func run(args []string, out io.Writer) error {
 
 	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab ||
 		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness" ||
-		*ablation == "shedding" || *ablation == "placement"
+		*ablation == "shedding" || *ablation == "placement" || *ablation == "batching"
 	var dep *core.Deployment
 	if needDeploy {
 		var err error
@@ -191,13 +217,16 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, core.RenderInitAblation(rows))
+	case "batching":
+		ran = true
+		fmt.Fprint(out, core.RenderBatchingAblation(core.BatchingAblation(dep, *batchMax, *seed)))
 	default:
-		return fmt.Errorf("unknown ablation %q", *ablation)
+		return usagef("unknown ablation %q", *ablation)
 	}
 
 	if !ran {
 		fs.Usage()
-		return fmt.Errorf("no action selected")
+		return usagef("no action selected")
 	}
 	return nil
 }

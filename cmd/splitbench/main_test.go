@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,15 +89,50 @@ func TestPlacementAblationOutput(t *testing.T) {
 	}
 }
 
+func TestBatchingAblationOutput(t *testing.T) {
+	out := runOK(t, "-ablation", "batching", "-batch-max", "2")
+	for _, want := range []string{"batch", "maxsize", "rps", "viol@4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batching ablation missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 3 {
+		t.Errorf("batching ablation with -batch-max 2: %d lines, want header + 2 rows:\n%s", len(lines), out)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run(nil, &b); err == nil {
-		t.Error("no action accepted")
-	}
-	if err := run([]string{"-ablation", "bogus"}, &b); err == nil {
-		t.Error("bogus ablation accepted")
-	}
 	if err := run([]string{"-fig6", "-systems", "NotASystem"}, &b); err == nil {
 		t.Error("bogus system accepted")
+	}
+	var ue usageError
+	if err := run([]string{"-fig6", "-systems", "NotASystem"}, &b); errors.As(err, &ue) {
+		t.Error("runtime failure classified as usage error")
+	}
+}
+
+// TestUsageErrors: every command-line mistake must surface as a usageError,
+// which main reports with exit status 2 and a one-line message.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil, // no action selected
+		{"-ablation", "bogus"},
+		{"-ablation", "placement", "-devices", "0"},
+		{"-devices", "-2", "-table2"},
+		{"-ablation", "batching", "-batch-max", "0"},
+		{"-batch-max", "-3", "-table2"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		err := run(args, &b)
+		var ue usageError
+		if err == nil || !errors.As(err, &ue) {
+			t.Errorf("run(%v) = %v, want a usage error", args, err)
+		}
+		if err != nil && strings.Contains(err.Error(), "\n") {
+			t.Errorf("run(%v): usage error is not one line: %q", args, err)
+		}
 	}
 }

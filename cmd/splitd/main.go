@@ -11,6 +11,7 @@
 //	splitd -addr 127.0.0.1:7100 -deadlines -drain-timeout 5s
 //	splitd -addr 127.0.0.1:7100 -fault-fail-prob 0.01 -fault-retries 2
 //	splitd -addr 127.0.0.1:7100 -devices 4 -placement least-loaded
+//	splitd -addr 127.0.0.1:7100 -batch-max 4
 //
 // With -admin set, a live observability endpoint serves /metrics
 // (Prometheus text), /healthz, /queuez (JSON queue snapshot), /tracez
@@ -27,9 +28,17 @@
 // With -devices N > 1, the daemon schedules a fleet of N devices — one
 // executor and queue per device — and routes each arrival with the
 // -placement policy ("round-robin", "least-loaded" or "affinity").
+//
+// With -batch-max B > 1, the executor coalesces up to B same-model requests
+// at the queue front into one batched block execution (§3.3's same-type runs
+// executed as micro-batches). The default of 1 leaves batching off.
+//
+// Command-line mistakes (-devices 0, -batch-max 0, an unknown -placement)
+// exit with status 2 and a one-line error; runtime failures exit with 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +61,19 @@ import (
 	"split/internal/zoo"
 )
 
+// usageError marks a command-line mistake — bad flag value, unknown policy —
+// so main can exit with the conventional usage status 2 rather than the
+// runtime-failure status 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError from a format string.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func main() {
 	stop := make(chan struct{})
 	sig := make(chan os.Signal, 1)
@@ -62,6 +84,10 @@ func main() {
 	}()
 	if err := run(os.Args[1:], os.Stdout, nil, nil, stop); err != nil {
 		fmt.Fprintln(os.Stderr, "splitd:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -85,6 +111,7 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		qosWindow = fs.Int("qos-window", 0, "rolling QoS window in completions (0 = default)")
 		devices   = fs.Int("devices", 1, "fleet size: executors and queues, one per device")
 		placement = fs.String("placement", "", "fleet placement policy: round-robin|least-loaded|affinity (default round-robin)")
+		batchMax  = fs.Int("batch-max", 1, "coalesce up to this many same-model requests into one batched block execution (1 = off)")
 
 		deadlines  = fs.Bool("deadlines", false, "enforce per-request deadlines of α·t_ext; shed doomed work at block boundaries")
 		predictive = fs.Bool("predictive-shed", false, "with -deadlines, also shed requests that cannot finish in time even if not yet expired")
@@ -97,7 +124,16 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		faultSeed   = fs.Int64("fault-seed", 1, "fault injector seed")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
+	}
+	if *devices < 1 {
+		return usagef("-devices must be >= 1, got %d", *devices)
+	}
+	if *batchMax < 1 {
+		return usagef("-batch-max must be >= 1, got %d", *batchMax)
+	}
+	if _, err := place.New(*placement, *devices); err != nil {
+		return usageError{err}
 	}
 
 	var plans map[string]*model.SplitPlan
@@ -133,6 +169,10 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		PredictiveShed:   *predictive,
 		Devices:          *devices,
 		Placement:        *placement,
+		BatchMax:         *batchMax,
+	}
+	if *batchMax > 1 {
+		fmt.Fprintf(out, "micro-batching on: up to %d same-model requests per block\n", *batchMax)
 	}
 	if *spikeProb > 0 || *failProb > 0 {
 		cfg.Faults = &gpusim.FaultInjector{

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"net"
 	"path/filepath"
 	"strings"
@@ -99,6 +100,7 @@ func TestDaemonFleet(t *testing.T) {
 			"-timescale", "0.01",
 			"-devices", "2",
 			"-placement", "least-loaded",
+			"-batch-max", "2",
 		}, out, ready, nil, stop)
 	}()
 	var addr string
@@ -124,23 +126,55 @@ func TestDaemonFleet(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatalf("daemon exit error: %v", err)
 	}
-	if o := out.String(); !strings.Contains(o, "fleet: 2 devices, least-loaded placement") {
+	o := out.String()
+	if !strings.Contains(o, "fleet: 2 devices, least-loaded placement") {
 		t.Errorf("daemon log: %s", o)
+	}
+	if !strings.Contains(o, "micro-batching on: up to 2") {
+		t.Errorf("daemon log missing batching line: %s", o)
 	}
 }
 
-// TestDaemonRejectsUnknownPlacement: an invalid -placement fails fast.
+// TestDaemonRejectsUnknownPlacement: an invalid -placement fails fast, as a
+// usage error, before any plan loading or GA work.
 func TestDaemonRejectsUnknownPlacement(t *testing.T) {
-	dir := t.TempDir()
-	if err := onnxlite.SavePlan(filepath.Join(dir, "yolov2.plan.json"), planFor(t, "yolov2", []int{40})); err != nil {
-		t.Fatal(err)
-	}
 	out := &syncBuilder{}
 	stop := make(chan struct{})
 	close(stop)
-	err := run([]string{"-addr", "127.0.0.1:0", "-plans", dir, "-devices", "2", "-placement", "nope"}, out, nil, nil, stop)
+	err := run([]string{"-addr", "127.0.0.1:0", "-devices", "2", "-placement", "nope"}, out, nil, nil, stop)
 	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
 		t.Errorf("unknown placement accepted: %v", err)
+	}
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Errorf("unknown placement not a usage error: %v", err)
+	}
+}
+
+// TestDaemonUsageErrors: every command-line mistake surfaces as a usageError
+// (exit status 2 from main) with a one-line message, validated before the
+// daemon does any expensive deployment work.
+func TestDaemonUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-devices", "0"},
+		{"-devices", "-1"},
+		{"-batch-max", "0"},
+		{"-batch-max", "-4"},
+		{"-placement", "nope"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		out := &syncBuilder{}
+		stop := make(chan struct{})
+		close(stop)
+		err := run(args, out, nil, nil, stop)
+		var ue usageError
+		if err == nil || !errors.As(err, &ue) {
+			t.Errorf("run(%v) = %v, want a usage error", args, err)
+		}
+		if err != nil && strings.Contains(err.Error(), "\n") {
+			t.Errorf("run(%v): usage error is not one line: %q", args, err)
+		}
 	}
 }
 

@@ -706,3 +706,88 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// ---------------------------------------------------------------------------
+// Ablation — same-type micro-batching sweep
+// ---------------------------------------------------------------------------
+
+// BatchingRow is one batch-cap setting evaluated on the same-type burst
+// workload.
+type BatchingRow struct {
+	BatchMax      int
+	Requests      int
+	Served        int
+	BatchedGrants int     // device grants that coalesced > 1 request
+	LargestBatch  int     // biggest batch actually formed
+	MakespanMs    float64 // last completion time
+	ThroughputRps float64 // served requests per second of makespan
+	MeanRR        float64
+	Viol4         float64
+}
+
+// BatchingAblation sweeps the micro-batch cap on a same-type burst-heavy
+// workload: two large back-to-back bursts (the elastic mechanism keeps their
+// members unsplit, which is exactly the run structure batching coalesces)
+// over a light mixed background. BatchMax 1 is the serial baseline; the
+// sweep stops at maxBatch (values beyond it are skipped).
+func BatchingAblation(d *Deployment, maxBatch int, seed int64) []BatchingRow {
+	background := workload.MustGenerate(workload.Config{
+		Models: zoo.BenchmarkModels, MeanIntervalMs: 20, Count: 10, Seed: seed,
+	})
+	// Both bursts land within the first ~60ms, so the queue saturates and
+	// the makespan measures service capacity rather than arrival span.
+	arrivals := workload.Burst(background, "resnet50", 10, 1, 32)
+	arrivals = workload.Burst(arrivals, "vgg19", 45, 1, 16)
+	sortArrivals(arrivals)
+
+	var rows []BatchingRow
+	for _, b := range []int{1, 2, 4, 8} {
+		if b > maxBatch && b != 1 {
+			continue
+		}
+		sys := policy.NewSplit()
+		sys.BatchMax = b
+		tr := trace.New()
+		recs := sys.Run(arrivals, d.Catalog, tr)
+		sum := metrics.Summarize(sys.Name(), recs)
+		row := BatchingRow{BatchMax: b, Requests: len(recs)}
+		for _, r := range recs {
+			if r.Served() {
+				row.Served++
+			}
+			if r.DoneMs > row.MakespanMs {
+				row.MakespanMs = r.DoneMs
+			}
+		}
+		grants := map[int]int{}
+		for _, e := range tr.Events() {
+			if e.Kind == trace.StartBlock && e.Batch != 0 {
+				grants[e.Batch]++
+			}
+		}
+		row.BatchedGrants = len(grants)
+		for _, n := range grants {
+			row.LargestBatch = max(row.LargestBatch, n)
+		}
+		if row.MakespanMs > 0 {
+			row.ThroughputRps = float64(row.Served) / row.MakespanMs * 1000
+		}
+		row.MeanRR = sum.MeanRR
+		row.Viol4 = sum.ViolationAt4
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderBatchingAblation formats the rows.
+func RenderBatchingAblation(rows []BatchingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %8s %8s %8s %8s %12s %8s %8s %8s\n",
+		"batch", "reqs", "served", "grants", "maxsize", "makespan(ms)", "rps", "meanRR", "viol@4")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %8d %8d %8d %8d %12.1f %8.2f %8.2f %7.1f%%\n",
+			r.BatchMax, r.Requests, r.Served, r.BatchedGrants, r.LargestBatch,
+			r.MakespanMs, r.ThroughputRps, r.MeanRR, r.Viol4*100)
+	}
+	return b.String()
+}

@@ -448,6 +448,47 @@ func TestElasticAblationRuns(t *testing.T) {
 	}
 }
 
+// TestBatchingAblationThroughput pins the tentpole's payoff: on the
+// same-type burst workload some batch cap > 1 must deliver at least 1.5x
+// the serial baseline's throughput at an equal-or-lower violation rate.
+func TestBatchingAblationThroughput(t *testing.T) {
+	dep := testDeploy(t)
+	rows := BatchingAblation(dep, 8, 1)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4 (batch 1,2,4,8)", len(rows))
+	}
+	base := rows[0]
+	if base.BatchMax != 1 || base.BatchedGrants != 0 || base.LargestBatch != 0 {
+		t.Fatalf("baseline row formed batches: %+v", base)
+	}
+	improved := false
+	for _, r := range rows[1:] {
+		if r.Requests != base.Requests || r.Served != base.Served {
+			t.Fatalf("BatchMax=%d changed conservation: %+v vs base %+v", r.BatchMax, r, base)
+		}
+		if r.BatchedGrants == 0 || r.LargestBatch < 2 {
+			t.Fatalf("BatchMax=%d formed no batches on a burst workload: %+v", r.BatchMax, r)
+		}
+		if r.LargestBatch > r.BatchMax {
+			t.Fatalf("BatchMax=%d exceeded: largest batch %d", r.BatchMax, r.LargestBatch)
+		}
+		if r.ThroughputRps >= 1.5*base.ThroughputRps && r.Viol4 <= base.Viol4+1e-9 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Errorf("no batch cap reached 1.5x baseline throughput at <= baseline violations:\n%s",
+			RenderBatchingAblation(rows))
+	}
+	if RenderBatchingAblation(rows) == "" {
+		t.Error("empty render")
+	}
+	// Capping the sweep caps the rows.
+	if short := BatchingAblation(dep, 2, 1); len(short) != 2 {
+		t.Errorf("maxBatch=2 produced %d rows, want 2", len(short))
+	}
+}
+
 func TestBlockCountSweepInteriorOptimum(t *testing.T) {
 	rows, err := BlockCountSweep("vgg19", 8, model.DefaultCostModel(), 1)
 	if err != nil {

@@ -26,6 +26,13 @@ type Device struct {
 	busySinceMs float64
 	busyMs      float64
 	blocks      int
+	// Batched-grant accounting: holds that coalesced n >= 2 requests into
+	// one block execution. Scalar grants (n <= 1) leave all three untouched
+	// so single-request timelines report exactly what they did before
+	// batching existed.
+	batchedBlocks int
+	batchedReqs   int
+	maxBatch      int
 }
 
 // Busy reports whether a block currently occupies the device.
@@ -39,6 +46,22 @@ func (d *Device) Acquire(nowMs float64) {
 	}
 	d.busy = true
 	d.busySinceMs = nowMs
+}
+
+// AcquireBatch marks the device occupied from nowMs by one batched block
+// coalescing n same-type requests. With n <= 1 it is exactly Acquire — the
+// scalar grant — so executors can route every grant through it; n >= 2
+// additionally accounts the batch in the device's batched-grant counters.
+// The occupancy rules are unchanged: one hold at a time, panics if busy.
+func (d *Device) AcquireBatch(nowMs float64, n int) {
+	d.Acquire(nowMs)
+	if n > 1 {
+		d.batchedBlocks++
+		d.batchedReqs += n
+		if n > d.maxBatch {
+			d.maxBatch = n
+		}
+	}
 }
 
 // Release marks the device idle at nowMs and accounts the occupancy.
@@ -59,6 +82,16 @@ func (d *Device) BusyMs() float64 { return d.busyMs }
 
 // Blocks returns the number of completed device holds.
 func (d *Device) Blocks() int { return d.blocks }
+
+// BatchedBlocks returns the number of holds granted as batches (n >= 2).
+func (d *Device) BatchedBlocks() int { return d.batchedBlocks }
+
+// BatchedRequests returns the total requests served through batched holds
+// (the sum of batch sizes over BatchedBlocks).
+func (d *Device) BatchedRequests() int { return d.batchedReqs }
+
+// MaxBatch returns the largest batch granted, 0 if none were.
+func (d *Device) MaxBatch() int { return d.maxBatch }
 
 // Utilization returns BusyMs over the given horizon, or 0 for a
 // non-positive horizon.

@@ -37,7 +37,11 @@ func NewRollingQoS(alpha float64, window int) *RollingQoS {
 	return &RollingQoS{alpha: alpha, window: make([]policy.Record, window)}
 }
 
-// Observe adds one completed request to the window.
+// Observe adds one decided request — completed or shed — to the window.
+// Shed requests carry their drop reason in Outcome, so the rolling
+// violation rate sees them exactly like the offline harness does
+// (ViolationRate counts every non-served record as a violation), while
+// latency statistics skip them.
 func (q *RollingQoS) Observe(rec policy.Record) {
 	if q == nil {
 		return
@@ -77,8 +81,8 @@ type QoSSnapshot struct {
 	Alpha         float64 `json:"alpha"`
 	Window        int     `json:"window"`         // records currently in the window
 	Total         int     `json:"total"`          // lifetime completions observed
-	ViolationRate float64 `json:"violation_rate"` // fraction with RR > α (Fig. 6 formula)
-	JitterMs      float64 `json:"jitter_ms"`      // stddev of e2e over the window (Fig. 7 formula)
+	ViolationRate float64 `json:"violation_rate"` // fraction with RR > α or shed (Fig. 6 formula)
+	JitterMs      float64 `json:"jitter_ms"`      // stddev of e2e over served window records (Fig. 7 formula)
 	MeanRR        float64 `json:"mean_rr"`
 	MeanWaitMs    float64 `json:"mean_wait_ms"`
 }
@@ -101,9 +105,16 @@ func (q *RollingQoS) Snapshot() QoSSnapshot {
 	s.ViolationRate = metrics.ViolationRate(recs, alpha)
 	s.MeanRR = metrics.MeanResponseRatio(recs)
 	s.MeanWaitMs = metrics.MeanWait(recs)
-	e2e := make([]float64, len(recs))
-	for i, r := range recs {
-		e2e[i] = r.E2EMs()
+	// Jitter is the stddev of *observed* latency, so only served requests
+	// belong in it: a shed request has no e2e latency, and folding its
+	// shed-time stand-in into the spread would let deadline shedding
+	// corrupt the jitter of the requests that actually completed. The
+	// offline JitterByModel filters the same way.
+	e2e := make([]float64, 0, len(recs))
+	for _, r := range recs {
+		if r.Served() {
+			e2e = append(e2e, r.E2EMs())
+		}
 	}
 	s.JitterMs = stats.StdDev(e2e)
 	return s

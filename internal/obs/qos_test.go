@@ -75,6 +75,49 @@ func TestRollingWindowEviction(t *testing.T) {
 	}
 }
 
+// TestRollingShedsInWindow pins the shed-accounting fix: shed requests in
+// the window raise the violation rate exactly as the offline harness counts
+// them (every non-served record violates), while the latency statistics —
+// jitter above all — are computed over served records only, so a burst of
+// deadline sheds can no longer masquerade as latency spread.
+func TestRollingShedsInWindow(t *testing.T) {
+	q := NewRollingQoS(4, 64)
+	var served []policy.Record
+	for i, rr := range []float64{1, 2, 3} {
+		r := rec(i, rr)
+		served = append(served, r)
+		q.Observe(r)
+	}
+	sheds := []policy.Record{
+		{ID: 10, Model: "m", ArriveMs: 50, StartMs: -1, DoneMs: 500, ExtMs: 10, Outcome: "deadline"},
+		{ID: 11, Model: "m", ArriveMs: 55, StartMs: 60, DoneMs: 800, ExtMs: 10, Outcome: "canceled"},
+	}
+	for _, r := range sheds {
+		q.Observe(r)
+	}
+	s := q.Snapshot()
+	all := append(append([]policy.Record(nil), served...), sheds...)
+	if want := metrics.ViolationRate(all, 4); s.ViolationRate != want {
+		t.Errorf("violation rate %v, offline over served+shed %v", s.ViolationRate, want)
+	}
+	if s.ViolationRate != 2.0/5.0 {
+		t.Errorf("violation rate %v, want 0.4 (2 sheds of 5 records)", s.ViolationRate)
+	}
+	e2e := make([]float64, len(served))
+	for i, r := range served {
+		e2e[i] = r.E2EMs()
+	}
+	if want := stats.StdDev(e2e); math.Abs(s.JitterMs-want) > 1e-12 {
+		t.Errorf("jitter %v, want served-only stddev %v", s.JitterMs, want)
+	}
+	if want := metrics.MeanResponseRatio(served); math.Abs(s.MeanRR-want) > 1e-12 {
+		t.Errorf("mean RR %v polluted by sheds, want %v", s.MeanRR, want)
+	}
+	if s.Window != 5 || s.Total != 5 {
+		t.Errorf("window=%d total=%d, want 5/5", s.Window, s.Total)
+	}
+}
+
 func TestRollingDefaultsAndNil(t *testing.T) {
 	q := NewRollingQoS(0, 0)
 	if len(q.window) != DefaultQoSWindow || q.alpha != 4 {

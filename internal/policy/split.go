@@ -60,6 +60,16 @@ type Split struct {
 	// "round-robin", "least-loaded" or "affinity". Empty selects
 	// place.Default. Ignored on a single device beyond validation.
 	Placement string
+	// BatchMax enables same-type micro-batching when > 1: at a block
+	// boundary the granted request may coalesce up to BatchMax same-model,
+	// same-boundary queue-front neighbors into one batched device grant
+	// (sched.BatchPlanner), executed under the BatchCost model. <= 1 — the
+	// default — keeps the scalar path and reproduces prior records and
+	// traces bit-for-bit.
+	BatchMax int
+	// BatchCost prices batched block execution; the zero value means
+	// gpusim.DefaultBatchCost(). Ignored unless BatchMax > 1.
+	BatchCost gpusim.BatchCost
 }
 
 // NewSplit returns the default SPLIT configuration (α=4 for decision
@@ -82,6 +92,22 @@ type device struct {
 	d        *gpusim.Device
 	queue    *sched.Queue
 	inflight *sched.Request
+	// batch is the full membership of the current device grant when it is a
+	// micro-batch (inflight is then the leader); nil for scalar grants.
+	batch []*sched.Request
+}
+
+// executing reports whether r currently holds (or shares) the device grant.
+func (dv *device) executing(r *sched.Request) bool {
+	if dv.inflight == r {
+		return true
+	}
+	for _, m := range dv.batch {
+		if m == r {
+			return true
+		}
+	}
+	return false
 }
 
 // Run implements System. With Devices > 1 it runs the full fleet pipeline —
@@ -134,7 +160,12 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 		record(r, now, outcome)
 	}
 
+	planner := sched.BatchPlanner{Max: s.BatchMax}
+	batchCost := s.BatchCost.OrDefault()
+	batchSeq := 0 // batch ids start at 1; 0 marks unbatched trace events
+
 	var startNext func(dv *device, now float64)
+	var runBatch func(dv *device, now float64, batch []*sched.Request)
 	startNext = func(dv *device, now float64) {
 		// Shed doomed queued work before granting the token — an expired
 		// request must never occupy the device for another block. This
@@ -146,6 +177,12 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 		if r == nil {
 			dv.inflight = nil
 			return
+		}
+		if planner.Enabled() {
+			if batch := planner.Form(dv.queue, r, now); len(batch) > 1 {
+				runBatch(dv, now, batch)
+				return
+			}
 		}
 		dv.d.Acquire(now)
 		dv.inflight = r
@@ -230,6 +267,100 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 		attemptRun(now, 0)
 	}
 
+	// runBatch executes one batched device grant: every member advances the
+	// same block index in one boundary-delimited hold that costs
+	// batchCost.BlockMs(base, n) instead of n serial blocks. Faults draw on
+	// the leader's identity so a batch-of-one replays the scalar schedule; a
+	// terminal fault takes the whole batch down, matching the serving path.
+	runBatch = func(dv *device, now float64, batch []*sched.Request) {
+		n := len(batch)
+		batchSeq++
+		id := batchSeq
+		lead := batch[0]
+		block := lead.Next
+		baseDur := lead.BlockTimes[block]
+		runDur := batchCost.BlockMs(baseDur, n)
+		dv.d.AcquireBatch(now, n)
+		dv.inflight = lead
+		dv.batch = batch
+		for _, m := range batch {
+			if m.StartMs < 0 {
+				m.StartMs = now
+			}
+			m.Next++
+			tr.Record(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: m.ID,
+				Model: m.Model, Block: block, Device: m.Device, Batch: id,
+				Detail: fmt.Sprintf("dur=%.3f n=%d", runDur, n)})
+		}
+
+		endBatch := func(now float64) {
+			for _, m := range batch {
+				tr.Record(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: m.ID,
+					Model: m.Model, Block: block, Device: m.Device, Batch: id})
+			}
+			dv.d.Release(now)
+			dv.inflight = nil
+			dv.batch = nil
+		}
+
+		var attemptRun func(now float64, attempt int)
+		attemptRun = func(now float64, attempt int) {
+			fault := dv.d.Faults.Draw(lead.ID, block, attempt)
+			if fault.SpikeFactor > 1 {
+				tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, block,
+					"spike x%.2f attempt=%d", fault.SpikeFactor, attempt)
+			}
+			sim.After(runDur*fault.SpikeFactor, func(now float64) {
+				if fault.Fail {
+					if dv.d.Faults.Exhausted(attempt) {
+						tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, block,
+							"terminal after %d attempts", attempt+1)
+						endBatch(now)
+						for _, m := range batch {
+							shed(now, m, OutcomeDeviceFault)
+						}
+						startNext(dv, now)
+						return
+					}
+					// Unlike the scalar path there is no mid-retry abandon:
+					// one member's cancellation or expiry must not discard the
+					// batch-mates' attempt. Their fates settle at the boundary.
+					tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, block,
+						"transient attempt=%d, retrying", attempt)
+					attemptRun(now, attempt+1)
+					return
+				}
+				endBatch(now)
+				for _, m := range batch {
+					switch {
+					case m.Finished():
+						m.DoneMs = now
+						tr.DeviceRecordf(now, trace.Complete, m.Device, m.ID, m.Model, block, "rr=%.2f", m.ResponseRatio())
+						record(m, now, OutcomeServed)
+					case m.Canceled:
+						shed(now, m, OutcomeCanceled)
+					case m.Expired(now):
+						shed(now, m, OutcomeDeadline)
+					default:
+						var pos int
+						if s.PartialPreemption {
+							dv.queue.PushBack(m)
+							pos = dv.queue.Len() - 1
+						} else {
+							pos = dv.queue.InsertGreedy(now, m)
+						}
+						if pos > 0 {
+							m.Preemptions++
+							tr.DeviceRecordf(now, trace.Preempt, m.Device, m.ID, m.Model, m.Next, "requeued at %d", pos)
+						}
+					}
+				}
+				startNext(dv, now)
+			})
+		}
+		attemptRun(now, 0)
+	}
+
 	// fleetView snapshots every device's placement-relevant load. Both
 	// sides of the parity guarantee compute the in-flight remainder the
 	// same way: the executing request's uncommitted blocks.
@@ -271,7 +402,7 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 					Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", placer.Name(), view[devID].Queued)})
 			}
 			blocks := plan
-			if len(blocks) > 1 && !s.Elastic.ShouldSplit(dv.queue, a.Model) {
+			if len(blocks) > 1 && !s.Elastic.ShouldSplitWith(dv.queue, a.Model, dv.inflight) {
 				blocks = []float64{info.ExtMs}
 			}
 			r := sched.NewRequest(a.ID, a.Model, info.Class, now, info.ExtMs, blocks)
@@ -313,8 +444,9 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 					shed(now, r, OutcomeCanceled)
 					return
 				}
-				// In flight: shed at the next block boundary.
-				if dv.inflight == r && !r.Canceled {
+				// In flight (scalar or batch member): shed at the next
+				// block boundary.
+				if dv.executing(r) && !r.Canceled {
 					r.Canceled = true
 					tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "inflight")
 				}

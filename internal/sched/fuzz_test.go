@@ -6,6 +6,22 @@ import (
 	"split/internal/model"
 )
 
+// assertNoLeakedSlots fails if any backing-array slot beyond the queue's
+// live window still references a request. Every shrink path — PopFront,
+// Remove, SweepExpired, compact — must nil the slots it vacates, or the
+// array retains departed *Requests until it is reallocated (the
+// slot-retention leak class).
+func assertNoLeakedSlots(t *testing.T, q *Queue) {
+	t.Helper()
+	tail := q.reqs[len(q.reqs):cap(q.reqs)]
+	for i, r := range tail {
+		if r != nil {
+			t.Fatalf("freed slot %d (past live length %d) retains request %d",
+				q.Len()+i, q.Len(), r.ID)
+		}
+	}
+}
+
 // FuzzInsertGreedy drives Algorithm 1 with fuzz-chosen request sequences
 // and checks queue invariants after every insertion: no request lost, all
 // positions valid, FIFO among same-task arrivals, and the SRPT-like
@@ -115,6 +131,7 @@ func FuzzQueueLifecycle(f *testing.F) {
 				}
 				lastArrive[r.Model] = r.ArriveMs
 			}
+			assertNoLeakedSlots(t, q)
 		}
 		for _, op := range ops {
 			now += float64(op%5) + 0.25
@@ -251,5 +268,93 @@ func FuzzDeadlineSweep(f *testing.F) {
 		if keep != q.Len() {
 			t.Fatalf("queue holds %d requests, want %d survivors", q.Len(), keep)
 		}
+		assertNoLeakedSlots(t, q)
+	})
+}
+
+// FuzzBatchPlanner drives batch formation against fuzz-chosen queues and
+// checks every formation invariant: the head leads, the batch never exceeds
+// Max, all members share the head's model and next-block index with equally
+// shaped plans (one block per member — a batch never crosses a block
+// boundary mid-request), no member is canceled or deadline-doomed, members
+// are exactly the contiguous queue-front prefix in queue order (FIFO), the
+// survivors keep their order, and no backing slot leaks.
+func FuzzBatchPlanner(f *testing.F) {
+	f.Add([]byte{1, 1, 1, 1, 2, 3}, uint8(4), uint8(40))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(8), uint8(0))
+	f.Add([]byte{5, 5, 10, 5, 35, 5, 7}, uint8(2), uint8(200))
+	f.Add([]byte{9, 9, 9}, uint8(0), uint8(17))
+	f.Fuzz(func(t *testing.T, spec []byte, maxRaw, nowRaw uint8) {
+		if len(spec) > 64 {
+			spec = spec[:64]
+		}
+		q := NewQueue(4)
+		now := float64(nowRaw)
+		for i, b := range spec {
+			k := int(b) % 3
+			nblocks := 1 + int(b>>3)%3
+			bt := make([]float64, nblocks)
+			for j := range bt {
+				bt[j] = 10 + float64(k)
+			}
+			r := NewRequest(i, string(rune('a'+k)), model.Short, 0, 30, bt)
+			r.Next = int(b>>5) % nblocks // partially executed re-inserts
+			if b%5 == 0 {
+				r.DeadlineMs = float64(b) + 0.5 // some doomed/expired at now
+			}
+			if b%7 == 0 {
+				r.Canceled = true
+			}
+			q.PushBack(r)
+		}
+		head := q.PopFront()
+		if head == nil {
+			return
+		}
+		before := append([]*Request(nil), q.Requests()...)
+		p := BatchPlanner{Max: int(maxRaw % 9)}
+		batch := p.Form(q, head, now)
+
+		if len(batch) == 0 || batch[0] != head {
+			t.Fatal("head does not lead the batch")
+		}
+		limit := p.Max
+		if limit < 1 {
+			limit = 1
+		}
+		if len(batch) > limit {
+			t.Fatalf("batch size %d exceeds Max %d", len(batch), p.Max)
+		}
+		if (head.Canceled || head.Doomed(now)) && len(batch) > 1 {
+			t.Fatal("batch formed behind a canceled/doomed head")
+		}
+		for i, m := range batch[1:] {
+			if m.Model != head.Model {
+				t.Fatalf("member %d model %q != head %q", i, m.Model, head.Model)
+			}
+			if m.Next != head.Next || len(m.BlockTimes) != len(head.BlockTimes) {
+				t.Fatalf("member %d at block %d/%d, head at %d/%d — batch crosses a block boundary",
+					i, m.Next, len(m.BlockTimes), head.Next, len(head.BlockTimes))
+			}
+			if m.Canceled {
+				t.Fatalf("member %d is canceled", i)
+			}
+			if m.Doomed(now) {
+				t.Fatalf("member %d is doomed at %v (deadline %v)", i, now, m.DeadlineMs)
+			}
+			if before[i] != m {
+				t.Fatalf("member %d is not the queue-front prefix (FIFO broken)", i)
+			}
+		}
+		took := len(batch) - 1
+		if q.Len() != len(before)-took {
+			t.Fatalf("conservation broken: %d left + %d taken != %d", q.Len(), took, len(before))
+		}
+		for i := 0; i < q.Len(); i++ {
+			if q.At(i) != before[took+i] {
+				t.Fatalf("survivor order changed at %d", i)
+			}
+		}
+		assertNoLeakedSlots(t, q)
 	})
 }

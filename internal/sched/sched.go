@@ -239,6 +239,19 @@ func (q *Queue) compact() {
 	q.popped = 0
 }
 
+// clearTail nils the backing-array slots from index `from` up to the
+// current length. Every path that shrinks the queue by shifting survivors
+// forward (Remove, SweepExpired) must run it before reslicing: a vacated
+// tail slot still referencing a departed request is the same pointer-leak
+// class as the PopFront slot retention fixed in the lifecycle-hardening
+// pass, and FuzzQueueLifecycle asserts the whole [len, cap) region stays
+// nil after every operation.
+func (q *Queue) clearTail(from int) {
+	for i := from; i < len(q.reqs); i++ {
+		q.reqs[i] = nil
+	}
+}
+
 // Remove extracts the waiting request with the given ID, preserving the
 // order of the survivors, and returns it — or nil if no such request is
 // waiting. This is the queued-work half of cancellation; the in-flight
@@ -247,7 +260,7 @@ func (q *Queue) Remove(id int) *Request {
 	for i, r := range q.reqs {
 		if r.ID == id {
 			copy(q.reqs[i:], q.reqs[i+1:])
-			q.reqs[len(q.reqs)-1] = nil
+			q.clearTail(len(q.reqs) - 1)
 			q.reqs = q.reqs[:len(q.reqs)-1]
 			return r
 		}
@@ -272,9 +285,7 @@ func (q *Queue) SweepExpired(nowMs float64, predictive bool) []*Request {
 			keep = append(keep, r)
 		}
 	}
-	for i := len(keep); i < len(q.reqs); i++ {
-		q.reqs[i] = nil
-	}
+	q.clearTail(len(keep))
 	q.reqs = keep
 	return shed
 }
@@ -485,16 +496,43 @@ func DefaultElastic() Elastic {
 }
 
 // ShouldSplit decides whether an arriving request of the given model should
-// use its split plan, based on the current queue state.
+// use its split plan, based on the waiting queue alone. Executors that know
+// which request currently occupies the device should call ShouldSplitWith
+// instead, which counts it into the same-type run.
 func (e Elastic) ShouldSplit(q *Queue, modelName string) bool {
+	return e.ShouldSplitWith(q, modelName, nil)
+}
+
+// ShouldSplitWith is ShouldSplit with the device's in-flight request made
+// visible. The §3.3 same-type trigger reasons about the same-type run the
+// arrival would join, and on a busy device that run usually starts with the
+// request holding the device — it left the queue when it was granted, so
+// counting only waiting requests under-counts the run by exactly one. The
+// observable off-by-one: a same-type burst needed SameTypeLimit+1 pending
+// requests (not SameTypeLimit) before splitting was suppressed, and the
+// simulator and the serving path could disagree at the boundary depending
+// on whether the run's head sat in the queue or in flight when the arrival
+// was processed. Passing the in-flight request restores "at least
+// SameTypeLimit same-type requests pending on this device" on both sides.
+//
+// The high-load trigger deliberately stays queue-only: it measures request
+// density — how many are waiting — not the run structure, and widening it
+// would change the §3.3 threshold semantics the tests pin.
+func (e Elastic) ShouldSplitWith(q *Queue, modelName string, inflight *Request) bool {
 	if !e.Enabled {
 		return true
 	}
 	if e.HighLoadQueueLen > 0 && q.Len() >= e.HighLoadQueueLen {
 		return false
 	}
-	if e.SameTypeLimit > 0 && q.SameTypeCount(modelName) >= e.SameTypeLimit {
-		return false
+	if e.SameTypeLimit > 0 {
+		run := q.SameTypeCount(modelName)
+		if inflight != nil && inflight.Model == modelName {
+			run++
+		}
+		if run >= e.SameTypeLimit {
+			return false
+		}
 	}
 	return true
 }

@@ -121,3 +121,18 @@ func WithDevices(n int) Option {
 func WithPlacement(name string) Option {
 	return func(o *Options) { o.Placement = name }
 }
+
+// WithBatching enables same-type micro-batching: at a block boundary the
+// granted request may coalesce up to max same-model, same-boundary
+// queue-front neighbors into one batched device grant. max <= 1 keeps the
+// scalar path (the default) and reproduces unbatched behavior exactly.
+func WithBatching(max int) Option {
+	return func(o *Options) { o.BatchMax = max }
+}
+
+// WithBatchCost sets the batched-block cost model (setup fraction and
+// efficiency gain); the zero value means gpusim.DefaultBatchCost(). It has
+// no effect unless WithBatching enables batching.
+func WithBatchCost(c gpusim.BatchCost) Option {
+	return func(o *Options) { o.BatchCost = c }
+}

@@ -151,6 +151,15 @@ type Config struct {
 	// "round-robin", "least-loaded" or "affinity". Empty selects
 	// place.Default. Ignored on a single device beyond validation.
 	Placement string
+	// BatchMax enables same-type micro-batching when > 1: at a block
+	// boundary the granted request may coalesce up to BatchMax same-model,
+	// same-boundary queue-front neighbors into one batched device grant
+	// (sched.BatchPlanner), executed under the BatchCost model. <= 1 — the
+	// default — keeps the scalar path and today's exact behavior.
+	BatchMax int
+	// BatchCost prices batched block execution; the zero value means
+	// gpusim.DefaultBatchCost(). Ignored unless BatchMax > 1.
+	BatchCost gpusim.BatchCost
 }
 
 // outcome is what a waiter receives: the completed request, or a typed
@@ -182,8 +191,25 @@ type srvDevice struct {
 	// idle). It is not in the queue; Cancel marks it cancel-at-next-
 	// boundary instead of removing it.
 	inflight *sched.Request
+	// batch is the full membership of the current device grant when it is a
+	// micro-batch (inflight is then the leader); nil during scalar grants.
+	batch []*sched.Request
 	// busyMsTotal accumulates virtual-ms device occupancy.
 	busyMsTotal float64
+}
+
+// executing returns the request with the given id if it holds (or shares)
+// this device's current grant, else nil.
+func (dv *srvDevice) executing(id int) *sched.Request {
+	if dv.inflight != nil && dv.inflight.ID == id {
+		return dv.inflight
+	}
+	for _, m := range dv.batch {
+		if m.ID == id {
+			return m
+		}
+	}
+	return nil
 }
 
 // Server owns the per-device request queues and executor goroutines.
@@ -227,6 +253,15 @@ type Server struct {
 	// pendingOut buffers waiter deliveries the same way.
 	pendingOut []delivery
 
+	// planner forms same-type micro-batches at block boundaries; batchCost
+	// prices them. The identical planner drives the fleet simulator, which
+	// is what makes sim-vs-serve batching parity testable. nextBatchID
+	// numbers batched grants for the trace stream (ids from 1; 0 on events
+	// means unbatched).
+	planner     sched.BatchPlanner
+	batchCost   gpusim.BatchCost
+	nextBatchID int
+
 	// met holds cached metric handles (nil when Config.Obs is nil); qos is
 	// the rolling online estimator and always exists.
 	met *serveMetrics
@@ -257,6 +292,8 @@ func NewServer(cfg Config) (*Server, error) {
 		WithSink(cfg.Sink),
 		WithDevices(cfg.Devices),
 		WithPlacement(cfg.Placement),
+		WithBatching(cfg.BatchMax),
+		WithBatchCost(cfg.BatchCost),
 	)
 }
 
@@ -282,6 +319,8 @@ func newServer(o Options) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		placer:     placer,
+		planner:    sched.BatchPlanner{Max: cfg.BatchMax},
+		batchCost:  cfg.BatchCost.OrDefault(),
 		waiters:    make(map[int]chan outcome),
 		perModel:   make(map[string]*modelAgg),
 		qos:        obs.NewRollingQoS(cfg.Alpha, cfg.QoSWindow),
@@ -297,7 +336,7 @@ func newServer(o Options) (*Server, error) {
 		s.devs[i] = dv
 	}
 	if cfg.Obs != nil {
-		s.met = newServeMetrics(cfg.Obs, cfg.Catalog, cfg.Devices)
+		s.met = newServeMetrics(cfg.Obs, cfg.Catalog, cfg.Devices, s.planner.Enabled())
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -374,9 +413,14 @@ type serveMetrics struct {
 	deviceBusyMs []*obs.Gauge
 	deviceBlocks []*obs.Counter
 	deviceDrops  []*obs.Counter
+	// Batch families, registered only when micro-batching is enabled
+	// (BatchMax > 1), for the same reason: deployments that never batch
+	// keep their exact /metrics output.
+	batchedBlocks *obs.Counter
+	batchSize     *obs.Histogram
 }
 
-func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int) *serveMetrics {
+func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int, batching bool) *serveMetrics {
 	m := &serveMetrics{
 		reg:         reg,
 		requests:    make(map[string]*obs.Counter, len(catalog)),
@@ -414,6 +458,11 @@ func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int) *se
 			m.deviceDrops = append(m.deviceDrops,
 				reg.Counter("split_device_drops_total", "post-enqueue sheds per fleet device", "device", d))
 		}
+	}
+	if batching {
+		m.batchedBlocks = reg.Counter("split_batched_blocks_total", "device grants that executed a same-type micro-batch (size > 1)")
+		m.batchSize = reg.Histogram("split_batch_size", "members per batched device grant",
+			[]float64{1, 2, 3, 4, 6, 8, 12, 16})
 	}
 	return m
 }
@@ -496,11 +545,27 @@ func (s *Server) drop(nowMs float64, modelName, reason string) {
 // Caller holds s.mu.
 func (s *Server) shedLocked(nowMs float64, r *sched.Request, reason string, cause error) {
 	s.dropped++
+	// Sheds enter the rolling QoS window with their drop reason as the
+	// record outcome: the live violation rate must count a deadline-shed
+	// request as a violated one, exactly as the offline harness does —
+	// otherwise heavy shedding *improves* the reported rolling QoS. The
+	// window's latency statistics (jitter, mean RR/wait) skip non-served
+	// records, so sheds cannot pollute them.
+	s.qos.Observe(policy.Record{
+		ID: r.ID, Model: r.Model, Class: r.Class,
+		ArriveMs: r.ArriveMs, StartMs: r.StartMs, DoneMs: nowMs,
+		ExtMs: r.ExtMs, Preemptions: r.Preemptions,
+		Split: len(r.BlockTimes) > 1, Device: r.Device,
+		Outcome: reason,
+	})
 	if s.met != nil {
 		s.met.dropCounter(reason).Inc()
 		if len(s.met.deviceDrops) > 0 {
 			s.met.deviceDrops[r.Device].Inc()
 		}
+		qs := s.qos.Snapshot()
+		s.met.violRate.Set(qs.ViolationRate)
+		s.met.jitter.Set(qs.JitterMs)
 	}
 	s.emit(trace.Event{AtMs: nowMs, Kind: trace.Shed, ReqID: r.ID, Model: r.Model, Block: r.Next,
 		Device: r.Device, Detail: reason})
@@ -722,11 +787,13 @@ func (s *Server) cancelLocked(id int, why string) CancelState {
 		}
 	}
 	for _, dv := range s.devs {
-		if dv.inflight != nil && dv.inflight.ID == id {
-			if !dv.inflight.Canceled {
-				dv.inflight.Canceled = true
-				s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: dv.inflight.Model,
-					Block: dv.inflight.Next, Device: dv.id, Detail: "inflight: " + why})
+		// The grant holder may be a scalar in-flight request or any member
+		// of the current micro-batch; either way it sheds at the boundary.
+		if m := dv.executing(id); m != nil {
+			if !m.Canceled {
+				m.Canceled = true
+				s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: m.Model,
+					Block: m.Next, Device: dv.id, Detail: "inflight: " + why})
 			}
 			return CancelInflight
 		}
@@ -801,27 +868,58 @@ func (s *Server) executor(dv *srvDevice) {
 		}
 
 		// Execute r's next block on the (simulated) device, retrying
-		// injected transient failures within the fault budget.
+		// injected transient failures within the fault budget. When
+		// micro-batching is on and r leads a same-type run at this block
+		// boundary, the grant coalesces up to BatchMax members that all
+		// advance the same block in one hold (batchCost prices it); with
+		// batching off the loop below is exactly the scalar path.
 		now := s.nowMs()
-		if r.StartMs < 0 {
-			r.StartMs = now
+		batch := []*sched.Request{r}
+		if s.planner.Enabled() {
+			batch = s.planner.Form(dv.queue, r, now)
+		}
+		n := len(batch)
+		batchID := 0
+		if n > 1 {
+			s.nextBatchID++
+			batchID = s.nextBatchID
 		}
 		block := r.Next
 		dur := r.BlockTimes[block]
-		r.Next++
+		runBase := dur
+		if n > 1 {
+			runBase = s.batchCost.BlockMs(dur, n)
+		}
+		for _, m := range batch {
+			if m.StartMs < 0 {
+				m.StartMs = now
+			}
+			m.Next++
+		}
 		dv.busy = true
 		dv.inflight = r
+		if n > 1 {
+			dv.batch = batch
+		}
 		blockStartMs := now
 		if s.met != nil {
 			s.met.queueDepth.SetInt(s.depthLocked())
+			if n > 1 && s.met.batchedBlocks != nil {
+				s.met.batchedBlocks.Inc()
+				s.met.batchSize.Observe(float64(n))
+			}
 		}
 		s.setDeviceDepth(dv)
-		s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: r.ID, Model: r.Model, Block: block,
-			Device: dv.id})
+		for _, m := range batch {
+			s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: m.ID, Model: m.Model, Block: block,
+				Device: dv.id, Batch: batchID})
+		}
 		blockOK := false
 		for attempt := 0; ; {
+			// Fault draws key on the leader, matching the fleet simulator:
+			// a batch of one replays the scalar fault schedule exactly.
 			fault := dv.faults.Draw(r.ID, block, attempt)
-			runMs := dur * fault.SpikeFactor
+			runMs := runBase * fault.SpikeFactor
 			if fault.SpikeFactor > 1 {
 				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
 					Device: dv.id, Detail: fmt.Sprintf("spike x%.2f attempt=%d", fault.SpikeFactor, attempt)})
@@ -843,8 +941,11 @@ func (s *Server) executor(dv *srvDevice) {
 			}
 			// Re-check the request's fate before spending more device time
 			// on it: an attempt boundary is a block boundary for lifecycle
-			// purposes, and settleLocked sheds for the right reason.
-			if r.Canceled || (s.closed && !s.draining) || r.Expired(now) {
+			// purposes, and settleLocked sheds for the right reason. Batched
+			// grants don't abandon mid-retry — one member's cancellation or
+			// expiry must not discard its batch-mates' attempt; their fates
+			// settle individually at the boundary.
+			if n == 1 && (r.Canceled || (s.closed && !s.draining) || r.Expired(now)) {
 				break
 			}
 			if s.met != nil {
@@ -856,14 +957,21 @@ func (s *Server) executor(dv *srvDevice) {
 		}
 		dv.busy = false
 		dv.inflight = nil
+		dv.batch = nil
 		dv.busyMsTotal += now - blockStartMs
 		if s.met != nil && len(s.met.deviceBusyMs) > 0 {
 			s.met.deviceBusyMs[dv.id].Add(now - blockStartMs)
 			s.met.deviceBlocks[dv.id].Inc()
 		}
-		s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: r.ID, Model: r.Model, Block: block,
-			Device: dv.id})
-		s.settleLocked(now, dv, r, blockOK)
+		for _, m := range batch {
+			s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: m.ID, Model: m.Model, Block: block,
+				Device: dv.id, Batch: batchID})
+		}
+		// Settle in grant (FIFO) order so completions and re-inserts keep
+		// the arrival order the batch was formed under.
+		for _, m := range batch {
+			s.settleLocked(now, dv, m, blockOK)
+		}
 		evs, dels := s.takeOut()
 		s.mu.Unlock()
 		s.deliver(evs, dels)
@@ -1021,7 +1129,10 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 	}
 	blocks := plan
 	if len(blocks) > 1 {
-		split := s.cfg.Elastic.ShouldSplit(dv.queue, modelName)
+		// The §3.3 same-type run the arrival would join includes the
+		// request occupying the placed device, not just its queued
+		// neighbors (sched.Elastic.ShouldSplitWith).
+		split := s.cfg.Elastic.ShouldSplitWith(dv.queue, modelName, dv.inflight)
 		if !split {
 			blocks = []float64{info.ExtMs}
 		}

@@ -59,7 +59,12 @@ type Event struct {
 	Block int       `json:"block,omitempty"`
 	// Device is the fleet device the event happened on; 0 (and omitted
 	// from JSON) on single-device deployments.
-	Device int    `json:"device,omitempty"`
+	Device int `json:"device,omitempty"`
+	// Batch groups the StartBlock/EndBlock events of one batched device
+	// grant: every member of a micro-batch carries the same non-zero id.
+	// 0 (and omitted from JSON) means an unbatched scalar grant, so traces
+	// from runs without batching are byte-identical to before.
+	Batch  int    `json:"batch,omitempty"`
 	Detail string `json:"detail,omitempty"`
 }
 

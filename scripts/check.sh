@@ -15,10 +15,10 @@ fi
 go vet ./...
 go build ./...
 go run ./cmd/splitlint ./...
-go test -race ./...
+go test -race -shuffle on ./...
 
 # Brief fuzz smoke past the seed corpora; CI runs the same targets longer.
-for target in FuzzInsertGreedy FuzzQueueLifecycle FuzzDeadlineSweep; do
+for target in FuzzInsertGreedy FuzzQueueLifecycle FuzzDeadlineSweep FuzzBatchPlanner; do
     go test ./internal/sched -run '^$' -fuzz "$target" -fuzztime "${FUZZTIME:-2s}"
 done
 go test ./internal/policy -run '^$' -fuzz FuzzPlacement -fuzztime "${FUZZTIME:-2s}"
