@@ -17,9 +17,13 @@ lint:
 	go run ./cmd/splitlint ./...
 
 # Benchstat-compatible output: run with COUNT=10 and feed two bench.out
-# files from different commits to `benchstat old.out new.out`.
+# files from different commits to `benchstat old.out new.out`. Each run is
+# also recorded as the next BENCH_<n>.json (name -> ns/op, B/op,
+# allocs/op, stamped with commit/date) — the repo's bench trajectory;
+# `benchjson -gate` compares the committed baseline against the latest.
 bench:
 	go test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . ./internal/... | tee bench.out
+	go run ./cmd/benchjson -in bench.out -next
 
 fmt:
 	gofmt -w .

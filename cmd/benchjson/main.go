@@ -1,0 +1,323 @@
+// Command benchjson records and gates the repo's bench trajectory. It
+// parses `go test -bench` output into a benchstat-comparable JSON file —
+// benchmark name → ns/op, B/op, allocs/op, stamped with commit, date and
+// Go version — and compares two such files for gross regressions.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson -next          # BENCH_<n+1>.json
+//	benchjson -in bench.out -out BENCH_2.json
+//	benchjson -gate                                       # baseline vs latest
+//	benchjson -gate -baseline BENCH_1.json -candidate BENCH_2.json
+//	benchjson -gate -lenient                              # warn, exit 0
+//
+// The gate compares ns/op per benchmark present in both files and fails
+// (exit 1) when any regresses by more than -threshold (default 0.30 =
+// +30%); -lenient demotes failures to warnings for noisy CI boxes.
+// Command-line mistakes exit 2.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// usageError marks a command-line mistake so main can exit 2, matching
+// splitd, splitbench and splittrace.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError from a format string.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// errRegression reports a failed gate; main maps it to exit 1 with the
+// details already printed.
+var errRegression = errors.New("bench gate failed")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// Bench is one benchmark's aggregated result.
+type Bench struct {
+	// N is the iteration count of the last sample.
+	N int `json:"n"`
+	// NsPerOp (and the allocation stats) are means across -count samples.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Samples is the number of lines folded into the means.
+	Samples int `json:"samples"`
+}
+
+// File is the BENCH_<n>.json schema.
+type File struct {
+	Commit     string           `json:"commit"`
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// run executes the tool. Bench output is read from in when -in is absent.
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		inPath    = fs.String("in", "", "read `go test -bench` output from this file (default stdin)")
+		outPath   = fs.String("out", "", "write the JSON record here (default stdout)")
+		next      = fs.Bool("next", false, "write the record as the next BENCH_<n>.json in -dir")
+		dir       = fs.String("dir", ".", "directory holding the BENCH_<n>.json trajectory")
+		commit    = fs.String("commit", "", "commit id to stamp (default: git rev-parse)")
+		date      = fs.String("date", "", "date to stamp, YYYY-MM-DD (default: today UTC)")
+		gate      = fs.Bool("gate", false, "compare -baseline against -candidate instead of recording")
+		baseline  = fs.String("baseline", "", "gate baseline file (default: BENCH_1.json in -dir)")
+		candidate = fs.String("candidate", "", "gate candidate file (default: highest BENCH_<n>.json in -dir)")
+		threshold = fs.Float64("threshold", 0.30, "gate: maximum tolerated ns/op regression fraction")
+		lenient   = fs.Bool("lenient", false, "gate: report regressions but exit 0 (noisy CI boxes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if *threshold <= 0 {
+		return usagef("-threshold must be > 0, got %v", *threshold)
+	}
+	if *gate {
+		return runGate(*dir, *baseline, *candidate, *threshold, *lenient, out)
+	}
+	if *next && *outPath != "" {
+		return usagef("-next and -out are mutually exclusive")
+	}
+
+	src := in
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return errors.New("no benchmark lines found in input")
+	}
+	rec := File{
+		Commit:     *commit,
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		Benchmarks: benches,
+	}
+	if rec.Commit == "" {
+		rec.Commit = gitCommit()
+	}
+	if rec.Date == "" {
+		rec.Date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	dst := out
+	path := *outPath
+	if *next {
+		n, _, err := latestRecord(*dir)
+		if err != nil {
+			return err
+		}
+		path = filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n+1))
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	if path != "" {
+		fmt.Fprintf(out, "recorded %d benchmarks to %s (commit %s)\n", len(benches), path, rec.Commit)
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench -benchmem` result line; the
+// -<procs> suffix is stripped so records compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench folds bench output lines into per-name means.
+func parseBench(r io.Reader) (map[string]Bench, error) {
+	benches := map[string]Bench{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		b := benches[m[1]]
+		bPerOp, allocs := 0.0, 0.0
+		if m[4] != "" {
+			bPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			allocs, _ = strconv.ParseFloat(m[5], 64)
+		}
+		// Incremental mean over samples.
+		s := float64(b.Samples)
+		b.NsPerOp = (b.NsPerOp*s + ns) / (s + 1)
+		b.BPerOp = (b.BPerOp*s + bPerOp) / (s + 1)
+		b.AllocsPerOp = (b.AllocsPerOp*s + allocs) / (s + 1)
+		b.N = n
+		b.Samples++
+		benches[m[1]] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return benches, nil
+}
+
+// latestRecord finds the highest-numbered BENCH_<n>.json in dir, returning
+// (0, "") when none exist.
+func latestRecord(dir string) (int, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	best, path := 0, ""
+	for _, e := range entries {
+		m := re.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > best {
+			best, path = n, filepath.Join(dir, e.Name())
+		}
+	}
+	return best, path, nil
+}
+
+// runGate compares baseline and candidate ns/op and fails on regressions
+// past the threshold. With defaulted paths and no recorded trajectory
+// beyond the baseline, the gate passes trivially (nothing to compare).
+func runGate(dir, baseline, candidate string, threshold float64, lenient bool, out io.Writer) error {
+	if baseline == "" {
+		baseline = filepath.Join(dir, "BENCH_1.json")
+	}
+	if candidate == "" {
+		_, path, err := latestRecord(dir)
+		if err != nil {
+			return err
+		}
+		if path == "" || filepath.Clean(path) == filepath.Clean(baseline) {
+			fmt.Fprintf(out, "bench gate: no candidate beyond %s, nothing to compare\n", baseline)
+			return nil
+		}
+		candidate = path
+	}
+	base, err := readFile(baseline)
+	if err != nil {
+		return err
+	}
+	cand, err := readFile(candidate)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	compared := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cand.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(out, "bench gate: %s missing from %s (skipped)\n", name, candidate)
+			continue
+		}
+		compared++
+		ratio := c.NsPerOp/b.NsPerOp - 1
+		if ratio > threshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f -> %.0f ns/op (%+.0f%%, threshold %+.0f%%)",
+				name, b.NsPerOp, c.NsPerOp, ratio*100, threshold*100))
+		}
+	}
+	fmt.Fprintf(out, "bench gate: %s (%s) vs %s (%s): %d compared, %d regressed\n",
+		filepath.Base(baseline), base.Commit, filepath.Base(candidate), cand.Commit,
+		compared, len(regressions))
+	for _, r := range regressions {
+		fmt.Fprintf(out, "bench gate: REGRESSION %s\n", r)
+	}
+	if len(regressions) > 0 && !lenient {
+		return errRegression
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintln(out, "bench gate: lenient mode, not failing")
+	}
+	return nil
+}
+
+// readFile loads one BENCH_<n>.json.
+func readFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return f, nil
+}
+
+// gitCommit best-effort resolves HEAD; records stay useful without git.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

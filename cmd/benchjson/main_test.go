@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: split
+BenchmarkTable1Profiles-8   	     100	  11000000 ns/op	  220000 B/op	    3300 allocs/op
+BenchmarkObsHotPath-8       	 2000000	       600 ns/op	      48 B/op	       1 allocs/op
+BenchmarkObsHotPath-8       	 2000000	       800 ns/op	      48 B/op	       1 allocs/op
+PASS
+ok  	split	2.000s
+`
+
+// record writes a BENCH file from bench text via the CLI.
+func record(t *testing.T, dir, name, benchText, commit string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var out strings.Builder
+	err := run([]string{"-out", path, "-commit", commit, "-date", "2026-08-08"},
+		strings.NewReader(benchText), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestParseAndRecord: bench lines fold into means, proc suffixes are
+// stripped, and the stamp fields land in the JSON.
+func TestParseAndRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := record(t, dir, "BENCH_1.json", sampleBench, "abc123")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Commit != "abc123" || f.Date != "2026-08-08" || !strings.HasPrefix(f.GoVersion, "go") {
+		t.Errorf("stamp = %+v", f)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %v", f.Benchmarks)
+	}
+	hot, ok := f.Benchmarks["BenchmarkObsHotPath"]
+	if !ok {
+		t.Fatal("proc suffix not stripped")
+	}
+	if hot.NsPerOp != 700 || hot.Samples != 2 { // mean of 600 and 800
+		t.Errorf("hot path = %+v, want mean 700 over 2 samples", hot)
+	}
+	if tab := f.Benchmarks["BenchmarkTable1Profiles"]; tab.NsPerOp != 11000000 || tab.AllocsPerOp != 3300 {
+		t.Errorf("table1 = %+v", tab)
+	}
+}
+
+// TestNextNumbering: -next appends to the trajectory.
+func TestNextNumbering(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	for want := 1; want <= 3; want++ {
+		out.Reset()
+		err := run([]string{"-next", "-dir", dir, "-commit", "c", "-date", "2026-08-08"},
+			strings.NewReader(sampleBench), &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "BENCH_"+string(rune('0'+want))+".json")
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("round %d: %v", want, err)
+		}
+	}
+}
+
+// TestGate: within-threshold drift passes, gross regression fails, lenient
+// demotes the failure, improvements always pass.
+func TestGate(t *testing.T) {
+	slow := strings.ReplaceAll(sampleBench, "11000000 ns/op", "16000000 ns/op")  // +45%
+	drift := strings.ReplaceAll(sampleBench, "11000000 ns/op", "12000000 ns/op") // +9%
+	fast := strings.ReplaceAll(sampleBench, "11000000 ns/op", "2000000 ns/op")
+
+	cases := []struct {
+		name      string
+		candidate string
+		lenient   bool
+		wantFail  bool
+	}{
+		{"drift passes", drift, false, false},
+		{"regression fails", slow, false, true},
+		{"regression lenient", slow, true, false},
+		{"improvement passes", fast, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			record(t, dir, "BENCH_1.json", sampleBench, "base")
+			record(t, dir, "BENCH_2.json", tc.candidate, "cand")
+			args := []string{"-gate", "-dir", dir}
+			if tc.lenient {
+				args = append(args, "-lenient")
+			}
+			var out strings.Builder
+			err := run(args, strings.NewReader(""), &out)
+			if tc.wantFail {
+				if !errors.Is(err, errRegression) {
+					t.Fatalf("err = %v, want regression failure\n%s", err, out.String())
+				}
+				if !strings.Contains(out.String(), "REGRESSION BenchmarkTable1Profiles") {
+					t.Errorf("output missing regression detail:\n%s", out.String())
+				}
+			} else if err != nil {
+				t.Fatalf("err = %v\n%s", err, out.String())
+			}
+		})
+	}
+}
+
+// TestGateTrivialWithoutCandidate: a trajectory holding only the baseline
+// has nothing to compare — the gate passes so check.sh stays hermetic.
+func TestGateTrivialWithoutCandidate(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, "BENCH_1.json", sampleBench, "base")
+	var out strings.Builder
+	if err := run([]string{"-gate", "-dir", dir}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(out.String(), "nothing to compare") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+// TestUsageErrors: command-line mistakes are usageErrors (exit 2).
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-threshold", "0"},
+		{"-next", "-out", "x.json"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		err := run(args, strings.NewReader(sampleBench), &out)
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("args %v: %v is not a usageError", args, err)
+		}
+	}
+}
+
+// TestEmptyInputFails: bench output with no benchmark lines is a runtime
+// error, not a silent empty record.
+func TestEmptyInputFails(t *testing.T) {
+	var out strings.Builder
+	err := run(nil, strings.NewReader("PASS\nok\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"split/internal/metrics"
+	"split/internal/obs"
 	"split/internal/onnxlite"
 	"split/internal/policy"
 	"split/internal/serve"
+	"split/internal/trace"
 )
 
 // httpGet fetches an admin path and returns the body.
@@ -152,6 +154,57 @@ func TestDaemonAdminEndpoint(t *testing.T) {
 		if !strings.Contains(all, want) {
 			t.Errorf("/tracez missing %q events", want)
 		}
+	}
+
+	// The filtered dump keeps only matching events.
+	filtered := strings.TrimSpace(httpGet(t, adminAddr, "/tracez?kind=complete"))
+	if n := len(strings.Split(filtered, "\n")); n != 6 {
+		t.Errorf("/tracez?kind=complete has %d events, want 6", n)
+	}
+
+	// /spanz folds the ring into span trees: six served spans, a clean
+	// decomposition, no invariant problems on a live SPLIT stream.
+	var tree trace.SpanTree
+	if err := json.Unmarshal([]byte(httpGet(t, adminAddr, "/spanz")), &tree); err != nil {
+		t.Fatalf("/spanz not valid JSON: %v", err)
+	}
+	if len(tree.Problems) != 0 {
+		t.Errorf("/spanz problems on a live stream: %v", tree.Problems)
+	}
+	servedSpans := 0
+	for _, sp := range tree.Requests {
+		if sp.Outcome == trace.SpanOutcomeServed {
+			servedSpans++
+			if sp.ExecMs <= 0 {
+				t.Errorf("span %d served with exec=%v", sp.ReqID, sp.ExecMs)
+			}
+		}
+	}
+	if servedSpans != 6 {
+		t.Errorf("/spanz served spans = %d, want 6", servedSpans)
+	}
+
+	// /timeseriesz reports the same six completions, windowed.
+	var series obs.TimeSeriesSnapshot
+	if err := json.Unmarshal([]byte(httpGet(t, adminAddr, "/timeseriesz")), &series); err != nil {
+		t.Fatalf("/timeseriesz not valid JSON: %v", err)
+	}
+	arrivals, completions := 0, 0
+	for _, w := range series.Windows {
+		arrivals += w.Arrivals
+		completions += w.Completions
+	}
+	if arrivals != 6 || completions != 6 {
+		t.Errorf("/timeseriesz arrivals=%d completions=%d, want 6/6", arrivals, completions)
+	}
+
+	// /healthz identifies the binary.
+	var health serve.Health
+	if err := json.Unmarshal([]byte(httpGet(t, adminAddr, "/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Version == "" || health.GoVersion == "" {
+		t.Errorf("healthz build info = %+v", health)
 	}
 
 	if body := httpGet(t, adminAddr, "/debug/pprof/"); !strings.Contains(body, "goroutine") {

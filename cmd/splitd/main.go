@@ -15,7 +15,9 @@
 //
 // With -admin set, a live observability endpoint serves /metrics
 // (Prometheus text), /healthz, /queuez (JSON queue snapshot), /tracez
-// (flight-recorder JSONL) and /debug/pprof on that address.
+// (flight-recorder JSONL; ?n=/?model=/?kind= filter), /spanz (the ring
+// folded into request span trees), /timeseriesz (windowed QoS trajectory)
+// and /debug/pprof on that address.
 //
 // With -deadlines, every request gets the paper's latency target α·t_ext as
 // a deadline and doomed work is shed at block boundaries. With
@@ -101,7 +103,7 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 	fs.SetOutput(out)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7100", "listen address")
-		adminAddr = fs.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /queuez, /tracez, /debug/pprof) on this address")
+		adminAddr = fs.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /queuez, /tracez, /spanz, /timeseriesz, /debug/pprof) on this address")
 		plansDir  = fs.String("plans", "", "load plans from this directory (default: run the GA)")
 		alpha     = fs.Float64("alpha", 4, "latency target multiplier α")
 		timescale = fs.Float64("timescale", 1.0, "wall-clock ms per simulated ms (e.g. 0.1 = 10x faster)")
@@ -215,9 +217,13 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 			srv.Stop()
 			return err
 		}
-		mux := obs.AdminMux(reg, ring,
-			func() any { return srv.QueueSnapshot() },
-			func() any { return srv.Health() })
+		mux := obs.AdminConfig{
+			Registry:   reg,
+			Ring:       ring,
+			Queuez:     func() any { return srv.QueueSnapshot() },
+			Health:     func() any { return srv.Health() },
+			TimeSeries: srv.TimeSeries,
+		}.Mux()
 		admin = &http.Server{Handler: mux}
 		go admin.Serve(al)
 		fmt.Fprintf(out, "splitd admin endpoint on http://%s\n", al.Addr())

@@ -1,17 +1,26 @@
 // Command splittrace replays one scenario through one system with full
 // event tracing and reports the device timeline: occupancy analysis, an
-// ASCII Gantt window, and optional CSV/JSONL exports of the trace and the
-// per-request records (the raw data behind Figures 6 and 7).
+// ASCII Gantt window, causal span trees, and optional exports of the trace
+// — CSV/JSONL records and events, Chrome trace-event JSON for Perfetto,
+// and the windowed QoS time series (the raw data behind Figures 6 and 7).
 //
 // Usage:
 //
 //	splittrace -system SPLIT -scenario Scenario4
 //	splittrace -system RT-A -scenario Scenario6 -gantt 0:2000
 //	splittrace -system SPLIT -records records.csv -events events.jsonl
+//	splittrace -system SPLIT -spans                      # span decomposition
+//	splittrace -system SPLIT -perfetto trace.json        # chrome://tracing
+//	splittrace -system SPLIT -timeseries series.json     # windowed QoS
 //	splittrace -system REEF -replay records.csv          # what-if replay
+//
+// Command-line mistakes (unknown -system or -scenario, malformed -gantt)
+// exit 2 with a one-line error; runtime failures exit 1.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,16 +30,60 @@ import (
 
 	"split/internal/core"
 	"split/internal/metrics"
+	"split/internal/obs"
 	"split/internal/trace"
 	"split/internal/workload"
 	"split/internal/zoo"
 )
 
+// usageError marks a command-line mistake — unknown system or scenario,
+// malformed window — so main can exit 2 (usage) instead of 1 (runtime
+// failure), matching splitd and splitbench.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usageError from a format string.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "splittrace:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// ganttWindow is a parsed -gantt startMs:endMs flag.
+type ganttWindow struct {
+	lo, hi float64
+}
+
+// parseGantt validates the -gantt flag value up front, before any
+// simulation work runs.
+func parseGantt(s string) (ganttWindow, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return ganttWindow{}, usagef("bad -gantt %q, want startMs:endMs", s)
+	}
+	lo, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return ganttWindow{}, usagef("bad -gantt start %q: not a number", parts[0])
+	}
+	hi, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return ganttWindow{}, usagef("bad -gantt end %q: not a number", parts[1])
+	}
+	if hi <= lo {
+		return ganttWindow{}, usagef("bad -gantt window [%v, %v]: end must be after start", lo, hi)
+	}
+	return ganttWindow{lo, hi}, nil
 }
 
 // run executes the tool against the given arguments, writing results to out.
@@ -38,22 +91,44 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("splittrace", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		system   = fs.String("system", "SPLIT", "system: SPLIT|SPLIT-partial|ClockWork|PREMA|PREMA-NPU|RT-A|Stream-Parallel|REEF")
-		scenario = fs.String("scenario", "Scenario4", "Table 2 scenario name")
-		replay   = fs.String("replay", "", "replay arrivals from a records CSV instead of generating the scenario")
-		seed     = fs.Int64("seed", 1, "workload seed")
-		gantt    = fs.String("gantt", "", "render a Gantt window, format startMs:endMs")
-		records  = fs.String("records", "", "write per-request records CSV here")
-		events   = fs.String("events", "", "write the event trace JSONL here")
+		system     = fs.String("system", "SPLIT", "system: SPLIT|SPLIT-partial|ClockWork|PREMA|PREMA-NPU|RT-A|Stream-Parallel|REEF")
+		scenario   = fs.String("scenario", "Scenario4", "Table 2 scenario name")
+		replay     = fs.String("replay", "", "replay arrivals from a records CSV instead of generating the scenario")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		gantt      = fs.String("gantt", "", "render a Gantt window, format startMs:endMs")
+		records    = fs.String("records", "", "write per-request records CSV here")
+		events     = fs.String("events", "", "write the event trace JSONL here")
+		spans      = fs.Bool("spans", false, "print the per-request span decomposition (wait/exec/preempted)")
+		perfetto   = fs.String("perfetto", "", "write the span trees as Chrome trace-event JSON here (chrome://tracing, Perfetto)")
+		timeseries = fs.String("timeseries", "", "write the windowed QoS time series JSON here")
+		windowMs   = fs.Float64("window", obs.DefaultTimeSeriesWindowMs, "time-series window width in virtual ms (with -timeseries)")
+		alpha      = fs.Float64("alpha", 4, "latency target multiplier α (for -timeseries violation accounting)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 
+	// Validate everything before spending simulation time.
 	sys, err := core.SystemByName(*system)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
+	var gw ganttWindow
+	if *gantt != "" {
+		if gw, err = parseGantt(*gantt); err != nil {
+			return err
+		}
+	}
+	if *windowMs <= 0 {
+		return usagef("-window must be > 0, got %v", *windowMs)
+	}
+	var sc workload.Scenario
+	if *replay == "" {
+		if sc, err = workload.ScenarioByName(*scenario); err != nil {
+			return usageError{err}
+		}
+	}
+
 	dep, err := core.DefaultPipeline().Deploy()
 	if err != nil {
 		return err
@@ -79,10 +154,6 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%s replaying %s (%d requests)\n", run.System, *replay, len(recs))
 	} else {
-		sc, err := workload.ScenarioByName(*scenario)
-		if err != nil {
-			return err
-		}
 		run = dep.RunScenario(sc, sys, *seed, tr)
 		fmt.Fprintf(out, "%s on %s (λ=%.0fms, %s load), %d requests\n",
 			run.System, sc.Name, sc.MeanIntervalMs, sc.Load, run.Summary.Requests)
@@ -91,23 +162,42 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, tr.Analyze())
 
 	if *gantt != "" {
-		parts := strings.SplitN(*gantt, ":", 2)
-		if len(parts) != 2 {
-			return fmt.Errorf("bad -gantt %q, want startMs:endMs", *gantt)
+		fmt.Fprintf(out, "\nGantt [%.0f, %.0f] ms (models: %v):\n", gw.lo, gw.hi, zoo.BenchmarkModels)
+		fmt.Fprint(out, tr.Gantt(gw.lo, gw.hi, (gw.hi-gw.lo)/100))
+	}
+
+	if *spans || *perfetto != "" {
+		tree := trace.BuildSpans(tr.Events())
+		if *spans {
+			fmt.Fprintf(out, "\nSpan decomposition (%d requests):\n", len(tree.Requests))
+			fmt.Fprint(out, tree.Summary())
+			// Concurrent baselines (RT-A, Stream-Parallel) legitimately
+			// overlap grants on one device, so problems are information
+			// about the schedule shape, not a tool failure.
+			for _, p := range tree.Problems {
+				fmt.Fprintf(out, "span invariant: %s\n", p)
+			}
 		}
-		lo, err := strconv.ParseFloat(parts[0], 64)
-		if err != nil {
+		if *perfetto != "" {
+			if err := writePerfetto(*perfetto, tree); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %d spans to %s (chrome://tracing)\n", len(tree.Requests), *perfetto)
+		}
+	}
+
+	if *timeseries != "" {
+		devices := 1
+		for _, e := range tr.Events() {
+			if e.Device >= devices {
+				devices = e.Device + 1
+			}
+		}
+		snap := obs.TimeSeriesFromRun(run.Records, tr.Events(), *alpha, *windowMs, devices)
+		if err := writeJSONFile(*timeseries, snap); err != nil {
 			return err
 		}
-		hi, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return err
-		}
-		if hi <= lo {
-			return fmt.Errorf("bad -gantt window [%v, %v]", lo, hi)
-		}
-		fmt.Fprintf(out, "\nGantt [%.0f, %.0f] ms (models: %v):\n", lo, hi, zoo.BenchmarkModels)
-		fmt.Fprint(out, tr.Gantt(lo, hi, (hi-lo)/100))
+		fmt.Fprintf(out, "wrote %d windows to %s\n", len(snap.Windows), *timeseries)
 	}
 
 	if *records != "" {
@@ -139,4 +229,44 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %d events to %s\n", tr.Len(), *events)
 	}
 	return nil
+}
+
+// writePerfetto exports the span tree as Chrome trace-event JSON and
+// validates the written bytes against the trace-event schema, so a file
+// that chrome://tracing would reject never lands on disk silently.
+func writePerfetto(path string, tree *trace.SpanTree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tree.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if _, err := trace.ValidatePerfetto(data); err != nil {
+		return fmt.Errorf("exported trace failed validation: %w", err)
+	}
+	return nil
+}
+
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"split/internal/policy"
+	"split/internal/trace"
+)
+
+// served builds a served record with the given timings.
+func served(id int, arriveMs, doneMs, extMs float64) policy.Record {
+	return policy.Record{ID: id, Model: "m", ArriveMs: arriveMs, DoneMs: doneMs,
+		ExtMs: extMs, Outcome: policy.OutcomeServed}
+}
+
+// shed builds a shed record decided at doneMs.
+func shed(id int, arriveMs, doneMs float64) policy.Record {
+	return policy.Record{ID: id, Model: "m", ArriveMs: arriveMs, DoneMs: doneMs,
+		ExtMs: 10, Outcome: policy.OutcomeDeadline}
+}
+
+// TestTimeSeriesBucketing: arrivals and outcomes land in the window of
+// their own timestamp, and the derived rates use the window width.
+func TestTimeSeriesBucketing(t *testing.T) {
+	ts := NewTimeSeries(4, 100, 10, 1)
+	ts.ObserveArrival(10)
+	ts.ObserveArrival(150)
+	ts.ObserveOutcome(served(0, 10, 90, 40))   // RR=2, meets α=4
+	ts.ObserveOutcome(served(1, 150, 250, 10)) // decided in window 2, RR=10 > 4
+	ts.ObserveOutcome(shed(2, 0, 260))         // window 2, always violates
+
+	snap := ts.Snapshot()
+	if snap.Alpha != 4 || snap.WindowMs != 100 || snap.Devices != 1 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	if len(snap.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3 (0..300ms)", len(snap.Windows))
+	}
+	w0, w1, w2 := snap.Windows[0], snap.Windows[1], snap.Windows[2]
+	if w0.Arrivals != 1 || w0.Completions != 1 || w0.ViolationRate != 0 {
+		t.Errorf("w0 = %+v", w0)
+	}
+	if w0.ThroughputRPS != 10 { // 1 completion / 0.1 s
+		t.Errorf("w0 throughput = %v, want 10", w0.ThroughputRPS)
+	}
+	if w1.Arrivals != 1 || w1.Completions != 0 || w1.Sheds != 0 {
+		t.Errorf("w1 = %+v", w1)
+	}
+	if w2.Completions != 1 || w2.Sheds != 1 || w2.ViolationRate != 1 {
+		t.Errorf("w2 = %+v (sheds always violate, RR=10 violates)", w2)
+	}
+}
+
+// TestTimeSeriesEviction: when observations outrun the capacity the oldest
+// windows are evicted, later out-of-range observations count as dropped,
+// and the snapshot covers only the retained tail.
+func TestTimeSeriesEviction(t *testing.T) {
+	ts := NewTimeSeries(4, 100, 3, 1)
+	for i := 0; i < 6; i++ { // windows 0..5, capacity 3 keeps 3..5
+		ts.ObserveArrival(float64(i)*100 + 1)
+	}
+	ts.ObserveArrival(50) // window 0: evicted, dropped
+	snap := ts.Snapshot()
+	if snap.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", snap.Dropped)
+	}
+	if len(snap.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(snap.Windows))
+	}
+	if snap.Windows[0].StartMs != 300 || snap.Windows[2].EndMs != 600 {
+		t.Errorf("retained range [%v, %v), want [300, 600)",
+			snap.Windows[0].StartMs, snap.Windows[2].EndMs)
+	}
+	for i, w := range snap.Windows {
+		if w.Arrivals != 1 {
+			t.Errorf("window %d arrivals = %d, want 1", i, w.Arrivals)
+		}
+	}
+}
+
+// TestTimeSeriesEvictionLargeJump: a jump past the whole retained range
+// clears the ring rather than shifting it.
+func TestTimeSeriesEvictionLargeJump(t *testing.T) {
+	ts := NewTimeSeries(4, 100, 3, 1)
+	ts.ObserveArrival(10)
+	ts.ObserveArrival(9010) // window 90, far past base+cap
+	snap := ts.Snapshot()
+	if len(snap.Windows) != 1 {
+		t.Fatalf("got %d windows, want 1 (leading empties trimmed)", len(snap.Windows))
+	}
+	if snap.Windows[0].StartMs != 9000 || snap.Windows[0].Arrivals != 1 {
+		t.Errorf("window = %+v, want the 9000ms window", snap.Windows[0])
+	}
+}
+
+// TestTimeSeriesBusyProRated: one hold crossing a window boundary is split
+// between the windows, and per-device fractions stay separate.
+func TestTimeSeriesBusyProRated(t *testing.T) {
+	ts := NewTimeSeries(4, 100, 10, 2)
+	ts.ObserveBusy(0, 50, 250) // 50ms in w0, 100ms in w1, 50ms in w2
+	ts.ObserveBusy(1, 0, 100)  // exactly w0
+	ts.ObserveBusy(2, 0, 50)   // out-of-range device: ignored
+	ts.ObserveBusy(0, 80, 80)  // empty hold: ignored
+	snap := ts.Snapshot()
+	if len(snap.Windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(snap.Windows))
+	}
+	wantDev0 := []float64{0.5, 1.0, 0.5}
+	for i, w := range snap.Windows {
+		if math.Abs(w.DeviceBusyFrac[0]-wantDev0[i]) > 1e-9 {
+			t.Errorf("w%d dev0 busy = %v, want %v", i, w.DeviceBusyFrac[0], wantDev0[i])
+		}
+	}
+	if snap.Windows[0].DeviceBusyFrac[1] != 1.0 || snap.Windows[1].DeviceBusyFrac[1] != 0 {
+		t.Errorf("dev1 busy = %v/%v, want 1/0", snap.Windows[0].DeviceBusyFrac[1],
+			snap.Windows[1].DeviceBusyFrac[1])
+	}
+}
+
+// TestTimeSeriesDepthAveraging: depth samples average within the window
+// and unsampled windows report -1.
+func TestTimeSeriesDepthAveraging(t *testing.T) {
+	ts := NewTimeSeries(4, 100, 10, 1)
+	ts.ObserveDepth(10, 2)
+	ts.ObserveDepth(20, 4)
+	ts.ObserveArrival(150) // window 1 exists but has no depth sample
+	snap := ts.Snapshot()
+	if got := snap.Windows[0].MeanQueueDepth; got != 3 {
+		t.Errorf("w0 depth = %v, want 3", got)
+	}
+	if got := snap.Windows[1].MeanQueueDepth; got != -1 {
+		t.Errorf("w1 depth = %v, want -1 (unsampled)", got)
+	}
+}
+
+// TestTimeSeriesNilSafe: a nil snapshotter absorbs everything.
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	ts.ObserveArrival(1)
+	ts.ObserveOutcome(served(0, 0, 1, 1))
+	ts.ObserveBusy(0, 0, 1)
+	ts.ObserveDepth(0, 1)
+	if snap := ts.Snapshot(); len(snap.Windows) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+}
+
+// TestTimeSeriesFromRun folds a small offline run and checks the windows
+// agree with hand counts, including batch holds counted once.
+func TestTimeSeriesFromRun(t *testing.T) {
+	recs := []policy.Record{
+		served(0, 0, 80, 40),   // window 0, RR=2
+		served(1, 50, 180, 10), // window 1, RR=13 > 4: violation
+		shed(2, 60, 190),       // window 1
+	}
+	events := []trace.Event{
+		{AtMs: 0, Kind: trace.Arrive, ReqID: 0},
+		{AtMs: 20, Kind: trace.StartBlock, ReqID: 0, Device: 0},
+		{AtMs: 50, Kind: trace.Arrive, ReqID: 1},
+		{AtMs: 60, Kind: trace.Arrive, ReqID: 2},
+		{AtMs: 80, Kind: trace.EndBlock, ReqID: 0, Device: 0},
+		{AtMs: 80, Kind: trace.Complete, ReqID: 0},
+		// Batched hold on device 1: two members, one 60ms occupancy.
+		{AtMs: 120, Kind: trace.StartBlock, ReqID: 1, Device: 1, Batch: 5},
+		{AtMs: 120, Kind: trace.StartBlock, ReqID: 3, Device: 1, Batch: 5},
+		{AtMs: 180, Kind: trace.EndBlock, ReqID: 1, Device: 1, Batch: 5},
+		{AtMs: 180, Kind: trace.EndBlock, ReqID: 3, Device: 1, Batch: 5},
+		{AtMs: 180, Kind: trace.Complete, ReqID: 1},
+		{AtMs: 190, Kind: trace.Shed, ReqID: 2},
+	}
+	snap := TimeSeriesFromRun(recs, events, 4, 100, 2)
+	if len(snap.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2", len(snap.Windows))
+	}
+	w0, w1 := snap.Windows[0], snap.Windows[1]
+	if w0.Arrivals != 3 || w0.Completions != 1 || w0.ViolationRate != 0 {
+		t.Errorf("w0 = %+v", w0)
+	}
+	// Depth samples: 1 at t=0, 2 at t=50, 3 at t=60 → mean 2.
+	if w0.MeanQueueDepth != 2 {
+		t.Errorf("w0 depth = %v, want 2", w0.MeanQueueDepth)
+	}
+	if math.Abs(w0.DeviceBusyFrac[0]-0.6) > 1e-9 { // 20..80 on dev 0
+		t.Errorf("w0 dev0 busy = %v, want 0.6", w0.DeviceBusyFrac[0])
+	}
+	if w1.Completions != 1 || w1.Sheds != 1 || w1.ViolationRate != 1 {
+		t.Errorf("w1 = %+v", w1)
+	}
+	// The batch hold counts once: 120..180 on dev 1 → 0.6, not 1.2.
+	if math.Abs(w1.DeviceBusyFrac[1]-0.6) > 1e-9 {
+		t.Errorf("w1 dev1 busy = %v, want 0.6 (batch counted once)", w1.DeviceBusyFrac[1])
+	}
+}
+
+// TestTimeSeriesDefaults: non-positive constructor arguments fall back to
+// the documented defaults.
+func TestTimeSeriesDefaults(t *testing.T) {
+	ts := NewTimeSeries(0, 0, 0, 0)
+	if ts.alpha != 4 || ts.windowMs != DefaultTimeSeriesWindowMs ||
+		len(ts.windows) != DefaultTimeSeriesCapacity || ts.devices != 1 {
+		t.Fatalf("defaults: alpha=%v window=%v cap=%d dev=%d",
+			ts.alpha, ts.windowMs, len(ts.windows), ts.devices)
+	}
+}

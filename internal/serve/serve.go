@@ -21,10 +21,13 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -263,9 +266,11 @@ type Server struct {
 	nextBatchID int
 
 	// met holds cached metric handles (nil when Config.Obs is nil); qos is
-	// the rolling online estimator and always exists.
-	met *serveMetrics
-	qos *obs.RollingQoS
+	// the rolling online estimator and always exists, as does series, the
+	// windowed trajectory behind /timeseriesz.
+	met    *serveMetrics
+	qos    *obs.RollingQoS
+	series *obs.TimeSeries
 
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -324,6 +329,7 @@ func newServer(o Options) (*Server, error) {
 		waiters:    make(map[int]chan outcome),
 		perModel:   make(map[string]*modelAgg),
 		qos:        obs.NewRollingQoS(cfg.Alpha, cfg.QoSWindow),
+		series:     obs.NewTimeSeries(cfg.Alpha, 0, 0, cfg.Devices),
 		stopReason: DropStopped,
 		stopCause:  ErrStopped,
 	}
@@ -551,13 +557,15 @@ func (s *Server) shedLocked(nowMs float64, r *sched.Request, reason string, caus
 	// otherwise heavy shedding *improves* the reported rolling QoS. The
 	// window's latency statistics (jitter, mean RR/wait) skip non-served
 	// records, so sheds cannot pollute them.
-	s.qos.Observe(policy.Record{
+	rec := policy.Record{
 		ID: r.ID, Model: r.Model, Class: r.Class,
 		ArriveMs: r.ArriveMs, StartMs: r.StartMs, DoneMs: nowMs,
 		ExtMs: r.ExtMs, Preemptions: r.Preemptions,
 		Split: len(r.BlockTimes) > 1, Device: r.Device,
 		Outcome: reason,
-	})
+	}
+	s.qos.Observe(rec)
+	s.series.ObserveOutcome(rec)
 	if s.met != nil {
 		s.met.dropCounter(reason).Inc()
 		if len(s.met.deviceDrops) > 0 {
@@ -834,6 +842,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // outcomes are always flushed with s.mu released.
 func (s *Server) executor(dv *srvDevice) {
 	defer s.wg.Done()
+	// Label the executor goroutine so CPU/goroutine profiles from
+	// /debug/pprof split by device; per-block model/phase labels are applied
+	// around the device hold below.
+	idleCtx := pprof.WithLabels(context.Background(),
+		pprof.Labels("subsystem", "executor", "device", strconv.Itoa(dv.id)))
+	pprof.SetGoroutineLabels(idleCtx)
+	defer pprof.SetGoroutineLabels(context.Background())
 	s.mu.Lock()
 	for {
 		r := s.pickLocked(dv)
@@ -927,7 +942,12 @@ func (s *Server) executor(dv *srvDevice) {
 			evs, dels := s.takeOut()
 			s.mu.Unlock()
 			s.deliver(evs, dels)
+			// The device hold is the executor's hot phase: label it with the
+			// model and block so profiles attribute occupancy causally.
+			pprof.SetGoroutineLabels(pprof.WithLabels(idleCtx,
+				pprof.Labels("phase", "exec", "model", r.Model, "block", strconv.Itoa(block))))
 			time.Sleep(time.Duration(runMs * s.cfg.TimeScale * float64(time.Millisecond)))
+			pprof.SetGoroutineLabels(idleCtx)
 			s.mu.Lock()
 			now = s.nowMs()
 			if !fault.Fail {
@@ -959,6 +979,7 @@ func (s *Server) executor(dv *srvDevice) {
 		dv.inflight = nil
 		dv.batch = nil
 		dv.busyMsTotal += now - blockStartMs
+		s.series.ObserveBusy(dv.id, blockStartMs, now)
 		if s.met != nil && len(s.met.deviceBusyMs) > 0 {
 			s.met.deviceBusyMs[dv.id].Add(now - blockStartMs)
 			s.met.deviceBlocks[dv.id].Inc()
@@ -1058,12 +1079,14 @@ func (s *Server) settleLocked(nowMs float64, dv *srvDevice, r *sched.Request, bl
 // observeCompletion feeds the rolling QoS window and completion metrics.
 // Caller holds s.mu.
 func (s *Server) observeCompletion(r *sched.Request, rr float64) {
-	s.qos.Observe(policy.Record{
+	rec := policy.Record{
 		ID: r.ID, Model: r.Model, Class: r.Class,
 		ArriveMs: r.ArriveMs, StartMs: r.StartMs, DoneMs: r.DoneMs,
 		ExtMs: r.ExtMs, Preemptions: r.Preemptions,
 		Split: len(r.BlockTimes) > 1, Device: r.Device,
-	})
+	}
+	s.qos.Observe(rec)
+	s.series.ObserveOutcome(rec)
 	if s.met == nil {
 		return
 	}
@@ -1151,6 +1174,8 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 	s.emit(trace.Event{AtMs: now, Kind: trace.Arrive, ReqID: id, Model: modelName,
 		Device: devID, Detail: fmt.Sprintf("blocks=%d", len(blocks))})
 	dv.queue.InsertGreedy(now, r)
+	s.series.ObserveArrival(now)
+	s.series.ObserveDepth(now, s.depthLocked())
 	if s.met != nil {
 		s.met.queueDepth.SetInt(s.depthLocked())
 	}
@@ -1290,6 +1315,11 @@ func (s *Server) QueueSnapshot() QueueSnapshot {
 // numbers against offline metrics over the same records).
 func (s *Server) RollingQoS() *obs.RollingQoS { return s.qos }
 
+// TimeSeries snapshots the windowed QoS trajectory — the /timeseriesz
+// payload: per-window throughput, viol@α, mean queue depth and per-device
+// busy fractions in virtual time.
+func (s *Server) TimeSeries() obs.TimeSeriesSnapshot { return s.series.Snapshot() }
+
 // Health is the /healthz payload.
 type Health struct {
 	Status     string  `json:"status"` // "ok", "draining" or "stopped"
@@ -1298,6 +1328,10 @@ type Health struct {
 	Served     int     `json:"served"`
 	Dropped    int     `json:"dropped"`
 	QueueDepth int     `json:"queue_depth"`
+	// Version and GoVersion identify the binary answering the probe (VCS
+	// revision from the embedded build info; "unknown" without stamping).
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
 }
 
 // Health reports liveness for the admin endpoint.
@@ -1310,6 +1344,8 @@ func (s *Server) Health() Health {
 		Served:     s.served,
 		Dropped:    s.dropped,
 		QueueDepth: s.depthLocked(),
+		Version:    obs.BuildVersion(),
+		GoVersion:  runtime.Version(),
 	}
 	if !s.start.IsZero() {
 		h.UptimeS = time.Since(s.start).Seconds()

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWritePerfettoRoundTrip exports a small span tree and re-parses it
+// with the schema validator: every exec interval and queue gap must come
+// back as a complete ("X") event on the right lane.
+func TestWritePerfettoRoundTrip(t *testing.T) {
+	events := []Event{
+		ev(0, Arrive, 0, "long", 0),
+		ev(0, StartBlock, 0, "long", 0),
+		ev(4, Arrive, 1, "short", 0),
+		ev(10, EndBlock, 0, "long", 0),
+		ev(10, Preempt, 0, "long", 1),
+		ev(10, StartBlock, 1, "short", 0),
+		ev(15, EndBlock, 1, "short", 0),
+		ev(15, Complete, 1, "short", 0),
+		ev(15, StartBlock, 0, "long", 1),
+		ev(25, EndBlock, 0, "long", 1),
+		ev(25, Complete, 0, "long", 1),
+	}
+	tree := BuildSpans(events)
+	var buf bytes.Buffer
+	if err := tree.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidatePerfetto(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	var f perfettoFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	execs, waits, instants, metas := 0, 0, 0, 0
+	for _, e := range f.TraceEvents {
+		switch {
+		case e.Phase == "X" && e.Cat == "exec":
+			execs++
+			if e.PID != 0 { // single-device stream: all exec on device 0
+				t.Errorf("exec event on pid %d, want 0", e.PID)
+			}
+		case e.Phase == "X" && e.Cat == "queue":
+			waits++
+		case e.Phase == "i":
+			instants++
+		case e.Phase == "M":
+			metas++
+		}
+	}
+	if execs != 3 { // r0 ran 2 blocks, r1 ran 1
+		t.Errorf("exec events = %d, want 3", execs)
+	}
+	if waits != 2 { // r0 preempted once, r1 waited once
+		t.Errorf("queue events = %d, want 2", waits)
+	}
+	if instants != 4 { // 2 arrivals + 2 completions
+		t.Errorf("instant events = %d, want 4", instants)
+	}
+	if metas == 0 {
+		t.Error("no lane-naming metadata")
+	}
+	// Timestamps are microseconds: r0's second block starts at 15 ms.
+	found := false
+	for _, e := range f.TraceEvents {
+		if e.Cat == "exec" && e.TID == 0 && e.TsUs == 15000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected an exec event at ts=15000us")
+	}
+}
+
+// TestValidatePerfettoRejectsGarbage: the validator fails on non-JSON and
+// on events missing required fields.
+func TestValidatePerfettoRejectsGarbage(t *testing.T) {
+	if _, err := ValidatePerfetto([]byte("not json")); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	bad := `{"traceEvents":[{"name":"","ph":"X","ts":1,"pid":0,"tid":0}]}`
+	if _, err := ValidatePerfetto([]byte(bad)); err == nil {
+		t.Error("nameless event accepted")
+	}
+	bad = `{"traceEvents":[{"name":"x","ph":"","ts":1,"pid":0,"tid":0}]}`
+	if _, err := ValidatePerfetto([]byte(bad)); err == nil {
+		t.Error("phaseless event accepted")
+	}
+	bad = `{"traceEvents":[{"name":"x","ph":"X","ts":-5,"pid":0,"tid":0}]}`
+	if _, err := ValidatePerfetto([]byte(bad)); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+}

@@ -87,6 +87,85 @@ func TestRingConcurrentEmit(t *testing.T) {
 	}
 }
 
+// TestRingConcurrentEmitAndDump hammers the ring from dedicated emitter
+// and dumper goroutines — Snapshot, WriteJSONL, Len, Total and Cap racing
+// against Emit — and checks every dump is internally consistent: bounded
+// by capacity, holding only events some emitter actually produced, and
+// (per emitter) in emission order. Run under -race, this is the
+// flight-recorder concurrency contract.
+func TestRingConcurrentEmitAndDump(t *testing.T) {
+	const (
+		emitters = 4
+		perEmit  = 500
+		capacity = 64
+	)
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perEmit; i++ {
+				// ReqID encodes (emitter, seq) so dumpers can check
+				// per-emitter ordering inside any snapshot.
+				r.Emit(Event{Kind: StartBlock, ReqID: g*perEmit + i, Model: "m"})
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var dumpers sync.WaitGroup
+	for d := 0; d < 3; d++ {
+		dumpers.Add(1)
+		go func() {
+			defer dumpers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if len(snap) > capacity {
+					t.Errorf("snapshot longer than capacity: %d", len(snap))
+					return
+				}
+				last := make(map[int]int) // emitter -> last seq seen
+				for _, e := range snap {
+					if e.ReqID < 0 || e.ReqID >= emitters*perEmit {
+						t.Errorf("snapshot holds event never emitted: %+v", e)
+						return
+					}
+					em, seq := e.ReqID/perEmit, e.ReqID%perEmit
+					if prev, ok := last[em]; ok && seq <= prev {
+						t.Errorf("emitter %d out of order: %d after %d", em, seq, prev)
+						return
+					}
+					last[em] = seq
+				}
+				var b strings.Builder
+				if err := r.WriteJSONL(&b); err != nil {
+					t.Errorf("WriteJSONL: %v", err)
+					return
+				}
+				if n := r.Len(); n < 0 || n > r.Cap() {
+					t.Errorf("len %d outside [0, %d]", n, r.Cap())
+					return
+				}
+				_ = r.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	dumpers.Wait()
+	if r.Total() != emitters*perEmit {
+		t.Fatalf("total = %d, want %d", r.Total(), emitters*perEmit)
+	}
+	if r.Len() != capacity {
+		t.Fatalf("len = %d, want full ring %d", r.Len(), capacity)
+	}
+}
+
 func TestFanout(t *testing.T) {
 	a, b := New(), NewRing(8)
 	s := Fanout(nil, a, nil, b)

@@ -1,0 +1,415 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval phases inside a request span. Exec intervals come from
+// StartBlock/EndBlock pairs; Wait covers time between arrival and the first
+// grant; Preempted covers gaps between grants where the request had started
+// but did not hold the device.
+const (
+	PhaseWait      = "wait"
+	PhaseExec      = "exec"
+	PhasePreempted = "preempted"
+)
+
+// Interval is one contiguous phase of a request's lifetime.
+type Interval struct {
+	Phase string `json:"phase"`
+	// Block is the block index for exec intervals, -1 otherwise.
+	Block int `json:"block"`
+	// Device is the fleet device (exec intervals; -1 for wait/preempted,
+	// which happen in the queue, not on a device).
+	Device  int     `json:"device"`
+	Batch   int     `json:"batch,omitempty"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+	// Detail carries the source event's detail (exec intervals only).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DurationMs is the interval length.
+func (iv Interval) DurationMs() float64 { return iv.EndMs - iv.StartMs }
+
+// RequestSpan is one request's causal span tree: its lifetime decomposed
+// into wait / exec / preempted intervals, with the derived quantities the
+// paper's Figures 6 and 7 are built from.
+type RequestSpan struct {
+	ReqID int    `json:"req"`
+	Model string `json:"model"`
+	// Outcome is "served" for completed requests, the shed/drop reason for
+	// terminated ones, and "open" for requests still undecided when the
+	// event stream ended (or truncated out of a ring snapshot).
+	Outcome   string     `json:"outcome"`
+	ArriveMs  float64    `json:"arrive_ms"`
+	DoneMs    float64    `json:"done_ms"`
+	Intervals []Interval `json:"intervals"`
+	// Derived decomposition: WaitMs + ExecMs + PreemptedMs spans
+	// [ArriveMs, DoneMs] exactly for decided, non-truncated requests.
+	WaitMs      float64 `json:"wait_ms"`
+	ExecMs      float64 `json:"exec_ms"`
+	PreemptedMs float64 `json:"preempted_ms"`
+	// Blocks is the number of exec intervals (block executions, including
+	// retried attempts merged into their boundary-delimited device holds).
+	Blocks int `json:"blocks"`
+	// Devices lists the distinct devices the request executed on, in first-
+	// use order; DeviceHops counts transitions between consecutive exec
+	// intervals on different devices.
+	Devices    []int `json:"devices,omitempty"`
+	DeviceHops int   `json:"device_hops"`
+	// Batches lists the distinct batch ids the request's grants belonged
+	// to (empty when it never executed inside a micro-batch).
+	Batches []int `json:"batches,omitempty"`
+	// Preemptions counts Preempt events attributed to the request.
+	Preemptions int `json:"preemptions"`
+	// Truncated marks a span reconstructed from a stream that is missing
+	// the request's Arrive event (e.g. a ring snapshot that wrapped);
+	// invariant checks that need the full lifetime are skipped for it.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Decided reports whether the request reached a terminal outcome in the
+// analysed stream.
+func (rs *RequestSpan) Decided() bool { return rs.Outcome != "open" }
+
+// E2EMs is the request's observed lifetime in the stream.
+func (rs *RequestSpan) E2EMs() float64 { return rs.DoneMs - rs.ArriveMs }
+
+// SpanOutcomeServed labels completed requests in RequestSpan.Outcome.
+// Shed spans carry the shed reason from the event stream instead.
+const SpanOutcomeServed = "served"
+
+// SpanTree is the folded view of a whole event stream: one RequestSpan per
+// request plus per-device occupancy lanes, with the invariant problems
+// found while folding.
+type SpanTree struct {
+	Requests []RequestSpan `json:"requests"`
+	// FirstMs/LastMs bound the analysed stream.
+	FirstMs float64 `json:"first_ms"`
+	LastMs  float64 `json:"last_ms"`
+	// Problems lists invariant violations found while folding: overlapping
+	// device grants, EndBlock without StartBlock, settle before the final
+	// grant released, out-of-order timestamps inside one request. A stream
+	// produced by the simulators or the server folds with none.
+	Problems []string `json:"problems,omitempty"`
+}
+
+// Span returns the span for the given request id, or nil.
+func (t *SpanTree) Span(id int) *RequestSpan {
+	for i := range t.Requests {
+		if t.Requests[i].ReqID == id {
+			return &t.Requests[i]
+		}
+	}
+	return nil
+}
+
+// SpanBuilder folds a flat event stream — from a Tracer, a Ring snapshot,
+// or a JSONL recording; sim and serve emit the same vocabulary — into a
+// SpanTree. The zero value is ready to use.
+type SpanBuilder struct {
+	// MaxRequests, when > 0, keeps only the MaxRequests most recently
+	// arrived requests in the result (the /spanz ?n= knob).
+	MaxRequests int
+}
+
+// spanState accumulates one request while folding.
+type spanState struct {
+	span      RequestSpan
+	seen      bool    // any event observed
+	arrived   bool    // Arrive event observed
+	openStart float64 // StartBlock time of the open grant, -1 when none
+	openBlock int
+	openDev   int
+	openBatch int
+	openDet   string
+	lastEnd   float64 // end of the last closed exec interval
+	executed  bool    // at least one exec interval closed
+	arrivalNo int     // arrival order for MaxRequests trimming
+}
+
+// deviceHold is one closed device grant, for the overlap check. Batched
+// grants share one hold per member but the same batch id, so same-batch
+// overlap is legal by construction.
+type deviceHold struct {
+	startMs, endMs float64
+	req            int
+	batch          int
+}
+
+// Build folds events into a SpanTree. The stream does not need to be
+// time-sorted across requests (ring snapshots are, tracer streams are),
+// but each request's own events must be in causal order — violations are
+// reported in Problems, not silently absorbed.
+func (b SpanBuilder) Build(events []Event) *SpanTree {
+	t := &SpanTree{}
+	if len(events) == 0 {
+		return t
+	}
+	t.FirstMs, t.LastMs = events[0].AtMs, events[0].AtMs
+	states := map[int]*spanState{}
+	holds := map[int][]deviceHold{}
+	arrivalSeq := 0
+	get := func(e Event) *spanState {
+		st := states[e.ReqID]
+		if st == nil {
+			st = &spanState{openStart: -1, arrivalNo: arrivalSeq}
+			arrivalSeq++
+			st.span = RequestSpan{ReqID: e.ReqID, Model: e.Model, Outcome: "open",
+				ArriveMs: e.AtMs, DoneMs: e.AtMs}
+			switch e.Kind {
+			case Arrive, Place, Enqueue:
+				// Place and Enqueue legally precede Arrive in both the fleet
+				// simulator and the server (routing happens before admission).
+			default:
+				// First sight of the request is mid-flight: the Arrive event
+				// was truncated out of the stream (ring wrap). The span is
+				// still useful, but lifetime invariants cannot be checked.
+				st.span.Truncated = true
+			}
+			states[e.ReqID] = st
+		}
+		if st.span.Model == "" && e.Model != "" {
+			st.span.Model = e.Model
+		}
+		return st
+	}
+	problemf := func(format string, args ...any) {
+		t.Problems = append(t.Problems, fmt.Sprintf(format, args...))
+	}
+
+	for _, e := range events {
+		if e.AtMs < t.FirstMs {
+			t.FirstMs = e.AtMs
+		}
+		if e.AtMs > t.LastMs {
+			t.LastMs = e.AtMs
+		}
+		// Run-level events carry ReqID -1 (drain markers, elastic
+		// transitions) or describe pre-enqueue rejections; neither opens a
+		// request span.
+		if e.ReqID < 0 || e.Kind == Drop || e.Kind == ElasticOn || e.Kind == ElasticOff ||
+			e.Kind == DrainStart || e.Kind == DrainEnd {
+			continue
+		}
+		st := get(e)
+		sp := &st.span
+		switch e.Kind {
+		case Arrive:
+			if st.arrived {
+				problemf("req %d: duplicate arrive at %.3f", e.ReqID, e.AtMs)
+			}
+			st.arrived = true
+			sp.ArriveMs = e.AtMs
+			if !st.seen {
+				sp.DoneMs = e.AtMs
+			}
+		case StartBlock:
+			if st.openStart >= 0 {
+				problemf("req %d: start_block %d at %.3f with block %d still open",
+					e.ReqID, e.Block, e.AtMs, st.openBlock)
+				// Close the dangling grant zero-length so folding continues.
+				st.openStart = -1
+			}
+			if sp.Decided() {
+				problemf("req %d: start_block %d at %.3f after settle (%s)",
+					e.ReqID, e.Block, e.AtMs, sp.Outcome)
+			}
+			st.openStart = e.AtMs
+			st.openBlock = e.Block
+			st.openDev = e.Device
+			st.openBatch = e.Batch
+			st.openDet = e.Detail
+		case EndBlock:
+			if st.openStart < 0 {
+				problemf("req %d: end_block %d at %.3f without start_block",
+					e.ReqID, e.Block, e.AtMs)
+				break
+			}
+			if e.AtMs < st.openStart {
+				problemf("req %d: end_block %d at %.3f before its start %.3f",
+					e.ReqID, e.Block, e.AtMs, st.openStart)
+			}
+			// Close the wait/preempted gap that preceded this grant.
+			gapStart := sp.ArriveMs
+			phase := PhaseWait
+			if st.executed {
+				gapStart = st.lastEnd
+				phase = PhasePreempted
+			}
+			if st.openStart > gapStart {
+				sp.Intervals = append(sp.Intervals, Interval{Phase: phase, Block: -1, Device: -1,
+					StartMs: gapStart, EndMs: st.openStart})
+			}
+			sp.Intervals = append(sp.Intervals, Interval{Phase: PhaseExec, Block: st.openBlock,
+				Device: st.openDev, Batch: st.openBatch, StartMs: st.openStart, EndMs: e.AtMs,
+				Detail: st.openDet})
+			holds[st.openDev] = append(holds[st.openDev], deviceHold{st.openStart, e.AtMs, e.ReqID, st.openBatch})
+			sp.Blocks++
+			if len(sp.Devices) == 0 || sp.Devices[len(sp.Devices)-1] != st.openDev {
+				if st.executed {
+					sp.DeviceHops++
+				}
+				known := false
+				for _, d := range sp.Devices {
+					if d == st.openDev {
+						known = true
+						break
+					}
+				}
+				if !known {
+					sp.Devices = append(sp.Devices, st.openDev)
+				}
+			}
+			if st.openBatch != 0 {
+				known := false
+				for _, bid := range sp.Batches {
+					if bid == st.openBatch {
+						known = true
+						break
+					}
+				}
+				if !known {
+					sp.Batches = append(sp.Batches, st.openBatch)
+				}
+			}
+			st.lastEnd = e.AtMs
+			st.executed = true
+			st.openStart = -1
+		case Preempt:
+			sp.Preemptions++
+		case Complete, Shed:
+			if sp.Decided() {
+				problemf("req %d: %s at %.3f after settle (%s)", e.ReqID, e.Kind, e.AtMs, sp.Outcome)
+				break
+			}
+			if st.openStart >= 0 {
+				problemf("req %d: %s at %.3f with block %d still holding the device",
+					e.ReqID, e.Kind, e.AtMs, st.openBlock)
+			}
+			if st.executed && e.AtMs < st.lastEnd {
+				problemf("req %d: settle at %.3f before last grant released at %.3f",
+					e.ReqID, e.AtMs, st.lastEnd)
+			}
+			sp.DoneMs = e.AtMs
+			if e.Kind == Complete {
+				sp.Outcome = SpanOutcomeServed
+			} else {
+				sp.Outcome = e.Detail
+				if sp.Outcome == "" {
+					sp.Outcome = "shed"
+				}
+			}
+			// A settle later than the last grant release (always the case
+			// for queued sheds, never for boundary completions) leaves a
+			// trailing non-exec gap; close it so the decomposition covers
+			// the whole lifetime.
+			gapStart := sp.ArriveMs
+			phase := PhaseWait
+			if st.executed {
+				gapStart = st.lastEnd
+				phase = PhasePreempted
+			}
+			if e.AtMs > gapStart {
+				sp.Intervals = append(sp.Intervals, Interval{Phase: phase, Block: -1, Device: -1,
+					StartMs: gapStart, EndMs: e.AtMs})
+			}
+		case Cancel, Fault, Enqueue, Place:
+			// Annotations on the request's lifetime; they shift no phase
+			// boundaries. (Cancellation takes effect at the settle event.)
+		}
+		st.seen = true
+	}
+
+	// Sum the decomposition and flag never-closed grants.
+	ids := make([]int, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := states[id]
+		sp := &st.span
+		if st.openStart >= 0 && sp.Outcome == "open" {
+			// In-flight at stream end: legal for live snapshots; represent
+			// the open grant as an exec interval up to the stream horizon.
+			sp.Intervals = append(sp.Intervals, Interval{Phase: PhaseExec, Block: st.openBlock,
+				Device: st.openDev, Batch: st.openBatch, StartMs: st.openStart, EndMs: t.LastMs,
+				Detail: st.openDet})
+			sp.Blocks++
+			sp.DoneMs = t.LastMs
+		}
+		if sp.Outcome == "open" && st.executed && sp.DoneMs < st.lastEnd {
+			sp.DoneMs = st.lastEnd
+		}
+		for _, iv := range sp.Intervals {
+			switch iv.Phase {
+			case PhaseWait:
+				sp.WaitMs += iv.DurationMs()
+			case PhaseExec:
+				sp.ExecMs += iv.DurationMs()
+			case PhasePreempted:
+				sp.PreemptedMs += iv.DurationMs()
+			}
+		}
+		t.Requests = append(t.Requests, *sp)
+	}
+
+	// Per-device overlap check: two closed grants on one device may not
+	// overlap unless they belong to the same micro-batch.
+	const eps = 1e-9
+	devs := make([]int, 0, len(holds))
+	for d := range holds {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	for _, d := range devs {
+		hs := holds[d]
+		sort.Slice(hs, func(i, j int) bool {
+			if hs[i].startMs != hs[j].startMs {
+				return hs[i].startMs < hs[j].startMs
+			}
+			return hs[i].endMs < hs[j].endMs
+		})
+		for i := 1; i < len(hs); i++ {
+			prev, cur := hs[i-1], hs[i]
+			if cur.startMs < prev.endMs-eps && !(cur.batch != 0 && cur.batch == prev.batch) {
+				problemf("device %d: grants overlap: req %d [%.3f, %.3f] and req %d [%.3f, %.3f]",
+					d, prev.req, prev.startMs, prev.endMs, cur.req, cur.startMs, cur.endMs)
+			}
+		}
+	}
+
+	if b.MaxRequests > 0 && len(t.Requests) > b.MaxRequests {
+		// Keep the most recently arrived requests (by arrival order in the
+		// stream, which is arrival time for sorted streams).
+		byArrival := append([]RequestSpan(nil), t.Requests...)
+		sort.Slice(byArrival, func(i, j int) bool {
+			return states[byArrival[i].ReqID].arrivalNo < states[byArrival[j].ReqID].arrivalNo
+		})
+		keep := byArrival[len(byArrival)-b.MaxRequests:]
+		sort.Slice(keep, func(i, j int) bool { return keep[i].ReqID < keep[j].ReqID })
+		t.Requests = keep
+	}
+	return t
+}
+
+// BuildSpans is shorthand for the zero-configured SpanBuilder.
+func BuildSpans(events []Event) *SpanTree {
+	return SpanBuilder{}.Build(events)
+}
+
+// Summary renders one line per request: the wait/exec/preempted
+// decomposition behind the paper's per-request latency stories.
+func (t *SpanTree) Summary() string {
+	out := ""
+	for i := range t.Requests {
+		sp := &t.Requests[i]
+		out += fmt.Sprintf("req%-4d %-10s %-12s arrive=%.1f done=%.1f wait=%.1f exec=%.1f preempted=%.1f blocks=%d preempts=%d\n",
+			sp.ReqID, sp.Model, sp.Outcome, sp.ArriveMs, sp.DoneMs,
+			sp.WaitMs, sp.ExecMs, sp.PreemptedMs, sp.Blocks, sp.Preemptions)
+	}
+	return out
+}

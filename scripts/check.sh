@@ -22,4 +22,11 @@ for target in FuzzInsertGreedy FuzzQueueLifecycle FuzzDeadlineSweep FuzzBatchPla
     go test ./internal/sched -run '^$' -fuzz "$target" -fuzztime "${FUZZTIME:-2s}"
 done
 go test ./internal/policy -run '^$' -fuzz FuzzPlacement -fuzztime "${FUZZTIME:-2s}"
+go test ./internal/trace -run '^$' -fuzz FuzzSpanBuilder -fuzztime "${FUZZTIME:-2s}"
+
+# Bench trajectory gate: compares the committed BENCH_1.json baseline
+# against the latest recorded BENCH_<n>.json (from `make bench`). With only
+# the baseline present there is nothing to compare and the gate passes —
+# no benchmarks run here, so the tier-1 gate stays fast and hermetic.
+go run ./cmd/benchjson -gate
 echo "check: ok"
