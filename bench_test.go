@@ -555,9 +555,9 @@ func BenchmarkSchedInsertGreedy(b *testing.B) {
 // path calls per request, confirming they stay allocation-free.
 func BenchmarkObsHotPath(b *testing.B) {
 	reg := obs.NewRegistry()
-	c := reg.Counter("split_requests_total", "bench", "model", "vgg19")
-	g := reg.Gauge("split_queue_depth", "bench")
-	h := reg.Histogram("split_e2e_ms", "bench", obs.DefaultLatencyBuckets())
+	c := reg.Counter(obs.MetricRequestsTotal, "bench", "model", "vgg19")
+	g := reg.Gauge(obs.MetricQueueDepth, "bench")
+	h := reg.Histogram(obs.MetricE2EMs, "bench", obs.DefaultLatencyBuckets())
 	b.Run("counter", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	splitlint [-rules noclock,msunits] [-C dir] [-list] [./...]
+//	splitlint [-rules noclock,msunits] [-C dir] [-list] [-json] [./...]
 //
 // Exit status: 0 when the tree is clean, 1 when diagnostics were reported,
-// 2 on usage or load errors.
+// 2 on usage or load errors. With -json, diagnostics are emitted to stdout
+// as a single JSON array (empty array for a clean tree) so CI can archive
+// them as a machine-readable artifact; the exit status is unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	chdir := fs.String("C", "", "run as if started in `dir`")
 	list := fs.Bool("list", false, "list available rules and exit")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: splitlint [flags] [./...]\n")
 		fs.PrintDefaults()
@@ -80,18 +84,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := lint.Run(mod.Packages, analyzers)
-	for _, d := range diags {
-		// Print module-relative paths so output is stable across machines.
-		if rel, relErr := filepath.Rel(root, d.Pos.Filename); relErr == nil {
-			d.Pos.Filename = rel
+	for i := range diags {
+		// Report module-relative paths so output is stable across machines.
+		if rel, relErr := filepath.Rel(root, diags[i].Pos.Filename); relErr == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Fprintln(stdout, d.String())
+	}
+	if *asJSON {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "splitlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "splitlint: %d issue(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonDiagnostic is the machine-readable shape of one finding. The field
+// set is a stable contract for CI artifact consumers; extend it, don't
+// rename it.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // findModuleRoot ascends from dir to the nearest directory containing go.mod.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -32,6 +33,9 @@ func TestBadModule(t *testing.T) {
 		"bad.go:11:32: norandglobal:",
 		"bad.go:14:62: errwrap:",
 		"clock.go:7:31: noclock:",
+		"drop.go:5:29: vocab:",
+		"lock.go:16:9: hotalloc:",
+		"lock.go:22:2: lockorder:",
 	} {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("output missing %q:\n%s", want, stdout)
@@ -62,10 +66,51 @@ func TestList(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list: exit %d", code)
 	}
-	for _, rule := range []string{"noclock", "norandglobal", "msunits", "errwrap", "lockdiscipline"} {
+	for _, rule := range []string{"noclock", "norandglobal", "msunits", "errwrap",
+		"lockdiscipline", "hotalloc", "lockorder", "vocab"} {
 		if !strings.Contains(stdout, rule) {
 			t.Errorf("-list output missing %q:\n%s", rule, stdout)
 		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, stderr := runLint(t, "-C", "testdata/badmod", "-json")
+	if code != 1 {
+		t.Fatalf("splitlint -json on badmod: exit %d, want 1\n%s", code, stderr)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 6 {
+		t.Fatalf("got %d diagnostics, want 6:\n%s", len(diags), stdout)
+	}
+	byRule := map[string]jsonDiagnostic{}
+	for _, d := range diags {
+		byRule[d.Rule] = d
+	}
+	ha, ok := byRule["hotalloc"]
+	if !ok || ha.File != "internal/sched/lock.go" || ha.Line != 16 || ha.Column != 9 ||
+		!strings.Contains(ha.Message, "make allocates") {
+		t.Errorf("hotalloc diagnostic malformed: %+v", ha)
+	}
+	for _, rule := range []string{"lockorder", "vocab", "noclock", "norandglobal", "errwrap"} {
+		if _, ok := byRule[rule]; !ok {
+			t.Errorf("JSON output missing a %s diagnostic:\n%s", rule, stdout)
+		}
+	}
+}
+
+// TestJSONClean checks a clean selection emits an empty array, not null —
+// CI consumers parse the artifact unconditionally.
+func TestJSONClean(t *testing.T) {
+	code, stdout, _ := runLint(t, "-C", "testdata/badmod", "-rules", "msunits", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout)
 	}
 }
 

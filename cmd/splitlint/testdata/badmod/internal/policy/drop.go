@@ -1,0 +1,5 @@
+// Drop respells a shared drop reason as a bare literal.
+package policy
+
+// Drop returns the literal where trace.ReasonDeadline should be spoken.
+func Drop() string { return "deadline" }

@@ -1,0 +1,24 @@
+// Package sched seeds the module-level rules: a hot-path allocation and a
+// channel send while a mutex is held.
+package sched
+
+import "sync"
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Pop allocates on a marked hot path.
+//
+//lint:hotpath badmod fixture
+func (q *queue) Pop(n int) []int {
+	return make([]int, n)
+}
+
+// Notify sends on a channel with the mutex held.
+func (q *queue) Notify(v int) {
+	q.mu.Lock()
+	q.ch <- v
+	q.mu.Unlock()
+}

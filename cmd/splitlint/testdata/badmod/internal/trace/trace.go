@@ -1,0 +1,5 @@
+// Package trace declares the shared drop-reason vocabulary.
+package trace
+
+// ReasonDeadline is the canonical deadline-shed reason.
+const ReasonDeadline = "deadline"

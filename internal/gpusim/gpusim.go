@@ -11,7 +11,6 @@
 package gpusim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -41,6 +40,12 @@ func (s *Sim) Processed() int { return s.processed }
 
 // At schedules fn to run at absolute time atMs (>= Now). Scheduling in the
 // past panics: it always indicates a policy bug.
+//
+// Events are stored by value in a hand-rolled binary heap: scheduling does
+// not allocate beyond the amortized growth of the heap's backing array
+// (container/heap would heap-allocate and interface-box every event).
+//
+//lint:hotpath every device hold schedules its boundary event here
 func (s *Sim) At(atMs float64, fn func(now float64)) {
 	if atMs < s.now-1e-9 {
 		panic(fmt.Sprintf("gpusim: scheduling event at %.6f before now %.6f", atMs, s.now))
@@ -52,10 +57,14 @@ func (s *Sim) At(atMs float64, fn func(now float64)) {
 		atMs = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: atMs, seq: s.seq, fn: fn})
+	//lint:ignore hotalloc amortized heap growth: the backing array reaches steady state and is reused
+	s.events = append(s.events, event{at: atMs, seq: s.seq, fn: fn})
+	s.events.siftUp(len(s.events) - 1)
 }
 
 // After schedules fn to run delayMs milliseconds from now.
+//
+//lint:hotpath the grant path schedules block-boundary timers through here
 func (s *Sim) After(delayMs float64, fn func(now float64)) {
 	s.At(s.now+delayMs, fn)
 }
@@ -79,7 +88,14 @@ func (s *Sim) RunUntil(t float64) {
 }
 
 func (s *Sim) step() {
-	ev := heap.Pop(&s.events).(*event)
+	ev := s.events[0]
+	last := len(s.events) - 1
+	s.events[0] = s.events[last]
+	s.events[last] = event{} // release the callback so the array retains nothing
+	s.events = s.events[:last]
+	if last > 0 {
+		s.events.siftDown(0)
+	}
 	s.now = ev.at
 	s.processed++
 	if s.MaxEvents > 0 && s.processed > s.MaxEvents {
@@ -97,24 +113,44 @@ type event struct {
 	fn  func(now float64)
 }
 
-type eventHeap []*event
+// eventHeap is a min-heap of events by (at, seq), stored by value. The
+// sift operations are the textbook binary-heap ones; because (at, seq) is
+// a strict total order, pop order is identical to container/heap's.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	for {
+		smallest := i
+		if l := 2*i + 1; l < len(h) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < len(h) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
 }
 
 // Contention models the per-stream slowdown of concurrent GPU execution:

@@ -40,6 +40,8 @@ func (d *Device) Busy() bool { return d.busy }
 
 // Acquire marks the device occupied from nowMs. Acquiring a busy device
 // panics: two blocks on one timeline is always a scheduler bug.
+//
+//lint:hotpath device occupancy flips once per granted block
 func (d *Device) Acquire(nowMs float64) {
 	if d.busy {
 		panic(fmt.Sprintf("gpusim: device %d acquired while busy", d.ID))
@@ -53,6 +55,8 @@ func (d *Device) Acquire(nowMs float64) {
 // scalar grant — so executors can route every grant through it; n >= 2
 // additionally accounts the batch in the device's batched-grant counters.
 // The occupancy rules are unchanged: one hold at a time, panics if busy.
+//
+//lint:hotpath batched grants route every device hold through here
 func (d *Device) AcquireBatch(nowMs float64, n int) {
 	d.Acquire(nowMs)
 	if n > 1 {
@@ -66,6 +70,8 @@ func (d *Device) AcquireBatch(nowMs float64, n int) {
 
 // Release marks the device idle at nowMs and accounts the occupancy.
 // Releasing an idle device panics.
+//
+//lint:hotpath device occupancy flips once per completed block
 func (d *Device) Release(nowMs float64) {
 	if !d.busy {
 		panic(fmt.Sprintf("gpusim: device %d released while idle", d.ID))

@@ -35,7 +35,16 @@ func (d Diagnostic) String() string {
 // ReportFunc records one violation at pos.
 type ReportFunc func(pos token.Pos, format string, args ...any)
 
-// Analyzer is one lint rule.
+// ModuleReportFunc records one violation at pos inside package p. Module
+// analyzers must name the package so ignore directives resolve against the
+// right files.
+type ModuleReportFunc func(p *Package, pos token.Pos, format string, args ...any)
+
+// Analyzer is one lint rule. Exactly one of Run and RunModule is set:
+// per-package rules see one package at a time, module rules see every
+// loaded package at once and can follow calls and references across
+// package boundaries (hotalloc's transitive allocation propagation,
+// lockorder's lock-acquisition graph, vocab's cross-layer drift checks).
 type Analyzer struct {
 	// Name is the rule name used in diagnostics and ignore directives.
 	Name string
@@ -43,11 +52,14 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports violations.
 	Run func(p *Package, report ReportFunc)
+	// RunModule inspects the whole module at once.
+	RunModule func(pkgs []*Package, report ModuleReportFunc)
 }
 
 // All returns every analyzer in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Noclock, Norandglobal, Msunits, Errwrap, Lockdiscipline}
+	return []*Analyzer{Noclock, Norandglobal, Msunits, Errwrap, Lockdiscipline,
+		Hotalloc, Lockorder, Vocab}
 }
 
 // ByName resolves a comma-separated rule list against All.
@@ -74,10 +86,15 @@ func ByName(names string) ([]*Analyzer, error) {
 // by //lint:ignore directives, and returns the rest sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	ignoresByPkg := make(map[*Package]ignoreSet, len(pkgs))
 	for _, p := range pkgs {
 		ignores, malformed := collectIgnores(p)
+		ignoresByPkg[p] = ignores
 		diags = append(diags, malformed...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			report := func(pos token.Pos, format string, args ...any) {
 				position := p.Fset.Position(pos)
 				if ignores.suppresses(a.Name, position) {
@@ -91,6 +108,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 			a.Run(p, report)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a := a
+		report := func(p *Package, pos token.Pos, format string, args ...any) {
+			position := p.Fset.Position(pos)
+			if ignoresByPkg[p].suppresses(a.Name, position) {
+				return
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  position,
+				Rule: a.Name,
+				Msg:  fmt.Sprintf(format, args...),
+			})
+		}
+		a.RunModule(pkgs, report)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -227,4 +262,71 @@ func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
 func isFloat64(t types.Type) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Kind() == types.Float64
+}
+
+// funcKey names a function uniquely across the module as
+// "pkgpath.[Recv.]Name". Module analyzers key cross-package maps by this
+// string instead of *types.Func identity: packages with in-package test
+// files are type-checked twice (see LoadModule), so the same function has
+// two distinct objects — one per view — but a single key.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return fn.Pkg().Path() + "." + recv + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// shortFuncKey is funcKey without the package path, for diagnostics.
+func shortFuncKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return recv + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// recvTypeName returns the name of fn's receiver type ("" for plain
+// functions), with any pointer indirection stripped.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// directiveArg scans a comment group for a //lint:<name> directive and
+// returns the rest of its line. found distinguishes a bare directive from
+// an absent one.
+func directiveArg(cg *ast.CommentGroup, name string) (arg string, pos token.Pos, found bool) {
+	if cg == nil {
+		return "", token.NoPos, false
+	}
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:"+name)
+		if !ok {
+			continue
+		}
+		if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+			continue // a longer directive name, e.g. lint:mirror-exempt vs lint:mirror
+		}
+		return strings.TrimSpace(rest), c.Pos(), true
+	}
+	return "", token.NoPos, false
 }

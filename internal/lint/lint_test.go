@@ -29,6 +29,12 @@ var goldenCases = []struct {
 	{"lockdiscipline", "lockdiscipline", "split/internal/serve", "lockdiscipline", "expect.txt"},
 	{"lockdiscipline-out-of-scope", "lockdiscipline", "split/internal/sched", "lockdiscipline", "expect_out_of_scope.txt"},
 	{"ignore", "ignore", "split/internal/workload", "norandglobal", "expect.txt"},
+	{"hotalloc", "hotalloc", "split/internal/sched", "hotalloc", "expect.txt"},
+	// The same lockorder fixture loads twice: in sched the rule owns the
+	// direct escapes too; in serve those are lockdiscipline's report and
+	// only the cycle/re-acquisition findings remain.
+	{"lockorder-sched", "lockorder", "split/internal/sched", "lockorder", "expect_sched.txt"},
+	{"lockorder-serve", "lockorder", "split/internal/serve", "lockorder", "expect_serve.txt"},
 }
 
 func TestGolden(t *testing.T) {
@@ -64,6 +70,50 @@ func TestGolden(t *testing.T) {
 				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
 			}
 		})
+	}
+}
+
+// TestVocabModule runs the vocab rule over a miniature module fixture with
+// its own trace/obs/policy/serve layers and one seeded drift of every kind
+// the rule reports. Loading through LoadModule (not LoadPackage) also
+// covers the _test-augmented unit path: serve carries an in-package test
+// file whose metric-family literal must still be flagged.
+func TestVocabModule(t *testing.T) {
+	dir := filepath.Join("testdata", "vocabmod")
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", dir, err)
+	}
+	var serve *Package
+	for _, p := range mod.Packages {
+		if p.Rel == "internal/serve" && p.Name == "serve" {
+			serve = p
+		}
+	}
+	if serve == nil || len(serve.Files) != 2 {
+		t.Fatalf("serve unit not test-augmented: %+v", serve)
+	}
+	var b strings.Builder
+	for _, d := range Run(mod.Packages, []*Analyzer{Vocab}) {
+		if rel, err := filepath.Rel(mod.Dir, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		fmt.Fprintln(&b, d.String())
+	}
+	got := b.String()
+	goldenPath := filepath.Join(dir, "expect.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/lint -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 
@@ -119,6 +169,23 @@ func TestSplitCamel(t *testing.T) {
 				t.Errorf("splitCamel(%q) = %v, want %v", in, got, want)
 				break
 			}
+		}
+	}
+}
+
+// BenchmarkLoadModule measures a full parse-and-type-check of the real
+// module — the cost every `splitlint ./...` run and golden test pays. The
+// shared stdlib import cache (see stdImports) is warmed by the first
+// iteration, matching the steady state the 10s CI budget is set against.
+func BenchmarkLoadModule(b *testing.B) {
+	root := filepath.Join("..", "..")
+	for i := 0; i < b.N; i++ {
+		mod, err := LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mod.Packages) < 20 {
+			b.Fatalf("loaded only %d packages", len(mod.Packages))
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked compilation unit: a package (augmented with
@@ -361,24 +362,17 @@ func checkUnit(fset *token.FileSet, u *unit, files []*ast.File, imp types.Import
 }
 
 // moduleImporter resolves module-local import paths to already-checked
-// packages and everything else through the toolchain importers: compiled
-// export data when available, pure source parsing as the fallback — both
-// stdlib, keeping splitlint dependency-free.
+// packages and everything else through the shared standard-library cache.
 type moduleImporter struct {
 	modPath string
 	local   map[string]*types.Package
-	std     types.Importer
-	src     types.Importer
-	cache   map[string]*types.Package
 }
 
 func newModuleImporter(fset *token.FileSet, modPath string) *moduleImporter {
+	_ = fset // module positions stay in the caller's fset; see stdImports
 	return &moduleImporter{
 		modPath: modPath,
 		local:   map[string]*types.Package{},
-		std:     importer.ForCompiler(fset, "gc", nil),
-		src:     importer.ForCompiler(fset, "source", nil),
-		cache:   map[string]*types.Package{},
 	}
 }
 
@@ -389,15 +383,43 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 		}
 		return nil, fmt.Errorf("lint: module package %q not loaded before its importer", path)
 	}
-	if p := m.cache[path]; p != nil {
+	return importStd(path)
+}
+
+// stdImports is the process-wide cache of type-checked standard-library
+// packages, shared by every LoadModule/LoadPackage call. Re-importing the
+// stdlib dominated repeated loads (every golden test and every analyzer
+// run paid it again); one import per path per process keeps
+// `splitlint ./...` and the golden suite well under the 10s budget.
+// Stdlib object positions resolve against the cache's private FileSet —
+// analyzers only ever report positions inside module files, so those
+// positions are never rendered. Guarded by a mutex so parallel tests and
+// concurrent loads stay race-free.
+var stdImports = struct {
+	mu    sync.Mutex
+	std   types.Importer // compiled export data (fast path)
+	src   types.Importer // pure source fallback
+	cache map[string]*types.Package
+}{}
+
+func importStd(path string) (*types.Package, error) {
+	stdImports.mu.Lock()
+	defer stdImports.mu.Unlock()
+	if stdImports.cache == nil {
+		fset := token.NewFileSet()
+		stdImports.std = importer.ForCompiler(fset, "gc", nil)
+		stdImports.src = importer.ForCompiler(fset, "source", nil)
+		stdImports.cache = map[string]*types.Package{}
+	}
+	if p := stdImports.cache[path]; p != nil {
 		return p, nil
 	}
-	p, err := m.std.Import(path)
+	p, err := stdImports.std.Import(path)
 	if err != nil {
-		if p, err = m.src.Import(path); err != nil {
+		if p, err = stdImports.src.Import(path); err != nil {
 			return nil, fmt.Errorf("lint: importing %q: %w", path, err)
 		}
 	}
-	m.cache[path] = p
+	stdImports.cache[path] = p
 	return p, nil
 }

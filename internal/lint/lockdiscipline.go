@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -134,10 +135,26 @@ func isEmitMethod(fn *types.Func) bool {
 // function body. It is a small abstract interpreter: branches fork the
 // held-set and merge with a union (held on any live path counts), paths
 // ending in return/branch statements drop out of the merge.
+//
+// With the hook fields unset the scanner reports lockdiscipline's
+// diagnostics. Lockorder reuses the identical walk by installing hooks:
+// keyFor canonicalizes mutex names across functions, onAcquire feeds the
+// inter-procedural acquisition graph, and onSend/onCall record facts
+// instead of reporting so the module pass can reason transitively.
 type lockScanner struct {
 	p      *Package
 	report ReportFunc
 	unsafe map[*types.Func]string
+	// keyFor overrides how a mutex expression is named (default:
+	// types.ExprString of the receiver expression).
+	keyFor func(sel *ast.SelectorExpr) string
+	// onAcquire observes a Lock/RLock with the held-set *before* the
+	// acquisition.
+	onAcquire func(key string, pos token.Pos, held map[string]bool)
+	// onSend replaces the default channel-send report.
+	onSend func(pos token.Pos, held map[string]bool, inSelect bool)
+	// onCall replaces the default escaping-call checks.
+	onCall func(call *ast.CallExpr, held map[string]bool)
 }
 
 // scanStmts processes a statement list with the given held-set and returns
@@ -157,6 +174,9 @@ func (s *lockScanner) scanStmt(stmt ast.Stmt, held map[string]bool) (map[string]
 	switch st := stmt.(type) {
 	case *ast.ExprStmt:
 		if key, locks, ok := s.lockOp(st.X); ok {
+			if locks && s.onAcquire != nil {
+				s.onAcquire(key, st.Pos(), held)
+			}
 			held = copySet(held)
 			if locks {
 				held[key] = true
@@ -175,7 +195,11 @@ func (s *lockScanner) scanStmt(stmt ast.Stmt, held map[string]bool) (map[string]
 		}
 	case *ast.SendStmt:
 		if len(held) > 0 {
-			s.report(st.Pos(), "channel send with %s held: a blocked receiver deadlocks the lock owner; buffer and send after unlocking", heldNames(held))
+			if s.onSend != nil {
+				s.onSend(st.Pos(), held, false)
+			} else {
+				s.report(st.Pos(), "channel send with %s held: a blocked receiver deadlocks the lock owner; buffer and send after unlocking", heldNames(held))
+			}
 		}
 		s.checkExpr(st.Chan, held)
 		s.checkExpr(st.Value, held)
@@ -268,7 +292,11 @@ func (s *lockScanner) scanCases(stmt ast.Stmt, held map[string]bool) (map[string
 			stmts = c.Body
 		case *ast.CommClause:
 			if send, ok := c.Comm.(*ast.SendStmt); ok && len(held) > 0 {
-				s.report(send.Pos(), "select-case channel send with %s held: a blocked receiver deadlocks the lock owner", heldNames(held))
+				if s.onSend != nil {
+					s.onSend(send.Pos(), held, true)
+				} else {
+					s.report(send.Pos(), "select-case channel send with %s held: a blocked receiver deadlocks the lock owner", heldNames(held))
+				}
 			}
 			stmts = c.Body
 		}
@@ -297,6 +325,10 @@ func (s *lockScanner) checkExpr(n ast.Node, held map[string]bool) {
 }
 
 func (s *lockScanner) checkCall(call *ast.CallExpr, held map[string]bool) {
+	if s.onCall != nil {
+		s.onCall(call, held)
+		return
+	}
 	if fn := calleeFunc(s.p.Info, call); fn != nil {
 		if isEmitMethod(fn) {
 			s.report(call.Pos(), "sink %s called with %s held: the sink takes its own locks and may call back; buffer events and flush after unlocking", fn.Name(), heldNames(held))
@@ -347,6 +379,9 @@ func (s *lockScanner) lockOp(e ast.Expr) (key string, locks, ok bool) {
 		locks = false
 	default:
 		return "", false, false
+	}
+	if s.keyFor != nil {
+		return s.keyFor(sel), locks, true
 	}
 	return types.ExprString(sel.X), locks, true
 }

@@ -1,0 +1,445 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockorder lifts lockdiscipline's flow-sensitive facts into an
+// inter-procedural lock-acquisition graph across the concurrent layers
+// (internal/sched, internal/serve, internal/obs, internal/gpusim). Mutex
+// names are canonicalized to their owning type ("serve.Server.mu",
+// "obs.Registry.mu"), so the same lock has one node no matter which method
+// touches it. The rule reports
+//
+//   - lock-order cycles: lock B acquired (directly or through any chain of
+//     module-local calls) while A is held, and elsewhere A while B is held —
+//     the classic ABBA deadlock the race detector only finds when both
+//     paths collide at runtime; a self-edge (re-acquiring a held mutex) is
+//     the degenerate immediate deadlock;
+//   - escapes reachable *through a call* while a mutex is held: a call into
+//     a module-local function — in any package — that transitively sends on
+//     a channel or invokes a sink Emit. Same-package escapes in serve/obs
+//     stay lockdiscipline's report, so each defect is named exactly once;
+//   - in sched/gpusim (which lockdiscipline does not cover), the direct
+//     forms too: channel sends and Emit calls while a mutex is held.
+var Lockorder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "inter-procedural lock-order cycles and escapes reachable while a mutex is held in sched/serve/obs/gpusim",
+	RunModule: runLockorder,
+}
+
+// lockorderScope lists the module-relative directories the rule covers,
+// and whether lockdiscipline already reports their direct escapes.
+var lockorderScope = map[string]bool{ // rel -> lockdiscipline covers it
+	"internal/sched":  false,
+	"internal/serve":  true,
+	"internal/obs":    true,
+	"internal/gpusim": false,
+}
+
+// lockEdge is one acquisition-order observation: `to` was acquired at pos
+// (in package p) while `from` was held; via explains indirect edges.
+type lockEdge struct {
+	from, to string
+	p        *Package
+	pos      token.Pos
+	via      string // "" for a direct acquisition
+}
+
+// lockFacts is one function's contribution to the module-wide analysis.
+type lockFacts struct {
+	p    *Package
+	name string
+	// acquires is every mutex this function may lock, regardless of flow.
+	acquires map[string]bool
+	// calls is every synchronous static call to a module-local function.
+	calls []callRef
+	// escape is non-empty when the body directly sends or calls Emit.
+	escape string
+	// heldCalls are calls made while at least one mutex was held.
+	heldCalls []heldCall
+	// heldAcquires are direct acquisitions made while other locks were held.
+	heldAcquires []heldAcquire
+}
+
+type heldCall struct {
+	pos    token.Pos
+	key    string // callee funcKey ("" for dynamic calls)
+	name   string
+	held   []string
+	isEmit bool
+}
+
+type heldAcquire struct {
+	pos  token.Pos
+	key  string
+	held []string
+}
+
+func runLockorder(pkgs []*Package, report ModuleReportFunc) {
+	facts := map[string]*lockFacts{}
+	var order []string // deterministic iteration for reporting
+	for _, p := range pkgs {
+		if _, ok := lockorderScope[p.Rel]; !ok || isTestPackage(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			if isTestFile(p, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				if _, dup := facts[key]; dup {
+					continue // regenerated method sets etc.; first body wins
+				}
+				facts[key] = scanLockFacts(p, fd, fn)
+				order = append(order, key)
+			}
+		}
+	}
+	sort.Strings(order)
+
+	// Transitive may-acquire sets and escape reasons, to a fixpoint over
+	// the module-local call graph.
+	transAcq := map[string]map[string]bool{}
+	escape := map[string]string{}
+	for key, lf := range facts {
+		transAcq[key] = copySet(lf.acquires)
+		if lf.escape != "" {
+			escape[key] = lf.escape
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, lf := range facts {
+			for _, c := range lf.calls {
+				for a := range transAcq[c.key] {
+					if !transAcq[key][a] {
+						transAcq[key][a] = true
+						changed = true
+					}
+				}
+				if escape[key] == "" && escape[c.key] != "" {
+					escape[key] = fmt.Sprintf("calls %s, which %s", c.name, escape[c.key])
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Build the acquisition-order graph and report escapes at held calls.
+	var edges []lockEdge
+	for _, key := range order {
+		lf := facts[key]
+		for _, ha := range lf.heldAcquires {
+			for _, h := range ha.held {
+				edges = append(edges, lockEdge{from: h, to: ha.key, p: lf.p, pos: ha.pos})
+			}
+		}
+		covered := lockorderScope[lf.p.Rel]
+		for _, hc := range lf.heldCalls {
+			for a := range transAcq[hc.key] {
+				for _, h := range hc.held {
+					edges = append(edges, lockEdge{from: h, to: a, p: lf.p, pos: hc.pos,
+						via: hc.name})
+				}
+			}
+			switch {
+			case hc.name == "<send>": // recorded only where lockdiscipline does not run
+				report(lf.p, hc.pos,
+					"channel send with %s held: a blocked receiver deadlocks the lock owner; buffer and send after unlocking",
+					strings.Join(hc.held, ", "))
+			case hc.isEmit && !covered:
+				report(lf.p, hc.pos,
+					"sink Emit called with %s held: the sink takes its own locks and may call back; buffer events and flush after unlocking",
+					strings.Join(hc.held, ", "))
+			case hc.key == "":
+				// Dynamic or extra-module call: nothing known about it here;
+				// lockdiscipline flags function-value calls where it runs.
+			default:
+				callee := facts[hc.key]
+				if reason := escape[hc.key]; reason != "" {
+					// Same-package escapes in serve/obs are lockdiscipline's
+					// report; everything cross-package (and everything in
+					// sched/gpusim) is ours.
+					samePkg := callee != nil && callee.p.Path == lf.p.Path
+					if !(samePkg && covered) {
+						report(lf.p, hc.pos,
+							"call to %s with %s held reaches an escape: it %s; buffer under the lock and flush after unlocking",
+							hc.name, strings.Join(hc.held, ", "), reason)
+					}
+				}
+			}
+		}
+	}
+	reportLockCycles(edges, report)
+}
+
+// scanLockFacts runs one flow-sensitive pass (the lockdiscipline scanner
+// with recording hooks) plus one syntactic pass over a function body.
+func scanLockFacts(p *Package, fd *ast.FuncDecl, fn *types.Func) *lockFacts {
+	lf := &lockFacts{p: p, name: shortFuncKey(fn), acquires: map[string]bool{}}
+	local := p.Types.Name() + "." + lf.name // prefix for function-local mutexes
+
+	keyFor := func(sel *ast.SelectorExpr) string {
+		return canonicalLockKey(p, sel, local)
+	}
+	directCovered := lockorderScope[p.Rel]
+	s := &lockScanner{
+		p:      p,
+		keyFor: keyFor,
+		onAcquire: func(key string, pos token.Pos, held map[string]bool) {
+			lf.acquires[key] = true
+			if len(held) > 0 {
+				lf.heldAcquires = append(lf.heldAcquires,
+					heldAcquire{pos: pos, key: key, held: sortedKeys(held)})
+			}
+		},
+		onSend: func(pos token.Pos, held map[string]bool, inSelect bool) {
+			// Reported here only where lockdiscipline does not run.
+			if !directCovered {
+				lf.heldCalls = append(lf.heldCalls, heldCall{pos: pos, name: "<send>",
+					held: sortedKeys(held)})
+			}
+		},
+		onCall: func(call *ast.CallExpr, held map[string]bool) {
+			callee := calleeFunc(p.Info, call)
+			hc := heldCall{pos: call.Pos(), held: sortedKeys(held)}
+			if callee != nil {
+				hc.isEmit = isEmitMethod(callee)
+				hc.name = shortFuncKey(callee)
+				if callee.Pkg() != nil && sharesModule(callee.Pkg().Path(), p.Path) {
+					hc.key = funcKey(callee)
+				}
+			}
+			lf.heldCalls = append(lf.heldCalls, hc)
+		},
+	}
+	s.scanStmts(fd.Body.List, map[string]bool{})
+
+	// Syntactic pass: acquisitions and escapes anywhere in the body feed
+	// the summaries even when the flow walk loses track (e.g. locks taken
+	// under a branch the walk merged away keep their acquires entry).
+	syncInspect(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if lf.escape == "" {
+				lf.escape = "sends on a channel"
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(p.Info, n); callee != nil {
+				if isEmitMethod(callee) && lf.escape == "" {
+					lf.escape = "calls " + callee.Name()
+				}
+				if callee.Pkg() != nil && sharesModule(callee.Pkg().Path(), p.Path) {
+					lf.calls = append(lf.calls, callRef{n.Pos(), funcKey(callee), shortFuncKey(callee)})
+				}
+				if key, locks := lockMethod(p, n); locks {
+					lf.acquires[canonicalFromCall(p, n, key, local)] = true
+				}
+			}
+		}
+	})
+	return lf
+}
+
+// lockMethod reports whether call is a sync Lock/RLock and returns the raw
+// selector text.
+func lockMethod(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+func canonicalFromCall(p *Package, call *ast.CallExpr, raw, local string) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return canonicalLockKey(p, sel, local)
+	}
+	return raw
+}
+
+// canonicalLockKey names the mutex behind sel ("s.mu.Lock" receives the
+// s.mu selector) so every function agrees on one node per lock:
+// fields become "pkg.Type.field", package-level mutexes "pkg.name", and
+// function-local ones are prefixed with the owning function so unrelated
+// locals never alias.
+func canonicalLockKey(p *Package, sel *ast.SelectorExpr, local string) string {
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := p.Info.Types[x.X]; ok {
+			t := tv.Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + x.Name
+			}
+			return local + ":" + x.Name
+		}
+	}
+	return p.Types.Name() + "." + types.ExprString(sel.X)
+}
+
+// reportLockCycles finds strongly connected components of the acquisition
+// graph and reports each cyclic one once, at its lexically first edge.
+func reportLockCycles(edges []lockEdge, report ModuleReportFunc) {
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	// Self-loops are immediate deadlocks; report them directly.
+	selfReported := map[string]bool{}
+	for _, e := range edges {
+		if e.from == e.to && !selfReported[e.from] {
+			selfReported[e.from] = true
+			if e.via != "" {
+				report(e.p, e.pos, "%s re-acquired via %s while already held: sync mutexes are not reentrant, this deadlocks", e.to, e.via)
+			} else {
+				report(e.p, e.pos, "%s re-acquired while already held: sync mutexes are not reentrant, this deadlocks", e.to)
+			}
+		}
+	}
+	scc := stronglyConnected(adj)
+	for _, comp := range scc {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := map[string]bool{}
+		for _, k := range comp {
+			inComp[k] = true
+		}
+		// The report anchors at the first edge inside the component.
+		var first *lockEdge
+		for i := range edges {
+			e := &edges[i]
+			if e.from != e.to && inComp[e.from] && inComp[e.to] {
+				if first == nil || e.p.Fset.Position(e.pos).Filename < first.p.Fset.Position(first.pos).Filename ||
+					(e.p.Fset.Position(e.pos).Filename == first.p.Fset.Position(first.pos).Filename && e.pos < first.pos) {
+					first = e
+				}
+			}
+		}
+		if first == nil {
+			continue
+		}
+		sorted := append([]string(nil), comp...)
+		sort.Strings(sorted)
+		detail := ""
+		if first.via != "" {
+			detail = fmt.Sprintf(" (through %s)", first.via)
+		}
+		report(first.p, first.pos,
+			"lock-order cycle among {%s}: %s is acquired%s while %s is held here, and another path acquires them in the opposite order; pick one global order",
+			strings.Join(sorted, ", "), first.to, detail, first.from)
+	}
+}
+
+// stronglyConnected returns Tarjan's strongly connected components of the
+// graph, each as a slice of node keys.
+func stronglyConnected(adj map[string]map[string]bool) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := map[string]bool{}
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]string, 0, len(adj[v]))
+		for to := range adj[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// sortedKeys returns the keys of set in sorted order.
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

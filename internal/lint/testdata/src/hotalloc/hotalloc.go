@@ -1,0 +1,83 @@
+// Package hotalloc seeds every allocation shape the hotalloc rule flags —
+// composite literals, make, append-in-loop, capturing closures, interface
+// boxing, and transitive allocation through module-local helpers — plus
+// every sanctioned exemption, for the golden test.
+package hotalloc
+
+import "fmt"
+
+type thing struct{ id int }
+
+// grant exercises each direct allocation kind once.
+//
+//lint:hotpath fixture: pretend this is the grant loop
+func grant(n int) *thing {
+	t := &thing{id: n}
+	s := []int{1, 2, 3}
+	m := map[string]int{}
+	b := make([]byte, 8)
+	for i := 0; i < n; i++ {
+		s = append(s, i)
+	}
+	f := func() int { return n }
+	fmt.Printf("grant %d", n)
+	_, _, _, _ = s, m, b, f
+	return t
+}
+
+// helper allocates but is not itself hot: hot callers are flagged at the
+// call site with helper's reason.
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+//lint:hotpath fixture: transitive propagation through a cold helper
+func grantIndirect(n int) int {
+	return helper(n)[0]
+}
+
+// hotHelper is itself marked hot: its body carries the report, and call
+// sites in other hot functions are not re-flagged.
+//
+//lint:hotpath fixture: hot helpers are enforced in their own body
+func hotHelper(n int) []int {
+	return make([]int, n)
+}
+
+//lint:hotpath fixture: calling a hot helper is not re-flagged
+func grantHot(n int) int {
+	return hotHelper(n)[0]
+}
+
+// exempt stays silent: tracing-guarded formatting, panic arguments,
+// capture-free literals, and a multi-rule ignore directive.
+//
+//lint:hotpath fixture: sanctioned exemptions stay silent
+func exempt(tracing bool, n int) {
+	if tracing {
+		fmt.Printf("traced %d", n)
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n))
+	}
+	deferred := func() {}
+	deferred()
+	//lint:ignore hotalloc,msunits fixture: one directive may suppress several rules
+	suppressed := make([]int, n)
+	_ = suppressed
+}
+
+// unreasoned shows a directive without a reason: the directive itself is
+// reported and the allocation underneath is NOT suppressed.
+//
+//lint:hotpath fixture: unreasoned directives do not suppress
+func unreasoned(n int) []int {
+	//lint:ignore hotalloc
+	return make([]int, n)
+}
+
+// cold performs the same allocations with no hot mark and no hot caller:
+// zero diagnostics.
+func cold() []int {
+	return []int{1, 2}
+}

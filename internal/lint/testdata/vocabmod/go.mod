@@ -1,0 +1,3 @@
+module vocabmod
+
+go 1.22

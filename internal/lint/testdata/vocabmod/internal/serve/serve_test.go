@@ -1,0 +1,17 @@
+// In-package test file: LoadModule type-checks it as part of the augmented
+// serve unit, and the metric-family rule applies to tests too — a test
+// spelling a family by hand is exactly how dashboards drift.
+package serve
+
+import (
+	"testing"
+
+	"vocabmod/internal/obs"
+)
+
+func TestScrape(t *testing.T) {
+	var r obs.Registry
+	if r.Histogram("split_wait_ms") != 0 {
+		t.Fatal("unexpected")
+	}
+}

@@ -1,0 +1,17 @@
+// Package trace declares the shared vocabulary the vocab rule pins: event
+// kinds and drop reasons both layers must reference.
+package trace
+
+// EventKind names one scheduling event type.
+type EventKind string
+
+// KindGrant is the canonical grant event.
+const KindGrant EventKind = "grant"
+
+// Shared drop reasons. ReasonDeadline is spoken by both layers (clean);
+// ReasonCanceled is referenced only from the sim side, so the rule flags
+// the missing serve-side reference at this declaration.
+const (
+	ReasonDeadline = "deadline"
+	ReasonCanceled = "canceled"
+)

@@ -1,0 +1,33 @@
+package obs
+
+// Canonical metric family names. Every layer that registers or scrapes a
+// split_* family — the server, benchmarks, dashboards, tests — must spell
+// it through these constants; the vocab lint rule flags a raw "split_*"
+// literal at any Registry call site outside this package. A misspelled
+// family does not fail loudly: it registers a fresh, empty time series and
+// the dashboard quietly reads zeros.
+const (
+	// Scheduler-wide families.
+	MetricPreemptions      = "split_preemptions_total"
+	MetricBlockRetries     = "split_block_retries_total"
+	MetricQueueDepth       = "split_queue_depth"
+	MetricElasticSuppress  = "split_elastic_suppressed"
+	MetricViolationRate    = "split_rolling_violation_rate"
+	MetricJitterMs         = "split_rolling_jitter_ms"
+	MetricWaitMs           = "split_wait_ms"
+	MetricE2EMs            = "split_e2e_ms"
+	MetricResponseRatio    = "split_response_ratio"
+	MetricRequestsTotal    = "split_requests_total"
+	MetricCompletionsTotal = "split_completions_total"
+	MetricDropsTotal       = "split_drops_total"
+
+	// Per-device families, registered on multi-device fleets.
+	MetricDeviceQueueDepth = "split_device_queue_depth"
+	MetricDeviceBusyMs     = "split_device_busy_ms_total"
+	MetricDeviceBlocks     = "split_device_blocks_total"
+	MetricDeviceDrops      = "split_device_drops_total"
+
+	// Micro-batching families, registered when batching is enabled.
+	MetricBatchedBlocks = "split_batched_blocks_total"
+	MetricBatchSize     = "split_batch_size"
+)

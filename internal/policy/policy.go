@@ -63,20 +63,21 @@ func (c Catalog) BlocksFor(name string) []float64 {
 	return []float64{info.ExtMs}
 }
 
-// Request outcomes beyond successful service, mirroring the serving path's
-// split_drops_total reasons so sim and serve results line up label-for-label.
+// Request outcomes beyond successful service, aliasing the shared
+// trace.Reason* vocabulary the serving path's split_drops_total reasons
+// also use, so sim and serve results line up label-for-label.
 const (
 	// OutcomeServed marks a completed request (the zero value, so legacy
 	// construction sites keep producing served records).
 	OutcomeServed = ""
 	// OutcomeDeadline marks a request shed because its deadline passed (or,
 	// under predictive shedding, became unmeetable).
-	OutcomeDeadline = "deadline"
+	OutcomeDeadline = trace.ReasonDeadline
 	// OutcomeCanceled marks a request canceled by its client.
-	OutcomeCanceled = "canceled"
+	OutcomeCanceled = trace.ReasonCanceled
 	// OutcomeDeviceFault marks a request whose block kept failing past the
 	// injected-fault retry budget.
-	OutcomeDeviceFault = "device_fault"
+	OutcomeDeviceFault = trace.ReasonDeviceFault
 )
 
 // Record is the per-request outcome every system reports.

@@ -14,6 +14,8 @@ import (
 // Split is the paper's system: evenly-sized offline split plans, block-level
 // full preemption via the greedy response-ratio queue (Algorithm 1), and the
 // elastic splitting mechanism.
+//
+//lint:mirror split/internal/serve.Config
 type Split struct {
 	// Alpha is the latency-target multiplier used in scheduling decisions.
 	Alpha float64
@@ -24,6 +26,8 @@ type Split struct {
 	// remaining blocks re-enter the queue at the *back* instead of at their
 	// greedy position, so later blocks straggle behind newly arrived work.
 	// It exists only for the Figure 3 ablation.
+	//
+	//lint:mirror-exempt figure-3 ablation knob; the serving path only ships full preemption
 	PartialPreemption bool
 	// StarveGuardRR, when > 0, enables the starvation-guard extension: a
 	// waiting request whose predicted response ratio already reaches this
@@ -87,7 +91,8 @@ func (s *Split) Name() string {
 }
 
 // device is one fleet member's scheduling state: the gpusim timeline plus
-// the per-device queue and token holder.
+// the per-device queue, token holder, and the reusable grant state that
+// keeps the steady-state grant loop allocation-free.
 type device struct {
 	d        *gpusim.Device
 	queue    *sched.Queue
@@ -95,6 +100,13 @@ type device struct {
 	// batch is the full membership of the current device grant when it is a
 	// micro-batch (inflight is then the leader); nil for scalar grants.
 	batch []*sched.Request
+	// scratch is the batch-formation buffer FormInto reuses across grants.
+	scratch []*sched.Request
+	// g is the device's single in-flight grant. One device holds at most
+	// one grant at a time (Acquire panics otherwise), so its state —
+	// including the timer callback bound once at setup — is reused for
+	// every hold instead of allocating closures per block.
+	g grant
 }
 
 // executing reports whether r currently holds (or shares) the device grant.
@@ -108,6 +120,53 @@ func (dv *device) executing(r *sched.Request) bool {
 		}
 	}
 	return false
+}
+
+// splitRun is the per-Run state shared by the grant path. Hoisting it out
+// of Run-scoped closures is what lets the block-boundary loop run without
+// touching the allocator: the closures the previous implementation rebuilt
+// per grant (endBlock, attemptRun, the sim.After thunk) are methods here
+// and on grant.
+type splitRun struct {
+	cfg *Split
+	sim *gpusim.Sim
+	tr  *trace.Tracer
+	// tracing gates every event-formatting call on the grant path; the
+	// Tracer is nil-safe, but the format arguments would box and allocate
+	// even for a nil tracer if built unconditionally.
+	tracing   bool
+	placer    place.Placer
+	devs      []*device
+	live      map[int]*sched.Request
+	records   []Record
+	planner   sched.BatchPlanner
+	batchCost gpusim.BatchCost
+	batchSeq  int // batch ids start at 1; 0 marks unbatched trace events
+	// view is the fleet-load scratch fleetView refills per placement
+	// decision.
+	view []place.Load
+}
+
+// grant is one boundary-delimited device hold: the leader request, the
+// optional batch membership, the block being executed, and the fault-retry
+// state. It is embedded in device and reused across holds; timer is the
+// sim.After callback, bound once at setup.
+type grant struct {
+	rn *splitRun
+	dv *device
+	// r is the granted request — the batch leader when batch is non-nil.
+	r     *sched.Request
+	batch []*sched.Request
+	// id is the batch id (0 for scalar grants).
+	id      int
+	block   int
+	baseDur float64
+	// runDur is the per-attempt device time: baseDur for scalar grants,
+	// batchCost.BlockMs(baseDur, n) for batched ones.
+	runDur  float64
+	attempt int
+	fault   gpusim.BlockFault
+	timer   func(now float64)
 }
 
 // Run implements System. With Devices > 1 it runs the full fleet pipeline —
@@ -127,332 +186,421 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 	}
 	sim := gpusim.New()
 	pool := gpusim.NewDevicePool(sim, n, s.Faults)
-	devs := make([]*device, n)
-	for i := range devs {
+	rn := &splitRun{
+		cfg:     s,
+		sim:     sim,
+		tr:      tr,
+		tracing: tr != nil,
+		placer:  placer,
+		devs:    make([]*device, n),
+		// live tracks undecided requests (queued or in flight) for the
+		// cancellation hook, which routes by the request's placed device.
+		live:      make(map[int]*sched.Request, 8),
+		planner:   sched.BatchPlanner{Max: s.BatchMax},
+		batchCost: s.BatchCost.OrDefault(),
+		view:      make([]place.Load, n),
+	}
+	for i := range rn.devs {
 		q := sched.NewQueue(s.Alpha)
 		q.StarveGuardRR = s.StarveGuardRR
-		devs[i] = &device{d: pool.Device(i), queue: q}
-	}
-
-	var records []Record
-	// live tracks undecided requests (queued or in flight) for the
-	// cancellation hook, which routes by the request's placed device.
-	live := make(map[int]*sched.Request, 8)
-
-	record := func(r *sched.Request, doneMs float64, outcome string) {
-		delete(live, r.ID)
-		records = append(records, Record{
-			ID:          r.ID,
-			Model:       r.Model,
-			Class:       r.Class,
-			ArriveMs:    r.ArriveMs,
-			StartMs:     r.StartMs,
-			DoneMs:      doneMs,
-			ExtMs:       r.ExtMs,
-			Preemptions: r.Preemptions,
-			Split:       len(r.BlockTimes) > 1,
-			Outcome:     outcome,
-			Device:      r.Device,
-		})
-	}
-	shed := func(now float64, r *sched.Request, outcome string) {
-		tr.DeviceRecordf(now, trace.Shed, r.Device, r.ID, r.Model, r.Next, "%s", outcome)
-		record(r, now, outcome)
-	}
-
-	planner := sched.BatchPlanner{Max: s.BatchMax}
-	batchCost := s.BatchCost.OrDefault()
-	batchSeq := 0 // batch ids start at 1; 0 marks unbatched trace events
-
-	var startNext func(dv *device, now float64)
-	var runBatch func(dv *device, now float64, batch []*sched.Request)
-	startNext = func(dv *device, now float64) {
-		// Shed doomed queued work before granting the token — an expired
-		// request must never occupy the device for another block. This
-		// mirrors serve.(*Server).pickLocked.
-		for _, ex := range dv.queue.SweepExpired(now, s.PredictiveShed) {
-			shed(now, ex, OutcomeDeadline)
-		}
-		r := dv.queue.PopFront()
-		if r == nil {
-			dv.inflight = nil
-			return
-		}
-		if planner.Enabled() {
-			if batch := planner.Form(dv.queue, r, now); len(batch) > 1 {
-				runBatch(dv, now, batch)
-				return
-			}
-		}
-		dv.d.Acquire(now)
-		dv.inflight = r
-		if r.StartMs < 0 {
-			r.StartMs = now
-		}
-		block := r.Next
-		baseDur := r.BlockTimes[block]
-		r.Next++
-		tr.DeviceRecordf(now, trace.StartBlock, r.Device, r.ID, r.Model, block, "dur=%.3f", baseDur)
-
-		// endBlock closes the device hold at a boundary, whatever the
-		// block's fate; every exit path below runs it exactly once.
-		endBlock := func(now float64) {
-			tr.DeviceRecordf(now, trace.EndBlock, r.Device, r.ID, r.Model, block, "")
-			dv.d.Release(now)
-			dv.inflight = nil
-		}
-
-		// Execute the block, retrying injected transient failures within
-		// the fault budget; each attempt spends device time.
-		var attemptRun func(now float64, attempt int)
-		attemptRun = func(now float64, attempt int) {
-			fault := dv.d.Faults.Draw(r.ID, block, attempt)
-			if fault.SpikeFactor > 1 {
-				tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, block,
-					"spike x%.2f attempt=%d", fault.SpikeFactor, attempt)
-			}
-			sim.After(baseDur*fault.SpikeFactor, func(now float64) {
-				if fault.Fail {
-					if dv.d.Faults.Exhausted(attempt) {
-						tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, block, "terminal after %d attempts", attempt+1)
-						endBlock(now)
-						shed(now, r, OutcomeDeviceFault)
-						startNext(dv, now)
-						return
-					}
-					// An attempt boundary is a block boundary for lifecycle
-					// purposes: re-check the request's fate before spending
-					// more device time on it.
-					if r.Canceled || r.Expired(now) {
-						endBlock(now)
-						outcome := OutcomeDeadline
-						if r.Canceled {
-							outcome = OutcomeCanceled
-						}
-						shed(now, r, outcome)
-						startNext(dv, now)
-						return
-					}
-					tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, block, "transient attempt=%d, retrying", attempt)
-					attemptRun(now, attempt+1)
-					return
-				}
-				endBlock(now)
-				switch {
-				case r.Finished():
-					// Work is done — deliver even if canceled meanwhile.
-					r.DoneMs = now
-					tr.DeviceRecordf(now, trace.Complete, r.Device, r.ID, r.Model, block, "rr=%.2f", r.ResponseRatio())
-					record(r, now, OutcomeServed)
-				case r.Canceled:
-					shed(now, r, OutcomeCanceled)
-				case r.Expired(now):
-					shed(now, r, OutcomeDeadline)
-				default:
-					var pos int
-					if s.PartialPreemption {
-						dv.queue.PushBack(r)
-						pos = dv.queue.Len() - 1
-					} else {
-						pos = dv.queue.InsertGreedy(now, r)
-					}
-					if pos > 0 {
-						r.Preemptions++
-						tr.DeviceRecordf(now, trace.Preempt, r.Device, r.ID, r.Model, r.Next, "requeued at %d", pos)
-					}
-				}
-				startNext(dv, now)
-			})
-		}
-		attemptRun(now, 0)
-	}
-
-	// runBatch executes one batched device grant: every member advances the
-	// same block index in one boundary-delimited hold that costs
-	// batchCost.BlockMs(base, n) instead of n serial blocks. Faults draw on
-	// the leader's identity so a batch-of-one replays the scalar schedule; a
-	// terminal fault takes the whole batch down, matching the serving path.
-	runBatch = func(dv *device, now float64, batch []*sched.Request) {
-		n := len(batch)
-		batchSeq++
-		id := batchSeq
-		lead := batch[0]
-		block := lead.Next
-		baseDur := lead.BlockTimes[block]
-		runDur := batchCost.BlockMs(baseDur, n)
-		dv.d.AcquireBatch(now, n)
-		dv.inflight = lead
-		dv.batch = batch
-		for _, m := range batch {
-			if m.StartMs < 0 {
-				m.StartMs = now
-			}
-			m.Next++
-			tr.Record(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: m.ID,
-				Model: m.Model, Block: block, Device: m.Device, Batch: id,
-				Detail: fmt.Sprintf("dur=%.3f n=%d", runDur, n)})
-		}
-
-		endBatch := func(now float64) {
-			for _, m := range batch {
-				tr.Record(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: m.ID,
-					Model: m.Model, Block: block, Device: m.Device, Batch: id})
-			}
-			dv.d.Release(now)
-			dv.inflight = nil
-			dv.batch = nil
-		}
-
-		var attemptRun func(now float64, attempt int)
-		attemptRun = func(now float64, attempt int) {
-			fault := dv.d.Faults.Draw(lead.ID, block, attempt)
-			if fault.SpikeFactor > 1 {
-				tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, block,
-					"spike x%.2f attempt=%d", fault.SpikeFactor, attempt)
-			}
-			sim.After(runDur*fault.SpikeFactor, func(now float64) {
-				if fault.Fail {
-					if dv.d.Faults.Exhausted(attempt) {
-						tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, block,
-							"terminal after %d attempts", attempt+1)
-						endBatch(now)
-						for _, m := range batch {
-							shed(now, m, OutcomeDeviceFault)
-						}
-						startNext(dv, now)
-						return
-					}
-					// Unlike the scalar path there is no mid-retry abandon:
-					// one member's cancellation or expiry must not discard the
-					// batch-mates' attempt. Their fates settle at the boundary.
-					tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, block,
-						"transient attempt=%d, retrying", attempt)
-					attemptRun(now, attempt+1)
-					return
-				}
-				endBatch(now)
-				for _, m := range batch {
-					switch {
-					case m.Finished():
-						m.DoneMs = now
-						tr.DeviceRecordf(now, trace.Complete, m.Device, m.ID, m.Model, block, "rr=%.2f", m.ResponseRatio())
-						record(m, now, OutcomeServed)
-					case m.Canceled:
-						shed(now, m, OutcomeCanceled)
-					case m.Expired(now):
-						shed(now, m, OutcomeDeadline)
-					default:
-						var pos int
-						if s.PartialPreemption {
-							dv.queue.PushBack(m)
-							pos = dv.queue.Len() - 1
-						} else {
-							pos = dv.queue.InsertGreedy(now, m)
-						}
-						if pos > 0 {
-							m.Preemptions++
-							tr.DeviceRecordf(now, trace.Preempt, m.Device, m.ID, m.Model, m.Next, "requeued at %d", pos)
-						}
-					}
-				}
-				startNext(dv, now)
-			})
-		}
-		attemptRun(now, 0)
-	}
-
-	// fleetView snapshots every device's placement-relevant load. Both
-	// sides of the parity guarantee compute the in-flight remainder the
-	// same way: the executing request's uncommitted blocks.
-	fleetView := func() []place.Load {
-		view := make([]place.Load, len(devs))
-		for i, dv := range devs {
-			view[i] = place.Load{
-				Device:   i,
-				Queued:   dv.queue.Len(),
-				QueuedMs: dv.queue.TotalRemainingMs(),
-				Busy:     dv.d.Busy(),
-			}
-			if dv.inflight != nil {
-				view[i].InflightMs = dv.inflight.RemainingMs()
-			}
-		}
-		return view
+		dv := &device{d: pool.Device(i), queue: q}
+		dv.g.rn = rn
+		dv.g.dv = dv
+		dv.g.timer = dv.g.onTimer
+		rn.devs[i] = dv
 	}
 
 	for _, a := range arrivals {
 		a := a
-		sim.At(a.AtMs, func(now float64) {
-			info := catalog[a.Model]
-			plan := catalog.BlocksFor(a.Model)
-			planned := 0.0
-			for _, b := range plan {
-				planned += b
-			}
-			view := fleetView()
-			devID := placer.Place(place.Request{
-				ID: a.ID, Model: a.Model, ExtMs: info.ExtMs, PlannedMs: planned,
-			}, view)
-			if devID < 0 || devID >= len(devs) {
-				panic(fmt.Sprintf("policy: placer %q chose device %d of %d", placer.Name(), devID, len(devs)))
-			}
-			dv := devs[devID]
-			if len(devs) > 1 {
-				tr.Record(trace.Event{AtMs: now, Kind: trace.Place, ReqID: a.ID, Model: a.Model,
-					Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", placer.Name(), view[devID].Queued)})
-			}
-			blocks := plan
-			if len(blocks) > 1 && !s.Elastic.ShouldSplitWith(dv.queue, a.Model, dv.inflight) {
-				blocks = []float64{info.ExtMs}
-			}
-			r := sched.NewRequest(a.ID, a.Model, info.Class, now, info.ExtMs, blocks)
-			r.Device = devID
-			if alpha, ok := s.AlphaByClass[info.Class]; ok {
-				r.AlphaOverride = alpha
-			}
-			if a.DeadlineMs > 0 {
-				r.DeadlineMs = now + a.DeadlineMs
-			} else if s.EnforceDeadlines {
-				r.SetDeadline(s.Alpha)
-			}
-			live[r.ID] = r
-			var pos int
-			if tr != nil { // tracer active: record Algorithm 1's scan length
-				var decisions []sched.Decision
-				pos, decisions = dv.queue.InsertGreedyExplain(now, r)
-				tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0,
-					"pos=%d blocks=%d scanned=%d qlen=%d", pos, len(blocks), len(decisions), dv.queue.Len()-1)
-			} else {
-				pos = dv.queue.InsertGreedy(now, r)
-				tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0, "pos=%d blocks=%d", pos, len(blocks))
-			}
-			if !dv.d.Busy() {
-				startNext(dv, now)
-			}
-		})
+		sim.At(a.AtMs, func(now float64) { rn.arrive(a, catalog, now) })
 		if a.CancelAtMs > 0 {
 			id := a.ID
-			sim.At(a.CancelAtMs, func(now float64) {
-				r := live[id]
-				if r == nil {
-					return // already completed or shed
-				}
-				dv := devs[r.Device]
-				if removed := dv.queue.Remove(id); removed != nil {
-					r.Canceled = true
-					tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "queued")
-					shed(now, r, OutcomeCanceled)
-					return
-				}
-				// In flight (scalar or batch member): shed at the next
-				// block boundary.
-				if dv.executing(r) && !r.Canceled {
-					r.Canceled = true
-					tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "inflight")
-				}
-			})
+			sim.At(a.CancelAtMs, func(now float64) { rn.cancel(id, now) })
 		}
 	}
 	sim.Run()
-	return sortRecords(records)
+	return sortRecords(rn.records)
+}
+
+// record finalizes a request's outcome.
+func (rn *splitRun) record(r *sched.Request, doneMs float64, outcome string) {
+	delete(rn.live, r.ID)
+	rn.records = append(rn.records, Record{
+		ID:          r.ID,
+		Model:       r.Model,
+		Class:       r.Class,
+		ArriveMs:    r.ArriveMs,
+		StartMs:     r.StartMs,
+		DoneMs:      doneMs,
+		ExtMs:       r.ExtMs,
+		Preemptions: r.Preemptions,
+		Split:       len(r.BlockTimes) > 1,
+		Outcome:     outcome,
+		Device:      r.Device,
+	})
+}
+
+// shed records a non-served outcome.
+//
+//lint:hotpath deadline sweeps shed on the grant path at every boundary
+func (rn *splitRun) shed(now float64, r *sched.Request, outcome string) {
+	if rn.tracing {
+		rn.tr.DeviceRecordf(now, trace.Shed, r.Device, r.ID, r.Model, r.Next, "%s", outcome)
+	}
+	rn.record(r, now, outcome)
+}
+
+// startNext grants the device to the next runnable request, forming a
+// micro-batch when the planner allows one.
+//
+//lint:hotpath the grant decision runs at every block boundary
+func (rn *splitRun) startNext(dv *device, now float64) {
+	// Shed doomed queued work before granting the token — an expired
+	// request must never occupy the device for another block. This
+	// mirrors serve.(*Server).pickLocked.
+	//lint:ignore hotalloc SweepExpired allocates only when something actually expired — the shed path, not the steady grant loop
+	for _, ex := range dv.queue.SweepExpired(now, rn.cfg.PredictiveShed) {
+		rn.shed(now, ex, OutcomeDeadline)
+	}
+	r := dv.queue.PopFront()
+	if r == nil {
+		dv.inflight = nil
+		return
+	}
+	if rn.planner.Enabled() {
+		batch := rn.planner.FormInto(dv.scratch[:0], dv.queue, r, now)
+		dv.scratch = batch
+		if len(batch) > 1 {
+			rn.runBatch(dv, now, batch)
+			return
+		}
+	}
+	dv.d.Acquire(now)
+	dv.inflight = r
+	if r.StartMs < 0 {
+		r.StartMs = now
+	}
+	g := &dv.g
+	g.r = r
+	g.batch = nil
+	g.id = 0
+	g.block = r.Next
+	g.baseDur = r.BlockTimes[g.block]
+	g.runDur = g.baseDur
+	g.attempt = 0
+	r.Next++
+	if rn.tracing {
+		rn.tr.DeviceRecordf(now, trace.StartBlock, r.Device, r.ID, r.Model, g.block, "dur=%.3f", g.baseDur)
+	}
+	g.begin(now)
+}
+
+// runBatch executes one batched device grant: every member advances the
+// same block index in one boundary-delimited hold that costs
+// batchCost.BlockMs(base, n) instead of n serial blocks. Faults draw on
+// the leader's identity so a batch-of-one replays the scalar schedule; a
+// terminal fault takes the whole batch down, matching the serving path.
+//
+//lint:hotpath batched grants run at block boundaries when batching is on
+func (rn *splitRun) runBatch(dv *device, now float64, batch []*sched.Request) {
+	n := len(batch)
+	rn.batchSeq++
+	lead := batch[0]
+	g := &dv.g
+	g.r = lead
+	g.batch = batch
+	g.id = rn.batchSeq
+	g.block = lead.Next
+	g.baseDur = lead.BlockTimes[g.block]
+	g.runDur = rn.batchCost.BlockMs(g.baseDur, n)
+	g.attempt = 0
+	dv.d.AcquireBatch(now, n)
+	dv.inflight = lead
+	dv.batch = batch
+	for _, m := range batch {
+		if m.StartMs < 0 {
+			m.StartMs = now
+		}
+		m.Next++
+		if rn.tracing {
+			rn.tr.Record(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: m.ID,
+				Model: m.Model, Block: g.block, Device: m.Device, Batch: g.id,
+				Detail: fmt.Sprintf("dur=%.3f n=%d", g.runDur, n)})
+		}
+	}
+	g.begin(now)
+}
+
+// begin starts one execution attempt of the granted block: it draws the
+// attempt's fault and schedules the boundary timer for the (possibly
+// spiked) block duration.
+//
+//lint:hotpath every device hold schedules its boundary timer here
+func (g *grant) begin(now float64) {
+	rn := g.rn
+	g.fault = g.dv.d.Faults.Draw(g.r.ID, g.block, g.attempt)
+	if g.fault.SpikeFactor > 1 && rn.tracing {
+		rn.tr.DeviceRecordf(now, trace.Fault, g.r.Device, g.r.ID, g.r.Model, g.block,
+			"spike x%.2f attempt=%d", g.fault.SpikeFactor, g.attempt)
+	}
+	rn.sim.After(g.runDur*g.fault.SpikeFactor, g.timer)
+}
+
+// onTimer is the boundary callback for every device hold; it dispatches to
+// the scalar or batched settlement.
+//
+//lint:hotpath block-boundary settlement for every device hold
+func (g *grant) onTimer(now float64) {
+	if g.batch == nil {
+		g.settleScalar(now)
+	} else {
+		g.settleBatch(now)
+	}
+}
+
+// endBlock closes a scalar device hold at a boundary, whatever the block's
+// fate; every settlement path runs it exactly once.
+//
+//lint:hotpath closes the device hold at every scalar boundary
+func (g *grant) endBlock(now float64) {
+	if g.rn.tracing {
+		g.rn.tr.DeviceRecordf(now, trace.EndBlock, g.r.Device, g.r.ID, g.r.Model, g.block, "")
+	}
+	g.dv.d.Release(now)
+	g.dv.inflight = nil
+}
+
+// settleScalar decides a scalar block's fate at its boundary: retry a
+// transient fault, shed a terminal/canceled/expired request, deliver a
+// finished one, or re-insert the remainder (full preemption).
+//
+//lint:hotpath scalar settlement runs at every block boundary
+func (g *grant) settleScalar(now float64) {
+	rn, dv, r := g.rn, g.dv, g.r
+	if g.fault.Fail {
+		if dv.d.Faults.Exhausted(g.attempt) {
+			if rn.tracing {
+				rn.tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, g.block, "terminal after %d attempts", g.attempt+1)
+			}
+			g.endBlock(now)
+			rn.shed(now, r, OutcomeDeviceFault)
+			rn.startNext(dv, now)
+			return
+		}
+		// An attempt boundary is a block boundary for lifecycle
+		// purposes: re-check the request's fate before spending
+		// more device time on it.
+		if r.Canceled || r.Expired(now) {
+			g.endBlock(now)
+			outcome := OutcomeDeadline
+			if r.Canceled {
+				outcome = OutcomeCanceled
+			}
+			rn.shed(now, r, outcome)
+			rn.startNext(dv, now)
+			return
+		}
+		if rn.tracing {
+			rn.tr.DeviceRecordf(now, trace.Fault, r.Device, r.ID, r.Model, g.block, "transient attempt=%d, retrying", g.attempt)
+		}
+		g.attempt++
+		g.begin(now)
+		return
+	}
+	g.endBlock(now)
+	switch {
+	case r.Finished():
+		// Work is done — deliver even if canceled meanwhile.
+		r.DoneMs = now
+		if rn.tracing {
+			rn.tr.DeviceRecordf(now, trace.Complete, r.Device, r.ID, r.Model, g.block, "rr=%.2f", r.ResponseRatio())
+		}
+		rn.record(r, now, OutcomeServed)
+	case r.Canceled:
+		rn.shed(now, r, OutcomeCanceled)
+	case r.Expired(now):
+		rn.shed(now, r, OutcomeDeadline)
+	default:
+		var pos int
+		if rn.cfg.PartialPreemption {
+			dv.queue.PushBack(r)
+			pos = dv.queue.Len() - 1
+		} else {
+			pos = dv.queue.InsertGreedy(now, r)
+		}
+		if pos > 0 {
+			r.Preemptions++
+			if rn.tracing {
+				rn.tr.DeviceRecordf(now, trace.Preempt, r.Device, r.ID, r.Model, r.Next, "requeued at %d", pos)
+			}
+		}
+	}
+	rn.startNext(dv, now)
+}
+
+// endBatch closes a batched device hold at a boundary.
+//
+//lint:hotpath closes the device hold at every batched boundary
+func (g *grant) endBatch(now float64) {
+	if g.rn.tracing {
+		for _, m := range g.batch {
+			g.rn.tr.Record(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: m.ID,
+				Model: m.Model, Block: g.block, Device: m.Device, Batch: g.id})
+		}
+	}
+	g.dv.d.Release(now)
+	g.dv.inflight = nil
+	g.dv.batch = nil
+}
+
+// settleBatch decides a batched block's fate at its boundary. Unlike the
+// scalar path there is no mid-retry abandon: one member's cancellation or
+// expiry must not discard the batch-mates' attempt. Their fates settle at
+// the boundary.
+//
+//lint:hotpath batched settlement runs at every batched block boundary
+func (g *grant) settleBatch(now float64) {
+	rn, dv, lead := g.rn, g.dv, g.r
+	if g.fault.Fail {
+		if dv.d.Faults.Exhausted(g.attempt) {
+			if rn.tracing {
+				rn.tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, g.block,
+					"terminal after %d attempts", g.attempt+1)
+			}
+			g.endBatch(now)
+			for _, m := range g.batch {
+				rn.shed(now, m, OutcomeDeviceFault)
+			}
+			rn.startNext(dv, now)
+			return
+		}
+		if rn.tracing {
+			rn.tr.DeviceRecordf(now, trace.Fault, lead.Device, lead.ID, lead.Model, g.block,
+				"transient attempt=%d, retrying", g.attempt)
+		}
+		g.attempt++
+		g.begin(now)
+		return
+	}
+	g.endBatch(now)
+	for _, m := range g.batch {
+		switch {
+		case m.Finished():
+			m.DoneMs = now
+			if rn.tracing {
+				rn.tr.DeviceRecordf(now, trace.Complete, m.Device, m.ID, m.Model, g.block, "rr=%.2f", m.ResponseRatio())
+			}
+			rn.record(m, now, OutcomeServed)
+		case m.Canceled:
+			rn.shed(now, m, OutcomeCanceled)
+		case m.Expired(now):
+			rn.shed(now, m, OutcomeDeadline)
+		default:
+			var pos int
+			if rn.cfg.PartialPreemption {
+				dv.queue.PushBack(m)
+				pos = dv.queue.Len() - 1
+			} else {
+				pos = dv.queue.InsertGreedy(now, m)
+			}
+			if pos > 0 {
+				m.Preemptions++
+				if rn.tracing {
+					rn.tr.DeviceRecordf(now, trace.Preempt, m.Device, m.ID, m.Model, m.Next, "requeued at %d", pos)
+				}
+			}
+		}
+	}
+	rn.startNext(dv, now)
+}
+
+// fleetView snapshots every device's placement-relevant load into the
+// reusable view buffer. Both sides of the parity guarantee compute the
+// in-flight remainder the same way: the executing request's uncommitted
+// blocks.
+func (rn *splitRun) fleetView() []place.Load {
+	for i, dv := range rn.devs {
+		rn.view[i] = place.Load{
+			Device:   i,
+			Queued:   dv.queue.Len(),
+			QueuedMs: dv.queue.TotalRemainingMs(),
+			Busy:     dv.d.Busy(),
+		}
+		if dv.inflight != nil {
+			rn.view[i].InflightMs = dv.inflight.RemainingMs()
+		}
+	}
+	return rn.view
+}
+
+// arrive admits one arrival: placement, elastic split decision, deadline
+// derivation, and the Algorithm 1 insertion.
+func (rn *splitRun) arrive(a workload.Arrival, catalog Catalog, now float64) {
+	s := rn.cfg
+	info := catalog[a.Model]
+	plan := catalog.BlocksFor(a.Model)
+	planned := 0.0
+	for _, b := range plan {
+		planned += b
+	}
+	view := rn.fleetView()
+	devID := rn.placer.Place(place.Request{
+		ID: a.ID, Model: a.Model, ExtMs: info.ExtMs, PlannedMs: planned,
+	}, view)
+	if devID < 0 || devID >= len(rn.devs) {
+		panic(fmt.Sprintf("policy: placer %q chose device %d of %d", rn.placer.Name(), devID, len(rn.devs)))
+	}
+	dv := rn.devs[devID]
+	if len(rn.devs) > 1 {
+		rn.tr.Record(trace.Event{AtMs: now, Kind: trace.Place, ReqID: a.ID, Model: a.Model,
+			Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", rn.placer.Name(), view[devID].Queued)})
+	}
+	blocks := plan
+	if len(blocks) > 1 && !s.Elastic.ShouldSplitWith(dv.queue, a.Model, dv.inflight) {
+		blocks = []float64{info.ExtMs}
+	}
+	r := sched.NewRequest(a.ID, a.Model, info.Class, now, info.ExtMs, blocks)
+	r.Device = devID
+	if alpha, ok := s.AlphaByClass[info.Class]; ok {
+		r.AlphaOverride = alpha
+	}
+	if a.DeadlineMs > 0 {
+		r.DeadlineMs = now + a.DeadlineMs
+	} else if s.EnforceDeadlines {
+		r.SetDeadline(s.Alpha)
+	}
+	rn.live[r.ID] = r
+	var pos int
+	if rn.tracing { // tracer active: record Algorithm 1's scan length
+		var decisions []sched.Decision
+		pos, decisions = dv.queue.InsertGreedyExplain(now, r)
+		rn.tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0,
+			"pos=%d blocks=%d scanned=%d qlen=%d", pos, len(blocks), len(decisions), dv.queue.Len()-1)
+	} else {
+		pos = dv.queue.InsertGreedy(now, r)
+		rn.tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0, "pos=%d blocks=%d", pos, len(blocks))
+	}
+	if !dv.d.Busy() {
+		rn.startNext(dv, now)
+	}
+}
+
+// cancel handles a cancellation hook firing at its scheduled time.
+func (rn *splitRun) cancel(id int, now float64) {
+	r := rn.live[id]
+	if r == nil {
+		return // already completed or shed
+	}
+	dv := rn.devs[r.Device]
+	if removed := dv.queue.Remove(id); removed != nil {
+		r.Canceled = true
+		rn.tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "queued")
+		rn.shed(now, r, OutcomeCanceled)
+		return
+	}
+	// In flight (scalar or batch member): shed at the next block boundary.
+	if dv.executing(r) && !r.Canceled {
+		r.Canceled = true
+		rn.tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "inflight")
+	}
 }

@@ -61,8 +61,20 @@ func joinable(head, next *Request, nowMs float64) bool {
 // when SameTypeCount sees a same-model waiting neighbor. With Max <= 1, or
 // no run, Form returns just the head and the queue is untouched — the
 // disabled path costs one length check.
+//
+// Form allocates a fresh slice per grant; grant loops should call FormInto
+// with a per-device scratch buffer instead.
 func (p BatchPlanner) Form(q *Queue, head *Request, nowMs float64) []*Request {
-	batch := []*Request{head}
+	return p.FormInto(nil, q, head, nowMs)
+}
+
+// FormInto is Form appending into dst (normally a per-device scratch
+// buffer resliced to zero length), so steady-state grants reuse one
+// backing array instead of allocating per block.
+//
+//lint:hotpath batch formation runs at every device grant
+func (p BatchPlanner) FormInto(dst []*Request, q *Queue, head *Request, nowMs float64) []*Request {
+	batch := append(dst, head)
 	if p.Max <= 1 || q.Len() == 0 {
 		return batch
 	}
@@ -75,6 +87,7 @@ func (p BatchPlanner) Form(q *Queue, head *Request, nowMs float64) []*Request {
 		return batch // no same-type run at the front (§3.3 signal)
 	}
 	for len(batch) < p.Max && q.Len() > 0 && joinable(head, q.At(0), nowMs) {
+		//lint:ignore hotalloc bounded by Max: the scratch buffer stops growing after the first full batch
 		batch = append(batch, q.PopFront())
 	}
 	return batch

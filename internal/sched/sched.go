@@ -216,6 +216,8 @@ func (q *Queue) Requests() []*Request { return q.reqs }
 // request) and the backing array is reallocated once the dead head region
 // it strands outgrows the live queue — without both, sustained traffic
 // retains every popped *Request and grows the head region without bound.
+//
+//lint:hotpath every device grant starts by popping the queue front
 func (q *Queue) PopFront() *Request {
 	if len(q.reqs) == 0 {
 		return nil
@@ -225,6 +227,7 @@ func (q *Queue) PopFront() *Request {
 	q.reqs = q.reqs[1:]
 	q.popped++
 	if q.popped >= compactMinPops && q.popped > len(q.reqs) {
+		//lint:ignore hotalloc compaction is the amortized anti-leak reallocation: at most one make per len(queue) pops
 		q.compact()
 	}
 	return r
@@ -342,6 +345,8 @@ func (q *Queue) TotalRemainingMs() float64 {
 // instrumented variant (InsertGreedyExplain) and real-time callers that log
 // predicted ratios at decision time. It returns the chosen position
 // (0 = front).
+//
+//lint:hotpath Algorithm 1 runs on every arrival and every block-boundary re-insertion
 func (q *Queue) InsertGreedy(nowMs float64, r *Request) int {
 	pos := q.fifoCeiling(r)
 	for pos > 0 {
@@ -362,6 +367,7 @@ func (q *Queue) InsertGreedy(nowMs float64, r *Request) int {
 		pos--
 	}
 	q.insertAt(pos, r)
+	//lint:ignore hotalloc emitEnqueue only allocates when a live sink is attached; nil-guarded inside
 	q.emitEnqueue(nowMs, r, pos)
 	return pos
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"split/internal/obs"
 	"split/internal/policy"
 	"split/internal/sched"
 	"split/internal/trace"
@@ -94,14 +95,14 @@ func TestServeBatchingCoalesces(t *testing.T) {
 	if starts != 3 || ends != 3 {
 		t.Fatalf("batched block events: %d starts / %d ends, want 3/3", starts, ends)
 	}
-	if got := reg.Counter("split_batched_blocks_total", "").Value(); got != 1 {
+	if got := reg.Counter(obs.MetricBatchedBlocks, "").Value(); got != 1 {
 		t.Fatalf("split_batched_blocks_total = %d, want 1", got)
 	}
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "split_batch_size") {
+	if !strings.Contains(buf.String(), obs.MetricBatchSize) {
 		t.Fatal("split_batch_size histogram not exported while batching is enabled")
 	}
 }
@@ -257,7 +258,7 @@ func TestShedsEnterRollingQoS(t *testing.T) {
 	if qs.ViolationRate != 0.25 {
 		t.Fatalf("rolling violation rate %v, want 0.25 — the shed must count", qs.ViolationRate)
 	}
-	if got := reg.Gauge("split_rolling_violation_rate", "").Value(); got != 0.25 {
+	if got := reg.Gauge(obs.MetricViolationRate, "").Value(); got != 0.25 {
 		t.Fatalf("violation-rate gauge %v, want 0.25", got)
 	}
 	// Served e2e values are ~30ms (blocker) and ~1ms (quicks); their spread

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"split/internal/obs"
 	"split/internal/place"
 	"split/internal/policy"
 	"split/internal/trace"
@@ -220,8 +221,8 @@ func TestFleetServeMetricsAndSnapshot(t *testing.T) {
 	}
 	blocks := int64(0)
 	for _, dev := range []string{"0", "1"} {
-		blocks += reg.Counter("split_device_blocks_total", "", "device", dev).Value()
-		if reg.Gauge("split_device_busy_ms_total", "", "device", dev).Value() < 0 {
+		blocks += reg.Counter(obs.MetricDeviceBlocks, "", "device", dev).Value()
+		if reg.Gauge(obs.MetricDeviceBusyMs, "", "device", dev).Value() < 0 {
 			t.Errorf("negative busy ms on device %s", dev)
 		}
 	}

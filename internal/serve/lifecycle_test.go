@@ -107,7 +107,7 @@ func startBlocks(ring *trace.Ring, id int) int {
 }
 
 func dropCount(reg *obs.Registry, reason string) int64 {
-	return reg.Counter("split_drops_total", "", "reason", reason).Value()
+	return reg.Counter(obs.MetricDropsTotal, "", "reason", reason).Value()
 }
 
 // TestExpiredQueuedNeverRunsBlock pins the tentpole invariant: a request
@@ -437,7 +437,7 @@ func TestFaultRetryExhaustion(t *testing.T) {
 	if !errors.Is(out.err, ErrDeviceFault) {
 		t.Fatalf("outcome: %v", out.err)
 	}
-	if got := reg.Counter("split_block_retries_total", "").Value(); got != 2 {
+	if got := reg.Counter(obs.MetricBlockRetries, "").Value(); got != 2 {
 		t.Errorf("retries = %d, want 2", got)
 	}
 	if got := dropCount(reg, DropDeviceFault); got != 1 {

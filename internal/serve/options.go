@@ -2,6 +2,7 @@ package serve
 
 import (
 	"split/internal/gpusim"
+	"split/internal/model"
 	"split/internal/obs"
 	"split/internal/policy"
 	"split/internal/sched"
@@ -10,10 +11,12 @@ import (
 
 // OptionsVersion is the current server-options schema revision. Version 1
 // was the flat single-device Config struct; version 2 added the fleet
-// fields (Devices, Placement) and the functional-option constructor. The
+// fields (Devices, Placement) and the functional-option constructor;
+// version 3 added the sim-mirrored scheduling knobs (StarveGuardRR,
+// AlphaByClass) so a tuned policy.Split carries over verbatim. The
 // version is recorded on the built Options so deployment tooling can
 // assert which schema a server was configured under.
-const OptionsVersion = 2
+const OptionsVersion = 3
 
 // Options is the versioned server configuration New assembles from
 // functional options. It embeds the legacy flat Config so every knob has
@@ -135,4 +138,20 @@ func WithBatching(max int) Option {
 // no effect unless WithBatching enables batching.
 func WithBatchCost(c gpusim.BatchCost) Option {
 	return func(o *Options) { o.BatchCost = c }
+}
+
+// WithStarveGuard enables the starvation-guard extension: a waiting
+// request whose response ratio exceeds rr is pinned to the queue front so
+// greedy insertion cannot starve long requests indefinitely. rr <= 0
+// disables the guard (the paper's baseline). Mirrors
+// policy.Split.StarveGuardRR.
+func WithStarveGuard(rr float64) Option {
+	return func(o *Options) { o.StarveGuardRR = rr }
+}
+
+// WithAlphaByClass assigns class-specific latency-target multipliers;
+// classes absent from the map use the global α. The map is captured, not
+// copied. Mirrors policy.Split.AlphaByClass.
+func WithAlphaByClass(byClass map[model.RequestClass]float64) Option {
+	return func(o *Options) { o.AlphaByClass = byClass }
 }

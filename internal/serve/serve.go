@@ -89,16 +89,18 @@ func IsShed(err error) bool {
 }
 
 // Drop reasons as they appear in the split_drops_total metric and in
-// trace.Drop / trace.Shed event details.
+// trace.Drop / trace.Shed event details. The reasons the simulator also
+// reports alias the shared trace.Reason* vocabulary so the two layers
+// cannot drift apart; the rest are serve-only lifecycle reasons.
 const (
 	DropStopped      = "stopped"
 	DropUnknownModel = "unknown_model"
 	DropQueueFull    = "queue_full"
 	DropNotStarted   = "not_started"
-	DropDeadline     = "deadline"
-	DropCanceled     = "canceled"
+	DropDeadline     = trace.ReasonDeadline
+	DropCanceled     = trace.ReasonCanceled
 	DropDrained      = "drained"
-	DropDeviceFault  = "device_fault"
+	DropDeviceFault  = trace.ReasonDeviceFault
 )
 
 // Config parameterizes a server.
@@ -109,16 +111,31 @@ const (
 // WithDeadlines, ...).
 type Config struct {
 	// Catalog holds the deployed models and split plans.
+	//
+	//lint:mirror-exempt the sim takes its catalog as a Run argument, not a knob
 	Catalog policy.Catalog
 	// Alpha is the latency-target multiplier for scheduling decisions.
 	Alpha float64
 	// Elastic configures elastic splitting.
 	Elastic sched.Elastic
+	// StarveGuardRR, when > 0, enables the starvation-guard extension: a
+	// waiting request whose predicted response ratio already reaches this
+	// value cannot be passed by later arrivals. See sched.Queue. Mirrors
+	// policy.Split.StarveGuardRR so sim experiments carry over.
+	StarveGuardRR float64
+	// AlphaByClass optionally assigns class-specific latency-target
+	// multipliers; classes not present fall back to Alpha. Mirrors
+	// policy.Split.AlphaByClass so sim experiments carry over.
+	AlphaByClass map[model.RequestClass]float64
 	// TimeScale converts simulated block milliseconds to wall-clock
 	// milliseconds (1.0 = real time; 0.01 = 100× accelerated).
+	//
+	//lint:mirror-exempt the sim runs on virtual time; there is no wall clock to scale
 	TimeScale float64
 	// MaxQueue caps the number of waiting requests; arrivals beyond it are
 	// rejected with ErrQueueFull. 0 means unbounded (the paper's setting).
+	//
+	//lint:mirror-exempt admission control is an online-serving concern; the sim admits every arrival
 	MaxQueue int
 	// EnforceDeadlines derives an absolute deadline ArriveMs + α·t_ext for
 	// every request (unless the RPC supplies its own) and sheds expired
@@ -136,14 +153,20 @@ type Config struct {
 	// Obs, when non-nil, receives live metrics (request/completion/drop
 	// counters, queue-depth and elastic gauges, wait/e2e/RR histograms)
 	// under the split_* names documented in the README.
+	//
+	//lint:mirror-exempt the sim reports through returned Records, not a live registry
 	Obs *obs.Registry
 	// Sink, when non-nil, receives the live scheduling event stream
 	// (arrive, enqueue, block start/end, preempt, elastic transitions,
 	// complete, drop, shed, cancel, fault, drain) — typically a trace.Ring
 	// flight recorder, a Tracer, or a Fanout of both.
+	//
+	//lint:mirror-exempt the sim takes its Tracer as a Run argument, not a knob
 	Sink trace.Sink
 	// QoSWindow sizes the rolling online QoS window (completions);
 	// <= 0 selects obs.DefaultQoSWindow.
+	//
+	//lint:mirror-exempt rolling QoS is online-serving observability; the sim computes QoS offline
 	QoSWindow int
 	// Devices is the fleet size: the server runs one executor goroutine per
 	// device, each draining its own scheduler queue, with arrivals routed by
@@ -199,6 +222,8 @@ type srvDevice struct {
 	batch []*sched.Request
 	// busyMsTotal accumulates virtual-ms device occupancy.
 	busyMsTotal float64
+	// scratch is the batch-formation buffer FormInto reuses across grants.
+	scratch []*sched.Request
 }
 
 // executing returns the request with the given id if it holds (or shares)
@@ -217,8 +242,11 @@ func (dv *srvDevice) executing(id int) *sched.Request {
 
 // Server owns the per-device request queues and executor goroutines.
 type Server struct {
-	cfg   Config
-	start time.Time
+	cfg Config
+	// tracing caches cfg.Sink != nil: hot-path event emissions are gated
+	// on it so Detail formatting never runs (or allocates) unsinked.
+	tracing bool
+	start   time.Time
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -323,6 +351,7 @@ func newServer(o Options) (*Server, error) {
 	}
 	s := &Server{
 		cfg:        cfg,
+		tracing:    cfg.Sink != nil,
 		placer:     placer,
 		planner:    sched.BatchPlanner{Max: cfg.BatchMax},
 		batchCost:  cfg.BatchCost.OrDefault(),
@@ -336,6 +365,7 @@ func newServer(o Options) (*Server, error) {
 	s.devs = make([]*srvDevice, cfg.Devices)
 	for i := range s.devs {
 		dv := &srvDevice{id: i, queue: sched.NewQueue(cfg.Alpha), faults: cfg.Faults.ForDevice(i)}
+		dv.queue.StarveGuardRR = cfg.StarveGuardRR
 		if cfg.Sink != nil {
 			dv.queue.Sink = queueSink{s, i}
 		}
@@ -432,42 +462,42 @@ func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int, bat
 		requests:    make(map[string]*obs.Counter, len(catalog)),
 		completions: make(map[string]*obs.Counter, len(catalog)),
 		drops:       make(map[string]*obs.Counter, 8),
-		preemptions: reg.Counter("split_preemptions_total", "block-boundary preemptions (requests passed while re-entering the queue)"),
-		retries:     reg.Counter("split_block_retries_total", "block re-executions after injected transient device failures"),
-		queueDepth:  reg.Gauge("split_queue_depth", "requests waiting in the scheduler queue"),
-		elastic:     reg.Gauge("split_elastic_suppressed", "1 while the elastic mechanism is suppressing splitting (§3.3), else 0"),
-		violRate:    reg.Gauge("split_rolling_violation_rate", "fraction of the rolling completion window with RR > α"),
-		jitter:      reg.Gauge("split_rolling_jitter_ms", "stddev of e2e latency over the rolling completion window"),
-		waitMs:      reg.Histogram("split_wait_ms", "waiting latency (e2e - t_ext) of completed requests, virtual ms", obs.DefaultLatencyBuckets()),
-		e2eMs:       reg.Histogram("split_e2e_ms", "end-to-end latency of completed requests, virtual ms", obs.DefaultLatencyBuckets()),
-		rr:          reg.Histogram("split_response_ratio", "response ratio t_ete/t_ext of completed requests", obs.DefaultRatioBuckets()),
+		preemptions: reg.Counter(obs.MetricPreemptions, "block-boundary preemptions (requests passed while re-entering the queue)"),
+		retries:     reg.Counter(obs.MetricBlockRetries, "block re-executions after injected transient device failures"),
+		queueDepth:  reg.Gauge(obs.MetricQueueDepth, "requests waiting in the scheduler queue"),
+		elastic:     reg.Gauge(obs.MetricElasticSuppress, "1 while the elastic mechanism is suppressing splitting (§3.3), else 0"),
+		violRate:    reg.Gauge(obs.MetricViolationRate, "fraction of the rolling completion window with RR > α"),
+		jitter:      reg.Gauge(obs.MetricJitterMs, "stddev of e2e latency over the rolling completion window"),
+		waitMs:      reg.Histogram(obs.MetricWaitMs, "waiting latency (e2e - t_ext) of completed requests, virtual ms", obs.DefaultLatencyBuckets()),
+		e2eMs:       reg.Histogram(obs.MetricE2EMs, "end-to-end latency of completed requests, virtual ms", obs.DefaultLatencyBuckets()),
+		rr:          reg.Histogram(obs.MetricResponseRatio, "response ratio t_ete/t_ext of completed requests", obs.DefaultRatioBuckets()),
 	}
 	for name := range catalog {
-		m.requests[name] = reg.Counter("split_requests_total", "requests accepted into the queue", "model", name)
-		m.completions[name] = reg.Counter("split_completions_total", "requests completed", "model", name)
+		m.requests[name] = reg.Counter(obs.MetricRequestsTotal, "requests accepted into the queue", "model", name)
+		m.completions[name] = reg.Counter(obs.MetricCompletionsTotal, "requests completed", "model", name)
 	}
 	for _, reason := range []string{
 		DropStopped, DropUnknownModel, DropQueueFull, DropNotStarted,
 		DropDeadline, DropCanceled, DropDrained, DropDeviceFault,
 	} {
-		m.drops[reason] = reg.Counter("split_drops_total", dropsHelp, "reason", reason)
+		m.drops[reason] = reg.Counter(obs.MetricDropsTotal, dropsHelp, "reason", reason)
 	}
 	if devices > 1 {
 		for i := 0; i < devices; i++ {
 			d := strconv.Itoa(i)
 			m.deviceDepth = append(m.deviceDepth,
-				reg.Gauge("split_device_queue_depth", "requests waiting per fleet device", "device", d))
+				reg.Gauge(obs.MetricDeviceQueueDepth, "requests waiting per fleet device", "device", d))
 			m.deviceBusyMs = append(m.deviceBusyMs,
-				reg.Gauge("split_device_busy_ms_total", "cumulative virtual-ms block occupancy per fleet device", "device", d))
+				reg.Gauge(obs.MetricDeviceBusyMs, "cumulative virtual-ms block occupancy per fleet device", "device", d))
 			m.deviceBlocks = append(m.deviceBlocks,
-				reg.Counter("split_device_blocks_total", "blocks executed per fleet device", "device", d))
+				reg.Counter(obs.MetricDeviceBlocks, "blocks executed per fleet device", "device", d))
 			m.deviceDrops = append(m.deviceDrops,
-				reg.Counter("split_device_drops_total", "post-enqueue sheds per fleet device", "device", d))
+				reg.Counter(obs.MetricDeviceDrops, "post-enqueue sheds per fleet device", "device", d))
 		}
 	}
 	if batching {
-		m.batchedBlocks = reg.Counter("split_batched_blocks_total", "device grants that executed a same-type micro-batch (size > 1)")
-		m.batchSize = reg.Histogram("split_batch_size", "members per batched device grant",
+		m.batchedBlocks = reg.Counter(obs.MetricBatchedBlocks, "device grants that executed a same-type micro-batch (size > 1)")
+		m.batchSize = reg.Histogram(obs.MetricBatchSize, "members per batched device grant",
 			[]float64{1, 2, 3, 4, 6, 8, 12, 16})
 	}
 	return m
@@ -489,7 +519,7 @@ func (m *serveMetrics) dropCounter(reason string) *obs.Counter {
 	if c := m.drops[reason]; c != nil {
 		return c
 	}
-	c := m.reg.Counter("split_drops_total", dropsHelp, "reason", reason)
+	c := m.reg.Counter(obs.MetricDropsTotal, dropsHelp, "reason", reason)
 	m.drops[reason] = c
 	return c
 }
@@ -549,6 +579,8 @@ func (s *Server) drop(nowMs float64, modelName, reason string) {
 // Shed event, and resolves the request's waiter with the typed cause. The
 // caller has already detached r from the queue (or owns it in flight).
 // Caller holds s.mu.
+//
+//lint:hotpath boundary sweeps shed through here on the grant loop
 func (s *Server) shedLocked(nowMs float64, r *sched.Request, reason string, cause error) {
 	s.dropped++
 	// Sheds enter the rolling QoS window with their drop reason as the
@@ -567,16 +599,18 @@ func (s *Server) shedLocked(nowMs float64, r *sched.Request, reason string, caus
 	s.qos.Observe(rec)
 	s.series.ObserveOutcome(rec)
 	if s.met != nil {
+		//lint:ignore hotalloc steady-state reasons hit the cached map; Registry.Counter runs once per never-seen reason
 		s.met.dropCounter(reason).Inc()
 		if len(s.met.deviceDrops) > 0 {
 			s.met.deviceDrops[r.Device].Inc()
 		}
-		qs := s.qos.Snapshot()
-		s.met.violRate.Set(qs.ViolationRate)
-		s.met.jitter.Set(qs.JitterMs)
+		vr, jit := s.qos.Gauges()
+		s.met.violRate.Set(vr)
+		s.met.jitter.Set(jit)
 	}
 	s.emit(trace.Event{AtMs: nowMs, Kind: trace.Shed, ReqID: r.ID, Model: r.Model, Block: r.Next,
 		Device: r.Device, Detail: reason})
+	//lint:ignore hotalloc the resolved error must carry request identity for the client; sheds are the rare path
 	s.resolveLocked(r.ID, outcome{err: fmt.Errorf("%w (request %d, %s)", cause, r.ID, r.Model)})
 }
 
@@ -840,6 +874,8 @@ func (s *Server) serveConn(conn net.Conn) {
 // one executor per device, all sharing s.mu and the condition variable.
 // All lock transitions stay in this function so the buffered events and
 // outcomes are always flushed with s.mu released.
+//
+//lint:hotpath the executor loop is the serving-path grant loop: one iteration per device hold
 func (s *Server) executor(dv *srvDevice) {
 	defer s.wg.Done()
 	// Label the executor goroutine so CPU/goroutine profiles from
@@ -889,10 +925,8 @@ func (s *Server) executor(dv *srvDevice) {
 		// advance the same block in one hold (batchCost prices it); with
 		// batching off the loop below is exactly the scalar path.
 		now := s.nowMs()
-		batch := []*sched.Request{r}
-		if s.planner.Enabled() {
-			batch = s.planner.Form(dv.queue, r, now)
-		}
+		batch := s.planner.FormInto(dv.scratch[:0], dv.queue, r, now)
+		dv.scratch = batch
 		n := len(batch)
 		batchID := 0
 		if n > 1 {
@@ -935,7 +969,7 @@ func (s *Server) executor(dv *srvDevice) {
 			// a batch of one replays the scalar fault schedule exactly.
 			fault := dv.faults.Draw(r.ID, block, attempt)
 			runMs := runBase * fault.SpikeFactor
-			if fault.SpikeFactor > 1 {
+			if fault.SpikeFactor > 1 && s.tracing {
 				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
 					Device: dv.id, Detail: fmt.Sprintf("spike x%.2f attempt=%d", fault.SpikeFactor, attempt)})
 			}
@@ -955,8 +989,10 @@ func (s *Server) executor(dv *srvDevice) {
 				break
 			}
 			if dv.faults.Exhausted(attempt) {
-				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
-					Device: dv.id, Detail: fmt.Sprintf("terminal after %d attempts", attempt+1)})
+				if s.tracing {
+					s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
+						Device: dv.id, Detail: fmt.Sprintf("terminal after %d attempts", attempt+1)})
+				}
 				break
 			}
 			// Re-check the request's fate before spending more device time
@@ -971,14 +1007,17 @@ func (s *Server) executor(dv *srvDevice) {
 			if s.met != nil {
 				s.met.retries.Inc()
 			}
-			s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
-				Device: dv.id, Detail: fmt.Sprintf("transient attempt=%d, retrying", attempt)})
+			if s.tracing {
+				s.emit(trace.Event{AtMs: now, Kind: trace.Fault, ReqID: r.ID, Model: r.Model, Block: block,
+					Device: dv.id, Detail: fmt.Sprintf("transient attempt=%d, retrying", attempt)})
+			}
 			attempt++
 		}
 		dv.busy = false
 		dv.inflight = nil
 		dv.batch = nil
 		dv.busyMsTotal += now - blockStartMs
+		//lint:ignore hotalloc lazy per-window busy buckets: one make per elapsed time window, not per hold
 		s.series.ObserveBusy(dv.id, blockStartMs, now)
 		if s.met != nil && len(s.met.deviceBusyMs) > 0 {
 			s.met.deviceBusyMs[dv.id].Add(now - blockStartMs)
@@ -1005,8 +1044,11 @@ func (s *Server) executor(dv *srvDevice) {
 // It returns nil when the device's queue is empty or the server is past
 // accepting work; the executor decides between idling and exiting. Caller
 // holds s.mu.
+//
+//lint:hotpath every device grant starts with the boundary sweep and pop
 func (s *Server) pickLocked(dv *srvDevice) *sched.Request {
 	now := s.nowMs()
+	//lint:ignore hotalloc SweepExpired allocates only when something actually expired — the shed path, not the steady grant loop
 	if shed := dv.queue.SweepExpired(now, s.cfg.PredictiveShed); len(shed) > 0 {
 		for _, r := range shed {
 			s.shedLocked(now, r, DropDeadline, ErrDeadlineExceeded)
@@ -1025,6 +1067,8 @@ func (s *Server) pickLocked(dv *srvDevice) *sched.Request {
 // settleLocked decides a request's fate at its block boundary: deliver the
 // completion, shed it (cancel, shutdown, deadline, device fault), or
 // re-insert it into its device's queue. Caller holds s.mu.
+//
+//lint:hotpath every granted block settles here at its boundary
 func (s *Server) settleLocked(nowMs float64, dv *srvDevice, r *sched.Request, blockOK bool) {
 	switch {
 	case blockOK && r.Finished():
@@ -1034,6 +1078,7 @@ func (s *Server) settleLocked(nowMs float64, dv *srvDevice, r *sched.Request, bl
 		s.served++
 		agg := s.perModel[r.Model]
 		if agg == nil {
+			//lint:ignore hotalloc one aggregate per model name over the server lifetime, not per grant
 			agg = &modelAgg{}
 			s.perModel[r.Model] = agg
 		}
@@ -1049,8 +1094,10 @@ func (s *Server) settleLocked(nowMs float64, dv *srvDevice, r *sched.Request, bl
 		}
 		agg.preempts += r.Preemptions
 		s.observeCompletion(r, rr)
-		s.emit(trace.Event{AtMs: nowMs, Kind: trace.Complete, ReqID: r.ID, Model: r.Model,
-			Device: r.Device, Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
+		if s.tracing {
+			s.emit(trace.Event{AtMs: nowMs, Kind: trace.Complete, ReqID: r.ID, Model: r.Model,
+				Device: r.Device, Detail: fmt.Sprintf("rr=%.3f preempts=%d", rr, r.Preemptions)})
+		}
 		s.resolveLocked(r.ID, outcome{req: r})
 	case r.Canceled:
 		s.shedLocked(nowMs, r, DropCanceled, ErrCanceled)
@@ -1066,8 +1113,10 @@ func (s *Server) settleLocked(nowMs float64, dv *srvDevice, r *sched.Request, bl
 			if s.met != nil {
 				s.met.preemptions.Inc()
 			}
-			s.emit(trace.Event{AtMs: nowMs, Kind: trace.Preempt, ReqID: r.ID, Model: r.Model,
-				Block: r.Next, Device: r.Device, Detail: fmt.Sprintf("pos=%d", pos)})
+			if s.tracing {
+				s.emit(trace.Event{AtMs: nowMs, Kind: trace.Preempt, ReqID: r.ID, Model: r.Model,
+					Block: r.Next, Device: r.Device, Detail: fmt.Sprintf("pos=%d", pos)})
+			}
 		}
 		if s.met != nil {
 			s.met.queueDepth.SetInt(s.depthLocked())
@@ -1094,9 +1143,9 @@ func (s *Server) observeCompletion(r *sched.Request, rr float64) {
 	s.met.waitMs.Observe(r.E2EMs() - r.ExtMs)
 	s.met.e2eMs.Observe(r.E2EMs())
 	s.met.rr.Observe(rr)
-	qs := s.qos.Snapshot()
-	s.met.violRate.Set(qs.ViolationRate)
-	s.met.jitter.Set(qs.JitterMs)
+	vr, jit := s.qos.Gauges()
+	s.met.violRate.Set(vr)
+	s.met.jitter.Set(jit)
 }
 
 // enqueue wraps a model request (request wrapper + token scheduler insert)
@@ -1146,7 +1195,7 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 		devID = 0
 	}
 	dv := s.devs[devID]
-	if len(s.devs) > 1 {
+	if len(s.devs) > 1 && s.tracing {
 		s.emit(trace.Event{AtMs: now, Kind: trace.Place, ReqID: id, Model: modelName,
 			Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", s.placer.Name(), view[devID].Queued)})
 	}
@@ -1163,6 +1212,9 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 	}
 	r := sched.NewRequest(id, modelName, info.Class, now, info.ExtMs, blocks)
 	r.Device = devID
+	if alpha, ok := s.cfg.AlphaByClass[info.Class]; ok {
+		r.AlphaOverride = alpha
+	}
 	if deadlineMs > 0 {
 		r.DeadlineMs = now + deadlineMs
 	} else if s.cfg.EnforceDeadlines {

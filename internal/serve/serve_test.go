@@ -402,7 +402,7 @@ func TestElasticSuppressionObserved(t *testing.T) {
 	if last := snap.Requests[len(snap.Requests)-1]; last.BlocksTotal != 1 {
 		t.Errorf("suppressed request has %d blocks, want 1 (unsplit)", last.BlocksTotal)
 	}
-	if g := reg.Gauge("split_elastic_suppressed", ""); g.Value() != 1 {
+	if g := reg.Gauge(obs.MetricElasticSuppress, ""); g.Value() != 1 {
 		t.Errorf("elastic gauge = %v, want 1", g.Value())
 	}
 	var sawOn bool

@@ -1,0 +1,18 @@
+package trace
+
+// Drop reasons shared by the simulator (internal/policy) and the serving
+// path (internal/serve). Both layers must describe the same fate with the
+// same word — the evaluation pipeline joins sim Records against serve
+// Records label-for-label, and a one-sided respelling silently empties the
+// join. The vocab lint rule enforces that each constant here is referenced
+// from both layers and that neither redeclares the literal.
+const (
+	// ReasonDeadline marks a request shed because its deadline passed (or,
+	// under predictive shedding, became unmeetable).
+	ReasonDeadline = "deadline"
+	// ReasonCanceled marks a request canceled by its client.
+	ReasonCanceled = "canceled"
+	// ReasonDeviceFault marks a request whose block kept failing past the
+	// injected-fault retry budget.
+	ReasonDeviceFault = "device_fault"
+)
