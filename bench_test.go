@@ -551,6 +551,70 @@ func BenchmarkSchedInsertGreedy(b *testing.B) {
 	}
 }
 
+// millionCohorts is the heterogeneous cohort mix of the million-request
+// sweep: steady interactive traffic, bursty MMPP edge traffic, and a
+// diurnally-modulated heavy-tailed batch population.
+func millionCohorts(count int, seed int64) workload.CohortSetConfig {
+	return workload.CohortSetConfig{
+		Cohorts: []workload.Cohort{
+			{
+				Name:    "interactive",
+				Models:  zoo.BenchmarkModels,
+				Process: workload.Process{Kind: workload.ProcPoisson, MeanIntervalMs: 24},
+			},
+			{
+				Name:   "edge-burst",
+				Models: []string{"yolov2", "googlenet"},
+				Process: workload.Process{
+					Kind: workload.ProcMMPP, MeanIntervalMs: 120,
+					BurstIntervalMs: 20, CalmDwellMs: 4000, BurstDwellMs: 1000,
+				},
+			},
+			{
+				Name:     "batch",
+				Models:   []string{"vgg19", "gpt2"},
+				Process:  workload.Process{Kind: workload.ProcLogNormal, MeanIntervalMs: 90, Sigma: 1.2},
+				Envelope: &workload.Envelope{PeriodMs: 600000, Factors: []float64{0.5, 1, 2, 1}},
+			},
+		},
+		Count: count,
+		Seed:  seed,
+	}
+}
+
+// BenchmarkCohortGeneration measures the lazy heap-merge generator alone:
+// one million arrivals from three heterogeneous cohorts in a single pass.
+func BenchmarkCohortGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		arrivals := workload.MustGenerateCohorts(millionCohorts(1_000_000, int64(i+1)))
+		if len(arrivals) != 1_000_000 {
+			b.Fatal("lost arrivals")
+		}
+	}
+}
+
+// BenchmarkMillionRequestSweep measures the full million-request pipeline —
+// cohort generation plus replay through policy.Split on a 4-device
+// least-loaded fleet — and reports the simulated request throughput. This
+// is the PR 8 scale point: the allocation work recorded in BENCH_2.json is
+// what makes this sweep run in seconds.
+func BenchmarkMillionRequestSweep(b *testing.B) {
+	dep := deployOnce(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arrivals := workload.MustGenerateCohorts(millionCohorts(1_000_000, int64(i+1)))
+		sys := policy.NewSplit()
+		sys.Devices = 4
+		sys.Placement = "least-loaded"
+		recs := sys.Run(arrivals, dep.Catalog, nil)
+		if len(recs) != 1_000_000 {
+			b.Fatal("lost requests")
+		}
+	}
+	b.ReportMetric(float64(1_000_000*b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
 // BenchmarkObsHotPath measures the instrumentation primitives the serving
 // path calls per request, confirming they stay allocation-free.
 func BenchmarkObsHotPath(b *testing.B) {

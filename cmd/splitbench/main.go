@@ -14,9 +14,19 @@
 //	splitbench -ablation search|evenness|elastic|blocks|init|starvation|burstiness|shedding
 //	splitbench -ablation placement [-devices 2] [-csv placement.csv]
 //	splitbench -ablation batching [-batch-max 8]
+//	splitbench -capacity [-capacity-devices 1,2,4] [-viol-target 0.1] [-placement least-loaded]
+//	splitbench -replay run.trace [-systems "SPLIT,RT-A"]
 //
-// Command-line mistakes (unknown ablation, -devices 0, -batch-max 0) exit
-// with status 2 and a one-line error; runtime failures exit with status 1.
+// -capacity binary-searches, per fleet size, the maximum sustainable
+// aggregate request rate (req/s) holding viol@α under -viol-target — the
+// knee of the violation-rate curve for the (devices, batch-max, placement)
+// tuple. -replay re-simulates a recorded workload trace (splitd -record,
+// or workload.WriteTrace) through the selected systems and prints their
+// QoS summaries.
+//
+// Command-line mistakes (unknown ablation, -devices 0, -batch-max 0, a bad
+// -viol-target or -capacity-devices list) exit with status 2 and a one-line
+// error; runtime failures exit with status 1.
 package main
 
 import (
@@ -28,7 +38,10 @@ import (
 	"strings"
 
 	"split/internal/core"
+	"split/internal/metrics"
 	"split/internal/model"
+	"split/internal/place"
+	"split/internal/policy"
 	"split/internal/workload"
 )
 
@@ -75,6 +88,13 @@ func run(args []string, out io.Writer) error {
 		systems  = fs.String("systems", "", "comma-separated system list for -fig6/-fig7/-summary (default: the paper's four; add REEF or Stream-Parallel here)")
 		seeds    = fs.Int("seeds", 1, "replications for -fig6/-fig7; >1 reports mean±std over seeds")
 		seed     = fs.Int64("seed", 1, "workload seed")
+
+		capacity    = fs.Bool("capacity", false, "binary-search the max sustainable req/s holding viol@4 under -viol-target")
+		capDevices  = fs.String("capacity-devices", "1,2,4", "comma-separated fleet sizes for -capacity")
+		violTarget  = fs.Float64("viol-target", 0.10, "viol@4 ceiling the -capacity knee must hold")
+		capRequests = fs.Int("capacity-requests", 20000, "trace length per -capacity probe")
+		placement   = fs.String("placement", "", "fleet placement policy for -capacity (default round-robin)")
+		replayPath  = fs.String("replay", "", "re-simulate a recorded workload trace through the selected systems")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -85,6 +105,27 @@ func run(args []string, out io.Writer) error {
 	if *batchMax < 1 {
 		return usagef("-batch-max must be >= 1, got %d", *batchMax)
 	}
+	if *violTarget <= 0 || *violTarget >= 1 {
+		return usagef("-viol-target must be in (0, 1), got %v", *violTarget)
+	}
+	if *capRequests < 1 {
+		return usagef("-capacity-requests must be >= 1, got %d", *capRequests)
+	}
+	if _, err := place.New(*placement, 1); err != nil {
+		return usageError{err}
+	}
+	capList, err := parseDevices(*capDevices)
+	if err != nil {
+		return err
+	}
+	// -batch-max defaults to 8 for the batching ablation; for -capacity,
+	// batching stays off unless the flag is set explicitly.
+	capBatch := 1
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "batch-max" {
+			capBatch = *batchMax
+		}
+	})
 	cm := model.DefaultCostModel()
 	ran := false
 
@@ -100,7 +141,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab ||
+	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab || *capacity || *replayPath != "" ||
 		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness" ||
 		*ablation == "shedding" || *ablation == "placement" || *ablation == "batching"
 	var dep *core.Deployment
@@ -154,6 +195,24 @@ func run(args []string, out io.Writer) error {
 		ran = true
 		for _, run := range dep.RunAllScenarios(sysList, *seed) {
 			fmt.Fprintf(out, "%-12s %s\n", run.Scenario.Name, run.Summary)
+		}
+	}
+	if *capacity {
+		ran = true
+		cfg := core.CapacityConfig{
+			BatchMax:   capBatch,
+			Placement:  *placement,
+			Requests:   *capRequests,
+			ViolTarget: *violTarget,
+			Seed:       *seed,
+		}
+		rows := dep.CapacitySweep(cfg, capList)
+		fmt.Fprint(out, core.RenderCapacity(rows, *violTarget, 4))
+	}
+	if *replayPath != "" {
+		ran = true
+		if err := replayTrace(out, dep, sysList, *replayPath); err != nil {
+			return err
 		}
 	}
 	switch *ablation {
@@ -227,6 +286,44 @@ func run(args []string, out io.Writer) error {
 	if !ran {
 		fs.Usage()
 		return usagef("no action selected")
+	}
+	return nil
+}
+
+// parseDevices parses a comma-separated list of positive fleet sizes.
+func parseDevices(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+			return nil, usagef("-capacity-devices: %q is not a positive fleet size", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// replayTrace re-simulates a recorded workload trace through each system
+// and prints its QoS summary, so a live run (splitd -record) can be
+// compared across schedulers after the fact.
+func replayTrace(out io.Writer, dep *core.Deployment, sysList []policy.System, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("opening trace: %w", err)
+	}
+	defer f.Close()
+	h, arrivals, err := workload.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	src := h.Source
+	if src == "" {
+		src = "unknown"
+	}
+	fmt.Fprintf(out, "replaying %d arrivals (trace v%d, source %s)\n", h.Count, h.Version, src)
+	for _, sys := range sysList {
+		recs := sys.Run(arrivals, dep.Catalog, nil)
+		fmt.Fprintf(out, "%-16s %s\n", sys.Name(), metrics.Summarize(sys.Name(), recs))
 	}
 	return nil
 }

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"split/internal/workload"
+	"split/internal/zoo"
 )
 
 func runOK(t *testing.T, args ...string) string {
@@ -101,6 +104,67 @@ func TestBatchingAblationOutput(t *testing.T) {
 	}
 }
 
+// TestCapacityOutput is the acceptance criterion's knee sweep: capacity
+// mode must emit a knee req/s for N in {1, 2, 4} devices.
+func TestCapacityOutput(t *testing.T) {
+	out := runOK(t, "-capacity", "-capacity-requests", "2000")
+	if !strings.Contains(out, "knee req/s") {
+		t.Fatalf("capacity header missing:\n%s", out)
+	}
+	for _, dev := range []string{"      1 ", "      2 ", "      4 "} {
+		if !strings.Contains(out, dev) {
+			t.Errorf("capacity output missing fleet size row %q:\n%s", strings.TrimSpace(dev), out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want title + header + 3 rows, got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestReplayOutput(t *testing.T) {
+	arrivals := workload.MustGenerate(workload.Config{
+		Models:         zoo.BenchmarkModels,
+		MeanIntervalMs: 40,
+		Count:          200,
+		Seed:           1,
+	})
+	path := filepath.Join(t.TempDir(), "run.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.WriteTrace(f, workload.TraceHeader{Seed: 1, Source: "generate"}, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := runOK(t, "-replay", path, "-systems", "SPLIT,RT-A")
+	if !strings.Contains(out, "replaying 200 arrivals") {
+		t.Fatalf("replay header missing:\n%s", out)
+	}
+	for _, sys := range []string{"SPLIT", "RT-A"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("replay output missing system %s:\n%s", sys, out)
+		}
+	}
+}
+
+func TestReplayRejectsBadTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("{\"format\":\"nope\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-replay", path}, &b); err == nil {
+		t.Error("bogus trace accepted")
+	}
+	if err := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.trace")}, &b); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-fig6", "-systems", "NotASystem"}, &b); err == nil {
@@ -123,6 +187,12 @@ func TestUsageErrors(t *testing.T) {
 		{"-ablation", "batching", "-batch-max", "0"},
 		{"-batch-max", "-3", "-table2"},
 		{"-not-a-flag"},
+		{"-capacity", "-viol-target", "0"},
+		{"-capacity", "-viol-target", "1.5"},
+		{"-capacity", "-capacity-devices", "1,zero"},
+		{"-capacity", "-capacity-devices", "0"},
+		{"-capacity", "-capacity-requests", "0"},
+		{"-capacity", "-placement", "teleport"},
 	}
 	for _, args := range cases {
 		var b strings.Builder

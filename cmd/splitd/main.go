@@ -12,6 +12,7 @@
 //	splitd -addr 127.0.0.1:7100 -fault-fail-prob 0.01 -fault-retries 2
 //	splitd -addr 127.0.0.1:7100 -devices 4 -placement least-loaded
 //	splitd -addr 127.0.0.1:7100 -batch-max 4
+//	splitd -addr 127.0.0.1:7100 -record run.trace
 //
 // With -admin set, a live observability endpoint serves /metrics
 // (Prometheus text), /healthz, /queuez (JSON queue snapshot), /tracez
@@ -34,6 +35,11 @@
 // With -batch-max B > 1, the executor coalesces up to B same-model requests
 // at the queue front into one batched block execution (§3.3's same-type runs
 // executed as micro-batches). The default of 1 leaves batching off.
+//
+// With -record, every admitted arrival (and any later cancellation) is
+// recorded in workload trace form and written to the given path on
+// shutdown, so the live run can be re-simulated deterministically with
+// splitbench -replay.
 //
 // Command-line mistakes (-devices 0, -batch-max 0, an unknown -placement)
 // exit with status 2 and a one-line error; runtime failures exit with 1.
@@ -60,6 +66,7 @@ import (
 	"split/internal/sched"
 	"split/internal/serve"
 	"split/internal/trace"
+	"split/internal/workload"
 	"split/internal/zoo"
 )
 
@@ -114,6 +121,7 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		devices   = fs.Int("devices", 1, "fleet size: executors and queues, one per device")
 		placement = fs.String("placement", "", "fleet placement policy: round-robin|least-loaded|affinity (default round-robin)")
 		batchMax  = fs.Int("batch-max", 1, "coalesce up to this many same-model requests into one batched block execution (1 = off)")
+		record    = fs.String("record", "", "record admitted arrivals and write them as a workload trace to this path on shutdown")
 
 		deadlines  = fs.Bool("deadlines", false, "enforce per-request deadlines of α·t_ext; shed doomed work at block boundaries")
 		predictive = fs.Bool("predictive-shed", false, "with -deadlines, also shed requests that cannot finish in time even if not yet expired")
@@ -175,6 +183,12 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 	}
 	if *batchMax > 1 {
 		fmt.Fprintf(out, "micro-batching on: up to %d same-model requests per block\n", *batchMax)
+	}
+	var rec *workload.Recorder
+	if *record != "" {
+		rec = workload.NewRecorder()
+		cfg.ArrivalRecorder = rec
+		fmt.Fprintf(out, "recording arrivals to %s\n", *record)
 	}
 	if *spikeProb > 0 || *failProb > 0 {
 		cfg.Faults = &gpusim.FaultInjector{
@@ -260,5 +274,28 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		admin.Close()
 	}
 	srv.Stop()
+	if rec != nil {
+		if err := writeRecordedTrace(*record, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d recorded arrivals to %s\n", rec.Len(), *record)
+	}
+	return nil
+}
+
+// writeRecordedTrace persists the recorded run after the server has fully
+// stopped, so no arrival or cancellation races the write.
+func writeRecordedTrace(path string, rec *workload.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	if err := rec.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing trace file: %w", err)
+	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"split/internal/model"
 	"split/internal/onnxlite"
 	"split/internal/profiler"
+	"split/internal/workload"
 	"split/internal/zoo"
 
 	"split/internal/serve"
@@ -221,4 +223,81 @@ func (s *syncBuilder) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// TestDaemonRecordsTrace boots the daemon with -record, serves a few
+// requests, and checks the written workload trace replays them.
+func TestDaemonRecordsTrace(t *testing.T) {
+	dir := t.TempDir()
+	if err := onnxlite.SavePlan(filepath.Join(dir, "vgg19.plan.json"), planFor(t, "vgg19", []int{16, 29})); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.trace")
+
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	out := &syncBuilder{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-plans", dir,
+			"-timescale", "0.01",
+			"-record", tracePath,
+		}, out, ready, nil, stop)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+
+	client, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Infer("vgg19"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	client.Close()
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not stop")
+	}
+	if o := out.String(); !strings.Contains(o, "wrote 3 recorded arrivals") {
+		t.Errorf("daemon log missing trace confirmation: %s", o)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h, arrivals, err := workload.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Source != "serve" || len(arrivals) != 3 {
+		t.Fatalf("trace header %+v with %d arrivals, want source serve and 3", h, len(arrivals))
+	}
+	for i, a := range arrivals {
+		if a.Model != "vgg19" {
+			t.Errorf("arrival %d model %q", i, a.Model)
+		}
+		if a.AtMs < 0 {
+			t.Errorf("arrival %d at %v", i, a.AtMs)
+		}
+	}
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"strings"
+	"testing"
+
+	"split/internal/metrics"
+	"split/internal/policy"
+	"split/internal/workload"
+	"split/internal/zoo"
+)
+
+func TestCapacitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity search probes dozens of 20k-request traces")
+	}
+	d := testDeploy(t)
+	cfg := CapacityConfig{Placement: "least-loaded", Seed: 1, Requests: 8000}
+	rows := d.CapacitySweep(cfg, []int{1, 2, 4})
+	for i, r := range rows {
+		if r.KneeReqPerSec <= 0 {
+			t.Fatalf("devices=%d: no sustainable rate found", r.Devices)
+		}
+		if r.ViolAtKnee > 0.10 {
+			t.Fatalf("devices=%d: knee violates the target (%.1f%%)", r.Devices, r.ViolAtKnee*100)
+		}
+		if i > 0 && r.KneeReqPerSec <= rows[i-1].KneeReqPerSec {
+			t.Fatalf("capacity not increasing with fleet size: %v then %v req/s at %d then %d devices",
+				rows[i-1].KneeReqPerSec, r.KneeReqPerSec, rows[i-1].Devices, r.Devices)
+		}
+	}
+	// Doubling the fleet should buy substantially more than nothing: 4
+	// devices must hold at least 2x the single-device knee.
+	if rows[2].KneeReqPerSec < 2*rows[0].KneeReqPerSec {
+		t.Fatalf("4-device knee %.1f req/s under 2x the 1-device knee %.1f",
+			rows[2].KneeReqPerSec, rows[0].KneeReqPerSec)
+	}
+	out := RenderCapacity(rows, 0.10, 4)
+	if !strings.Contains(out, "knee req/s") || !strings.Contains(out, "least-loaded") {
+		t.Fatalf("render missing columns:\n%s", out)
+	}
+}
+
+func TestCapacitySearchDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity search probes dozens of traces")
+	}
+	d := testDeploy(t)
+	cfg := CapacityConfig{Devices: 2, Seed: 3, Requests: 4000}
+	a := d.CapacitySearch(cfg)
+	b := d.CapacitySearch(cfg)
+	if a != b {
+		t.Fatalf("same config found different knees: %+v vs %+v", a, b)
+	}
+}
+
+// millionScenario is the heterogeneous three-cohort workload of the 1M-request
+// sweep: a steady interactive population, a bursty MMPP edge population, and
+// a diurnally-modulated heavy-tailed batch population, sized so a 4-device
+// fleet runs at moderate utilization.
+func millionScenario(count int, seed int64) workload.CohortSetConfig {
+	return workload.CohortSetConfig{
+		Cohorts: []workload.Cohort{
+			{
+				Name:       "interactive",
+				Models:     zoo.BenchmarkModels,
+				Process:    workload.Process{Kind: workload.ProcPoisson, MeanIntervalMs: 24},
+				DeadlineMs: 400, DeadlineJitterFrac: 0.2,
+			},
+			{
+				Name:   "edge-burst",
+				Models: []string{"yolov2", "googlenet"},
+				Process: workload.Process{
+					Kind: workload.ProcMMPP, MeanIntervalMs: 120,
+					BurstIntervalMs: 20, CalmDwellMs: 4000, BurstDwellMs: 1000,
+				},
+				CancelFrac: 0.05, CancelAfterMs: 300,
+			},
+			{
+				Name:     "batch",
+				Models:   []string{"vgg19", "gpt2"},
+				Process:  workload.Process{Kind: workload.ProcLogNormal, MeanIntervalMs: 90, Sigma: 1.2},
+				Envelope: &workload.Envelope{PeriodMs: 600000, Factors: []float64{0.5, 1, 2, 1}},
+			},
+		},
+		Count: count,
+		Seed:  seed,
+	}
+}
+
+// hashTrace writes the trace once and returns its digest without holding the
+// ~80 MB encoding in memory.
+func hashTrace(t *testing.T, h workload.TraceHeader, arrivals []workload.Arrival) [sha256.Size]byte {
+	t.Helper()
+	hs := sha256.New()
+	if err := workload.WriteTrace(hs, h, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	var sum [sha256.Size]byte
+	hs.Sum(sum[:0])
+	return sum
+}
+
+// TestMillionRequestSweep runs a 1,000,000-request heterogeneous cohort
+// scenario end to end: generate, round-trip the trace bit-identically
+// through the versioned format, and replay it through policy.Split on a
+// 4-device fleet. The whole thing must stay well under the 60s CI budget.
+func TestMillionRequestSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-request sweep")
+	}
+	count := 1_000_000
+	if raceEnabled {
+		// The race detector slows the sim ~10x; keep the same shape with a
+		// tenth of the volume.
+		count = 100_000
+	}
+	cfg := millionScenario(count, 1)
+	arrivals := workload.MustGenerateCohorts(cfg)
+	if len(arrivals) != count {
+		t.Fatalf("generated %d arrivals, want %d", len(arrivals), count)
+	}
+
+	// Bit-identical round trip, compared by digest so two full encodings
+	// never coexist in memory.
+	header := workload.TraceHeader{Seed: cfg.Seed, ConfigHash: workload.ConfigHash(cfg), Source: "generate"}
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, header, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	firstSum := sha256.Sum256(buf.Bytes())
+	readH, readA, err := workload.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readH.ConfigHash != header.ConfigHash || readH.Count != count {
+		t.Fatalf("header mangled: %+v", readH)
+	}
+	if hashTrace(t, readH, readA) != firstSum {
+		t.Fatal("1M-request trace does not round-trip bit-identically")
+	}
+
+	d := testDeploy(t)
+	sys := policy.NewSplit()
+	sys.Devices = 4
+	sys.Placement = "least-loaded"
+	recs := sys.Run(readA, d.Catalog, nil)
+	if len(recs) != count {
+		t.Fatalf("replay produced %d records for %d arrivals", len(recs), count)
+	}
+	viol := metrics.ViolationRate(recs, 4)
+	if viol > 0.5 {
+		t.Fatalf("sweep degenerated: viol@4 = %.1f%% (the fleet should hold this load)", viol*100)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled gates test volume: the race detector slows the virtual-clock
+// sim roughly an order of magnitude, so race runs scale counts down.
+const raceEnabled = false

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -261,17 +262,25 @@ func parseDir(fset *token.FileSet, dir, modRoot, modPath string) ([]*unit, error
 	return units, nil
 }
 
-// ignoredByBuildTag reports whether the file opts out of the build with a
-// `//go:build ignore` constraint (the only constraint this repo uses).
+// ignoredByBuildTag reports whether the file's `//go:build` constraint
+// excludes it from the default build the linter models: no -race, no
+// custom tags. This keeps `ignore` files out and picks exactly one of a
+// `race`/`!race` const pair, so the type-checker never sees a
+// redeclaration.
 func ignoredByBuildTag(f *ast.File) bool {
 	for _, cg := range f.Comments {
 		if cg.Pos() > f.Package {
 			break
 		}
 		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, "//go:build") && strings.Contains(c.Text, "ignore") {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
 				return true
 			}
+			return !expr.Eval(func(string) bool { return false })
 		}
 	}
 	return false

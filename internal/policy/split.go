@@ -199,6 +199,9 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 		planner:   sched.BatchPlanner{Max: s.BatchMax},
 		batchCost: s.BatchCost.OrDefault(),
 		view:      make([]place.Load, n),
+		// One record per arrival; preallocating keeps million-request
+		// sweeps out of the append-regrowth copy path.
+		records: make([]Record, 0, len(arrivals)),
 	}
 	for i := range rn.devs {
 		q := sched.NewQueue(s.Alpha)

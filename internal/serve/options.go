@@ -7,16 +7,18 @@ import (
 	"split/internal/policy"
 	"split/internal/sched"
 	"split/internal/trace"
+	"split/internal/workload"
 )
 
 // OptionsVersion is the current server-options schema revision. Version 1
 // was the flat single-device Config struct; version 2 added the fleet
 // fields (Devices, Placement) and the functional-option constructor;
 // version 3 added the sim-mirrored scheduling knobs (StarveGuardRR,
-// AlphaByClass) so a tuned policy.Split carries over verbatim. The
-// version is recorded on the built Options so deployment tooling can
-// assert which schema a server was configured under.
-const OptionsVersion = 3
+// AlphaByClass) so a tuned policy.Split carries over verbatim; version 4
+// added arrival record/replay (ArrivalRecorder). The version is recorded
+// on the built Options so deployment tooling can assert which schema a
+// server was configured under.
+const OptionsVersion = 4
 
 // Options is the versioned server configuration New assembles from
 // functional options. It embeds the legacy flat Config so every knob has
@@ -154,4 +156,12 @@ func WithStarveGuard(rr float64) Option {
 // copied. Mirrors policy.Split.AlphaByClass.
 func WithAlphaByClass(byClass map[model.RequestClass]float64) Option {
 	return func(o *Options) { o.AlphaByClass = byClass }
+}
+
+// WithArrivalRecorder records every admitted arrival (and any later
+// cancellation) into rec in workload trace form, so the live run can be
+// written with workload.WriteTrace and re-simulated deterministically
+// through policy.Split.
+func WithArrivalRecorder(rec *workload.Recorder) Option {
+	return func(o *Options) { o.ArrivalRecorder = rec }
 }

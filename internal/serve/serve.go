@@ -41,6 +41,7 @@ import (
 	"split/internal/policy"
 	"split/internal/sched"
 	"split/internal/trace"
+	"split/internal/workload"
 )
 
 // Typed rejection and shedding errors, so clients and metrics can
@@ -168,6 +169,13 @@ type Config struct {
 	//
 	//lint:mirror-exempt rolling QoS is online-serving observability; the sim computes QoS offline
 	QoSWindow int
+	// ArrivalRecorder, when non-nil, records every admitted arrival (and
+	// any later cancellation) in workload trace form, so the live run can
+	// be written with workload.WriteTrace and re-simulated deterministically
+	// through policy.Split.
+	//
+	//lint:mirror-exempt record/replay is an online-serving concern; the sim consumes a workload trace directly
+	ArrivalRecorder *workload.Recorder
 	// Devices is the fleet size: the server runs one executor goroutine per
 	// device, each draining its own scheduler queue, with arrivals routed by
 	// the Placement policy. 0 or 1 serves on a single device exactly as the
@@ -327,6 +335,9 @@ func NewServer(cfg Config) (*Server, error) {
 		WithPlacement(cfg.Placement),
 		WithBatching(cfg.BatchMax),
 		WithBatchCost(cfg.BatchCost),
+		WithStarveGuard(cfg.StarveGuardRR),
+		WithAlphaByClass(cfg.AlphaByClass),
+		WithArrivalRecorder(cfg.ArrivalRecorder),
 	)
 }
 
@@ -825,6 +836,9 @@ func (s *Server) cancelLocked(id int, why string) CancelState {
 				s.met.queueDepth.SetInt(s.depthLocked())
 			}
 			s.setDeviceDepth(dv)
+			if s.cfg.ArrivalRecorder != nil {
+				s.cfg.ArrivalRecorder.ObserveCancel(id, now)
+			}
 			return CancelQueued
 		}
 	}
@@ -836,6 +850,9 @@ func (s *Server) cancelLocked(id int, why string) CancelState {
 				m.Canceled = true
 				s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: m.Model,
 					Block: m.Next, Device: dv.id, Detail: "inflight: " + why})
+				if s.cfg.ArrivalRecorder != nil {
+					s.cfg.ArrivalRecorder.ObserveCancel(id, now)
+				}
 			}
 			return CancelInflight
 		}
@@ -1234,6 +1251,9 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 	s.setDeviceDepth(dv)
 	ch := make(chan outcome, 1)
 	s.waiters[id] = ch
+	if s.cfg.ArrivalRecorder != nil {
+		s.cfg.ArrivalRecorder.Observe(id, modelName, now, deadlineMs)
+	}
 	// Broadcast, not Signal: only the placed device's executor can run this
 	// request, and Signal could wake a different one.
 	s.cond.Broadcast()

@@ -1,0 +1,491 @@
+// The cohort engine generalizes the paper's §5.1 workload into a
+// ServeGen-style generator: named client cohorts, each with its own model
+// mix, deadline/cancellation behavior, and arrival process (Poisson, MMPP,
+// heavy-tailed log-normal or Pareto inter-arrivals, optionally modulated by
+// a piecewise diurnal rate envelope), superposed lazily through a k-way
+// heap merge. Generation is one pass over the merged stream — no per-cohort
+// slice is ever materialized — so million-request traces cost O(Count·log k)
+// time and O(Count) output, and the merged prefix is exact by construction:
+// every cohort's stream is consulted up to precisely the merge horizon,
+// which is the truncation bias the old per-task generator suffered from.
+
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Arrival-process kinds a Cohort can use.
+const (
+	// ProcPoisson is a stationary Poisson process: exponential
+	// inter-arrivals with mean MeanIntervalMs.
+	ProcPoisson = "poisson"
+	// ProcMMPP is the two-state Markov-modulated Poisson process of
+	// MMPPConfig: calm and burst states with exponential dwell times, each
+	// generating Poisson arrivals at its own rate.
+	ProcMMPP = "mmpp"
+	// ProcLogNormal draws log-normal inter-arrivals with mean
+	// MeanIntervalMs and shape Sigma — moderately heavy-tailed think-time
+	// behavior (ServeGen's chat-user regime).
+	ProcLogNormal = "lognormal"
+	// ProcPareto draws Pareto inter-arrivals with mean MeanIntervalMs and
+	// tail index Alpha > 1 — true heavy tails: long silences punctuated by
+	// dense request trains.
+	ProcPareto = "pareto"
+)
+
+// Process is one cohort's arrival process.
+type Process struct {
+	// Kind selects the process family: ProcPoisson, ProcMMPP,
+	// ProcLogNormal or ProcPareto.
+	Kind string
+	// MeanIntervalMs is the mean inter-arrival time. For ProcMMPP it is
+	// the calm-state mean (the MMPPConfig.CalmIntervalMs role).
+	MeanIntervalMs float64
+	// Sigma is the log-normal shape parameter (σ of the underlying
+	// normal); required > 0 for ProcLogNormal, ignored otherwise. The mean
+	// is preserved at MeanIntervalMs for every σ.
+	Sigma float64
+	// Alpha is the Pareto tail index; required > 1 for ProcPareto (so the
+	// mean exists), ignored otherwise. Smaller α = heavier tail.
+	Alpha float64
+	// BurstIntervalMs, CalmDwellMs, BurstDwellMs parameterize ProcMMPP
+	// exactly as in MMPPConfig; ignored for the other kinds.
+	BurstIntervalMs float64
+	CalmDwellMs     float64
+	BurstDwellMs    float64
+	// StartInBurst starts the MMPP in its burst state (the initial dwell
+	// is then drawn from BurstDwellMs, not CalmDwellMs).
+	StartInBurst bool
+}
+
+// Validate reports process configuration errors.
+func (p Process) Validate() error {
+	if p.MeanIntervalMs <= 0 {
+		return fmt.Errorf("workload: process %q non-positive mean interval %v", p.Kind, p.MeanIntervalMs)
+	}
+	switch p.Kind {
+	case ProcPoisson:
+	case ProcLogNormal:
+		if p.Sigma <= 0 {
+			return fmt.Errorf("workload: lognormal process needs Sigma > 0, got %v", p.Sigma)
+		}
+	case ProcPareto:
+		if p.Alpha <= 1 {
+			return fmt.Errorf("workload: pareto process needs Alpha > 1 for a finite mean, got %v", p.Alpha)
+		}
+	case ProcMMPP:
+		if p.BurstIntervalMs <= 0 {
+			return fmt.Errorf("workload: mmpp process non-positive burst interval %v", p.BurstIntervalMs)
+		}
+		if p.CalmDwellMs <= 0 || p.BurstDwellMs <= 0 {
+			return fmt.Errorf("workload: mmpp process non-positive dwell times")
+		}
+	default:
+		return fmt.Errorf("workload: unknown process kind %q", p.Kind)
+	}
+	return nil
+}
+
+// Envelope is a piecewise-constant periodic rate multiplier — the diurnal
+// pattern of production traffic. The period is divided into equal-length
+// phases; an arrival gap drawn at time t is divided by the factor of the
+// phase containing t, so a factor of 2 doubles the local arrival rate.
+type Envelope struct {
+	// PeriodMs is the envelope period (e.g. a scaled-down "day").
+	PeriodMs float64
+	// Factors are the per-phase rate multipliers; each must be > 0.
+	Factors []float64
+}
+
+// Validate reports envelope configuration errors.
+func (e *Envelope) Validate() error {
+	if e == nil {
+		return nil
+	}
+	if e.PeriodMs <= 0 {
+		return fmt.Errorf("workload: envelope non-positive period %v", e.PeriodMs)
+	}
+	if len(e.Factors) == 0 {
+		return fmt.Errorf("workload: envelope with no factors")
+	}
+	for i, f := range e.Factors {
+		if f <= 0 {
+			return fmt.Errorf("workload: envelope factor %d non-positive (%v)", i, f)
+		}
+	}
+	return nil
+}
+
+// FactorAt returns the rate multiplier in effect at time tMs (1 for a nil
+// envelope).
+func (e *Envelope) FactorAt(tMs float64) float64 {
+	if e == nil {
+		return 1
+	}
+	phase := math.Mod(tMs, e.PeriodMs) / e.PeriodMs * float64(len(e.Factors))
+	i := int(phase)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(e.Factors) {
+		i = len(e.Factors) - 1
+	}
+	return e.Factors[i]
+}
+
+// Cohort is one named client population: its model mix, arrival process,
+// optional diurnal envelope, and deadline/cancellation behavior.
+type Cohort struct {
+	// Name labels the cohort in the generated Arrival.Cohort field; empty
+	// leaves arrivals unlabeled.
+	Name string
+	// Models is the cohort's model mix; each arrival picks one according
+	// to Weights (uniform when Weights is nil).
+	Models []string
+	// Weights optionally biases the mix; must match len(Models), contain
+	// no negative entry, and not sum to zero.
+	Weights []float64
+	// Process is the cohort's arrival process.
+	Process Process
+	// Envelope optionally modulates the process rate over time.
+	Envelope *Envelope
+	// DeadlineMs, when > 0, stamps every arrival with this relative
+	// deadline (see Arrival.DeadlineMs), jittered by DeadlineJitterFrac.
+	DeadlineMs float64
+	// DeadlineJitterFrac in [0, 1) spreads deadlines uniformly over
+	// [DeadlineMs·(1-f), DeadlineMs·(1+f)).
+	DeadlineJitterFrac float64
+	// CancelFrac in [0, 1] is the fraction of the cohort's requests whose
+	// client gives up; each such arrival gets a CancelAtMs drawn
+	// CancelAfterMs-mean-exponentially after its arrival.
+	CancelFrac float64
+	// CancelAfterMs is the mean client patience before cancellation;
+	// required > 0 when CancelFrac > 0.
+	CancelAfterMs float64
+}
+
+// Validate reports cohort configuration errors.
+func (c Cohort) Validate() error {
+	if len(c.Models) == 0 {
+		return fmt.Errorf("workload: cohort %q has no models", c.Name)
+	}
+	if c.Weights != nil {
+		if len(c.Weights) != len(c.Models) {
+			return fmt.Errorf("workload: cohort %q: %d weights for %d models", c.Name, len(c.Weights), len(c.Models))
+		}
+		if err := validateWeights(c.Weights); err != nil {
+			return fmt.Errorf("workload: cohort %q: %w", c.Name, err)
+		}
+	}
+	if err := c.Process.Validate(); err != nil {
+		return fmt.Errorf("workload: cohort %q: %w", c.Name, err)
+	}
+	if err := c.Envelope.Validate(); err != nil {
+		return fmt.Errorf("workload: cohort %q: %w", c.Name, err)
+	}
+	if c.DeadlineMs < 0 || c.DeadlineJitterFrac < 0 || c.DeadlineJitterFrac >= 1 {
+		return fmt.Errorf("workload: cohort %q bad deadline spec (%v ± %v)", c.Name, c.DeadlineMs, c.DeadlineJitterFrac)
+	}
+	if c.CancelFrac < 0 || c.CancelFrac > 1 {
+		return fmt.Errorf("workload: cohort %q cancel fraction %v outside [0,1]", c.Name, c.CancelFrac)
+	}
+	if c.CancelFrac > 0 && c.CancelAfterMs <= 0 {
+		return fmt.Errorf("workload: cohort %q cancels without a positive CancelAfterMs", c.Name)
+	}
+	return nil
+}
+
+// CohortSetConfig parameterizes a cohort-engine trace: the cohorts to
+// superpose, the total request count, and the seed.
+type CohortSetConfig struct {
+	Cohorts []Cohort
+	// Count is the total number of merged arrivals to generate.
+	Count int
+	// Seed drives every cohort stream (each derives its own decorrelated
+	// sub-seed, so adding a cohort never perturbs the others).
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c CohortSetConfig) Validate() error {
+	if len(c.Cohorts) == 0 {
+		return fmt.Errorf("workload: no cohorts configured")
+	}
+	if c.Count <= 0 {
+		return fmt.Errorf("workload: non-positive count %d", c.Count)
+	}
+	for _, co := range c.Cohorts {
+		if err := co.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the finalizer from Vigna's SplitMix64 generator, used to
+// derive decorrelated per-stream seeds from one trace seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// streamSeed derives the RNG seed of stream idx from the trace seed.
+func streamSeed(seed int64, idx int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(idx)))
+}
+
+// mmppState is the two-state Markov-modulated Poisson machinery shared by
+// GenerateMMPP and cohort streams. An interval that would straddle a state
+// switch is not kept at the stale rate: the residual is discarded at the
+// switch point (exponentials are memoryless) and resampled at the new
+// state's rate, so the measured in-state rates converge to 1/CalmIntervalMs
+// and 1/BurstIntervalMs exactly.
+type mmppState struct {
+	calmMs, burstMs           float64
+	calmDwellMs, burstDwellMs float64
+	burst                     bool
+	stateEndMs                float64
+	// occupancyMs and arrivals account time spent and arrivals emitted per
+	// state (0 calm, 1 burst), so tests can assert the measured in-state
+	// rates converge to the configured ones.
+	occupancyMs [2]float64
+	arrivals    [2]int
+}
+
+// state indexes occupancyMs/arrivals for the current state.
+func (m *mmppState) state() int {
+	if m.burst {
+		return 1
+	}
+	return 0
+}
+
+// start draws the initial dwell for the configured start state.
+func (m *mmppState) start(rng *rand.Rand) {
+	dwell := m.calmDwellMs
+	if m.burst {
+		dwell = m.burstDwellMs
+	}
+	m.stateEndMs = rng.ExpFloat64() * dwell
+}
+
+// next returns the first arrival time strictly after t.
+func (m *mmppState) next(rng *rand.Rand, t float64, factor float64) float64 {
+	for {
+		mean := m.calmMs
+		if m.burst {
+			mean = m.burstMs
+		}
+		gap := rng.ExpFloat64() * mean / factor
+		if t+gap <= m.stateEndMs {
+			m.occupancyMs[m.state()] += gap
+			m.arrivals[m.state()]++
+			return t + gap
+		}
+		// The candidate lands beyond the switch: advance to the switch,
+		// flip state, extend the dwell, and resample at the new rate.
+		m.occupancyMs[m.state()] += m.stateEndMs - t
+		t = m.stateEndMs
+		m.burst = !m.burst
+		dwell := m.calmDwellMs
+		if m.burst {
+			dwell = m.burstDwellMs
+		}
+		m.stateEndMs += rng.ExpFloat64() * dwell
+	}
+}
+
+// stream is one cohort's lazy arrival stream: its RNG, process state, and
+// the time of its next (not yet emitted) arrival.
+type stream struct {
+	cohort *Cohort
+	rng    *rand.Rand
+	mmpp   mmppState
+	// lnMu is the precomputed log-normal location parameter so the mean
+	// stays at MeanIntervalMs for any Sigma.
+	lnMu float64
+	// paretoXm is the precomputed Pareto scale for the configured mean.
+	paretoXm float64
+	nextAtMs float64
+}
+
+// newStream builds the lazy stream of one cohort.
+func newStream(c *Cohort, idx int, seed int64) *stream {
+	s := &stream{cohort: c, rng: rand.New(rand.NewSource(streamSeed(seed, idx)))}
+	switch c.Process.Kind {
+	case ProcMMPP:
+		s.mmpp = mmppState{
+			calmMs:       c.Process.MeanIntervalMs,
+			burstMs:      c.Process.BurstIntervalMs,
+			calmDwellMs:  c.Process.CalmDwellMs,
+			burstDwellMs: c.Process.BurstDwellMs,
+			burst:        c.Process.StartInBurst,
+		}
+		s.mmpp.start(s.rng)
+	case ProcLogNormal:
+		s.lnMu = math.Log(c.Process.MeanIntervalMs) - c.Process.Sigma*c.Process.Sigma/2
+	case ProcPareto:
+		s.paretoXm = c.Process.MeanIntervalMs * (c.Process.Alpha - 1) / c.Process.Alpha
+	}
+	s.advance(0)
+	return s
+}
+
+// advance moves the stream's next-arrival time past t.
+func (s *stream) advance(t float64) {
+	p := &s.cohort.Process
+	factor := s.cohort.Envelope.FactorAt(t)
+	switch p.Kind {
+	case ProcMMPP:
+		s.nextAtMs = s.mmpp.next(s.rng, t, factor)
+	case ProcLogNormal:
+		s.nextAtMs = t + math.Exp(s.lnMu+p.Sigma*s.rng.NormFloat64())/factor
+	case ProcPareto:
+		// Inverse-CDF sample: xm / U^(1/α), U in (0, 1].
+		u := 1 - s.rng.Float64()
+		s.nextAtMs = t + s.paretoXm/math.Pow(u, 1/p.Alpha)/factor
+	default: // ProcPoisson
+		s.nextAtMs = t + s.rng.ExpFloat64()*p.MeanIntervalMs/factor
+	}
+}
+
+// emit materializes the stream's pending arrival with the given merged ID,
+// drawing the model, deadline, and cancellation for it.
+func (s *stream) emit(id int) Arrival {
+	c := s.cohort
+	a := Arrival{ID: id, Cohort: c.Name, AtMs: s.nextAtMs}
+	switch {
+	case len(c.Models) == 1:
+		a.Model = c.Models[0]
+	case c.Weights == nil:
+		a.Model = c.Models[s.rng.Intn(len(c.Models))]
+	default:
+		a.Model = pickWeighted(s.rng, c.Models, c.Weights)
+	}
+	if c.DeadlineMs > 0 {
+		a.DeadlineMs = c.DeadlineMs
+		if c.DeadlineJitterFrac > 0 {
+			a.DeadlineMs *= 1 + c.DeadlineJitterFrac*(2*s.rng.Float64()-1)
+		}
+	}
+	if c.CancelFrac > 0 && s.rng.Float64() < c.CancelFrac {
+		a.CancelAtMs = a.AtMs + s.rng.ExpFloat64()*c.CancelAfterMs
+	}
+	return a
+}
+
+// pickWeighted draws one model from a validated weight vector.
+func pickWeighted(rng *rand.Rand, models []string, weights []float64) string {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return models[i]
+		}
+	}
+	return models[len(models)-1]
+}
+
+// streamHeap is a value-based min-heap of stream indices keyed on
+// (nextAtMs, index). The index tiebreak makes equal-time merges — and
+// therefore arrival IDs — deterministic across runs and Go versions,
+// independent of any sort algorithm.
+type streamHeap struct {
+	at  []float64
+	idx []int
+}
+
+func (h *streamHeap) less(i, j int) bool {
+	if h.at[i] != h.at[j] {
+		return h.at[i] < h.at[j]
+	}
+	return h.idx[i] < h.idx[j]
+}
+
+func (h *streamHeap) swap(i, j int) {
+	h.at[i], h.at[j] = h.at[j], h.at[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+
+func (h *streamHeap) push(at float64, idx int) {
+	h.at = append(h.at, at)
+	h.idx = append(h.idx, idx)
+	for i := len(h.at) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest stream index.
+func (h *streamHeap) pop() int {
+	idx := h.idx[0]
+	last := len(h.at) - 1
+	h.swap(0, last)
+	h.at = h.at[:last]
+	h.idx = h.idx[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < last && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return idx
+}
+
+// GenerateCohorts produces the superposed arrival trace of a cohort set:
+// exactly Count arrivals in time order with dense IDs, merged lazily from
+// one stream per cohort. Each stream is consulted precisely up to the merge
+// horizon, so no cohort's tail is ever silently missing — the invariant the
+// old eager per-task generator violated.
+func GenerateCohorts(cfg CohortSetConfig) ([]Arrival, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	streams := make([]*stream, len(cfg.Cohorts))
+	var h streamHeap
+	for i := range cfg.Cohorts {
+		streams[i] = newStream(&cfg.Cohorts[i], i, cfg.Seed)
+		h.push(streams[i].nextAtMs, i)
+	}
+	out := make([]Arrival, 0, cfg.Count)
+	for len(out) < cfg.Count {
+		i := h.pop()
+		s := streams[i]
+		out = append(out, s.emit(len(out)))
+		s.advance(s.nextAtMs)
+		h.push(s.nextAtMs, i)
+	}
+	return out, nil
+}
+
+// MustGenerateCohorts is GenerateCohorts that panics on error, for fixed
+// test and benchmark configs.
+func MustGenerateCohorts(cfg CohortSetConfig) []Arrival {
+	a, err := GenerateCohorts(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

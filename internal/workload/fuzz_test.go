@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzWorkloadTrace drives the cohort engine with arbitrary (bounded)
+// configurations and checks the generator invariants plus the trace
+// round trip: monotone non-negative times, dense IDs, cohort mix
+// conservation, and bit-identical WriteTrace → ReadTrace → WriteTrace.
+func FuzzWorkloadTrace(f *testing.F) {
+	f.Add(int64(1), uint16(100), byte(0), byte(1), 40.0, 15.0, false)
+	f.Add(int64(7), uint16(1000), byte(1), byte(2), 120.0, 8.0, true)
+	f.Add(int64(-3), uint16(1), byte(2), byte(3), 0.5, 1e6, false)
+	f.Add(int64(99), uint16(5000), byte(3), byte(0), 1e-3, 3.0, true)
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, kindA, kindB byte, meanA, meanB float64, envelope bool) {
+		kinds := []string{ProcPoisson, ProcMMPP, ProcLogNormal, ProcPareto}
+		bound := func(m float64) float64 {
+			if math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
+				return 10
+			}
+			return math.Min(math.Max(m, 1e-3), 1e6)
+		}
+		proc := func(kind byte, mean float64) Process {
+			p := Process{Kind: kinds[int(kind)%len(kinds)], MeanIntervalMs: bound(mean)}
+			switch p.Kind {
+			case ProcMMPP:
+				p.BurstIntervalMs = p.MeanIntervalMs / 4
+				p.CalmDwellMs = p.MeanIntervalMs * 8
+				p.BurstDwellMs = p.MeanIntervalMs * 2
+				p.StartInBurst = kind%2 == 1
+			case ProcLogNormal:
+				p.Sigma = 1 + float64(kind%3)
+			case ProcPareto:
+				p.Alpha = 1.5 + float64(kind%3)
+			}
+			return p
+		}
+		cfg := CohortSetConfig{
+			Cohorts: []Cohort{
+				{Name: "alpha", Models: []string{"a0", "a1"}, Process: proc(kindA, meanA), DeadlineMs: 100, DeadlineJitterFrac: 0.5},
+				{Name: "beta", Models: []string{"b0"}, Process: proc(kindB, meanB), CancelFrac: 0.2, CancelAfterMs: 50},
+			},
+			Count: int(n)%5000 + 1,
+			Seed:  seed,
+		}
+		if envelope {
+			cfg.Cohorts[0].Envelope = &Envelope{PeriodMs: bound(meanA) * 64, Factors: []float64{1, 4, 2}}
+		}
+		arrivals, err := GenerateCohorts(cfg)
+		if err != nil {
+			t.Fatalf("valid-by-construction config rejected: %v", err)
+		}
+		if len(arrivals) != cfg.Count {
+			t.Fatalf("generated %d arrivals, want %d", len(arrivals), cfg.Count)
+		}
+		modelCohort := map[string]string{"a0": "alpha", "a1": "alpha", "b0": "beta"}
+		perCohort := map[string]int{}
+		prev := -1.0
+		for i, a := range arrivals {
+			if a.ID != i {
+				t.Fatalf("arrival %d has ID %d; IDs must be dense", i, a.ID)
+			}
+			if a.AtMs < 0 || a.AtMs < prev || math.IsNaN(a.AtMs) || math.IsInf(a.AtMs, 0) {
+				t.Fatalf("arrival %d at %v after %v", i, a.AtMs, prev)
+			}
+			prev = a.AtMs
+			if modelCohort[a.Model] != a.Cohort {
+				t.Fatalf("arrival %d: model %q labeled cohort %q", i, a.Model, a.Cohort)
+			}
+			perCohort[a.Cohort]++
+			if a.CancelAtMs != 0 && a.CancelAtMs <= a.AtMs {
+				t.Fatalf("arrival %d cancels at %v, not after %v", i, a.CancelAtMs, a.AtMs)
+			}
+		}
+		if perCohort["alpha"]+perCohort["beta"] != cfg.Count {
+			t.Fatalf("cohort counts %v do not conserve the mix (count %d)", perCohort, cfg.Count)
+		}
+
+		var first bytes.Buffer
+		h := TraceHeader{Seed: seed, ConfigHash: ConfigHash(cfg)}
+		if err := WriteTrace(&first, h, arrivals); err != nil {
+			t.Fatal(err)
+		}
+		readH, readA, err := ReadTrace(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("reading back a written trace: %v", err)
+		}
+		if !reflect.DeepEqual(readA, arrivals) {
+			t.Fatal("arrivals changed through the round trip")
+		}
+		var second bytes.Buffer
+		if err := WriteTrace(&second, readH, readA); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("trace does not round-trip bit-identically")
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// legacyGeneratePerTask is the pre-fix per-task generator, kept verbatim as
+// the regression tests' negative control: it over-generates Count/k+1
+// arrivals per stream and truncates the sorted concatenation, so any
+// arrivals past a fast stream's own (randomly short) horizon are silently
+// missing from the merged tail.
+func legacyGeneratePerTask(cfg Config, rng *rand.Rand) []Arrival {
+	per := cfg.Count/len(cfg.Models) + 1
+	merged := make([]Arrival, 0, per*len(cfg.Models))
+	for _, m := range cfg.Models {
+		var t float64
+		for i := 0; i < per; i++ {
+			t += rng.ExpFloat64() * cfg.MeanIntervalMs
+			merged = append(merged, Arrival{Model: m, AtMs: t})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].AtMs < merged[j].AtMs })
+	if len(merged) > cfg.Count {
+		merged = merged[:cfg.Count]
+	}
+	for i := range merged {
+		merged[i].ID = i
+	}
+	return merged
+}
+
+// maxTailGapFactor measures, over all models, the largest gap between a
+// model's final arrival and the end of the merged trace, in units of the
+// per-stream mean interval. A healthy superposition leaves every stream's
+// gap exponentially distributed with mean 1 (in these units); truncation
+// bias leaves one stream's entire tail missing, inflating its gap far past
+// anything an exponential produces.
+func maxTailGapFactor(arrivals []Arrival, models []string, meanMs float64) float64 {
+	end := arrivals[len(arrivals)-1].AtMs
+	last := make(map[string]float64, len(models))
+	for _, a := range arrivals {
+		last[a.Model] = a.AtMs
+	}
+	var worst float64
+	for _, m := range models {
+		if gap := (end - last[m]) / meanMs; gap > worst {
+			worst = gap
+		}
+	}
+	return worst
+}
+
+// TestGeneratePerTaskNoTruncationBias reconstructs each per-model Poisson
+// stream independently and asserts the merged trace holds every stream
+// arrival up to the merge horizon — the exactness property the lazy heap
+// merge guarantees by construction and the legacy generator violated.
+func TestGeneratePerTaskNoTruncationBias(t *testing.T) {
+	models := []string{"a", "b", "c", "d", "e"}
+	const mean = 50.0
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := Config{Models: models, MeanIntervalMs: mean, PerTask: true, Count: 1000, Seed: seed}
+		out := MustGenerate(cfg)
+		horizon := out[len(out)-1].AtMs
+
+		total := 0
+		for i, m := range models {
+			// Single-model per-task cohorts draw nothing but gaps, so the
+			// stream is exactly reproducible from its derived sub-seed.
+			rng := rand.New(rand.NewSource(streamSeed(seed, i)))
+			var want []float64
+			for at := rng.ExpFloat64() * mean; at <= horizon; at += rng.ExpFloat64() * mean {
+				want = append(want, at)
+			}
+			var got []float64
+			for _, a := range out {
+				if a.Model == m {
+					got = append(got, a.AtMs)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d model %s: trace holds %d arrivals before the horizon, stream generates %d — tail arrivals are missing",
+					seed, m, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("seed %d model %s arrival %d: trace %v != stream %v", seed, m, j, got[j], want[j])
+				}
+			}
+			total += len(got)
+		}
+		if total != cfg.Count {
+			t.Fatalf("seed %d: streams account for %d arrivals, trace holds %d", seed, total, cfg.Count)
+		}
+	}
+}
+
+// TestLegacyGeneratorFailsTailGapCheck pins that the statistical detector
+// actually separates the two generators: the pre-fix generator's missing
+// tails show up as an impossibly large end-of-trace gap for some stream,
+// while the heap merge stays within exponential bounds. With 5 streams and
+// 10 seeds, P(max gap > 9 means) ≈ 50·e⁻⁹ ≈ 0.6% for a correct generator;
+// the legacy one undershoots by Θ(√(Count/k)) intervals, far beyond it.
+func TestLegacyGeneratorFailsTailGapCheck(t *testing.T) {
+	models := []string{"a", "b", "c", "d", "e"}
+	const mean, threshold = 50.0, 9.0
+	legacyFlagged := false
+	for seed := int64(1); seed <= 10; seed++ {
+		cfg := Config{Models: models, MeanIntervalMs: mean, PerTask: true, Count: 1000, Seed: seed}
+		legacy := legacyGeneratePerTask(cfg, rand.New(rand.NewSource(seed)))
+		if maxTailGapFactor(legacy, models, mean) > threshold {
+			legacyFlagged = true
+		}
+		if g := maxTailGapFactor(MustGenerate(cfg), models, mean); g > threshold {
+			t.Errorf("seed %d: fixed generator tail gap %.1f means exceeds %.0f", seed, g, threshold)
+		}
+	}
+	if !legacyFlagged {
+		t.Error("tail-gap check never flagged the legacy generator; the regression detector is too weak")
+	}
+}
+
+// Per-task IDs and ordering must be identical across runs, with equal-time
+// ties broken deterministically by stream index rather than sort internals.
+func TestGeneratePerTaskDeterministic(t *testing.T) {
+	cfg := Config{Models: []string{"a", "b", "c"}, MeanIntervalMs: 30, PerTask: true, Count: 5000, Seed: 42}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWeightValidationTyped(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		wantErr error
+	}{
+		{"negative", []float64{1, -0.5}, ErrNegativeWeight},
+		{"all zero", []float64{0, 0}, ErrZeroWeights},
+		{"valid", []float64{0, 1}, nil},
+		{"nil", nil, nil},
+	}
+	for _, tc := range cases {
+		cfg := Config{Models: []string{"a", "b"}, Weights: tc.weights, MeanIntervalMs: 10, Count: 5}
+		_, err := Generate(cfg)
+		if tc.wantErr == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: got %v, want errors.Is(%v)", tc.name, err, tc.wantErr)
+		}
+	}
+}

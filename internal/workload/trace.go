@@ -1,0 +1,187 @@
+// Versioned workload trace format: JSONL with a header record, so any
+// arrival trace — generated offline or recorded from a live serve run — can
+// be persisted and replayed deterministically through policy.Split. The
+// format round-trips bit-identically: WriteTrace(ReadTrace(x)) reproduces
+// x byte for byte, because Go's shortest-form float encoding is exact.
+
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceFormat is the header magic every workload trace carries.
+const TraceFormat = "split-workload-trace"
+
+// TraceVersion is the current trace schema revision. Version 1 is the
+// initial format: a header line followed by one Arrival record per line.
+// Readers accept any version <= TraceVersion; a higher version is a trace
+// from a newer writer and is refused rather than misread.
+const TraceVersion = 1
+
+// TraceHeader is the first JSONL record of a trace file.
+type TraceHeader struct {
+	// Format must equal TraceFormat.
+	Format string `json:"format"`
+	// Version is the schema revision the trace was written under.
+	Version int `json:"version"`
+	// Count is the number of arrival records that follow.
+	Count int `json:"count"`
+	// Seed, when the trace was generated, is the generator seed.
+	Seed int64 `json:"seed,omitempty"`
+	// ConfigHash, when the trace was generated, fingerprints the generator
+	// configuration (see ConfigHash), so replays can assert they are
+	// re-simulating the trace they think they are.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// Source labels the trace origin, e.g. "generate" or "serve".
+	Source string `json:"source,omitempty"`
+}
+
+// ConfigHash fingerprints a generator configuration (Config,
+// CohortSetConfig, MMPPConfig, ...) as the FNV-1a hash of its canonical
+// JSON encoding. Two configs hash equal iff their JSON forms match, which
+// is what replay compatibility needs.
+func ConfigHash(cfg any) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Configs are plain data structs; Marshal cannot fail on them.
+		panic(fmt.Sprintf("workload: hashing config: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// WriteTrace writes the header and arrivals as JSONL. The header's Format,
+// Version and Count fields are stamped by the writer; the caller provides
+// provenance (Seed, ConfigHash, Source).
+func WriteTrace(w io.Writer, h TraceHeader, arrivals []Arrival) error {
+	h.Format = TraceFormat
+	h.Version = TraceVersion
+	h.Count = len(arrivals)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	for i := range arrivals {
+		if err := enc.Encode(arrivals[i]); err != nil {
+			return fmt.Errorf("workload: writing trace record %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("workload: flushing trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a trace written by WriteTrace, validating the header
+// magic, version, record count, and time ordering.
+func ReadTrace(r io.Reader) (TraceHeader, []Arrival, error) {
+	var h TraceHeader
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&h); err != nil {
+		return h, nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if h.Format != TraceFormat {
+		return h, nil, fmt.Errorf("workload: not a workload trace (format %q)", h.Format)
+	}
+	if h.Version < 1 || h.Version > TraceVersion {
+		return h, nil, fmt.Errorf("workload: trace version %d unsupported (reader speaks <= %d)", h.Version, TraceVersion)
+	}
+	if h.Count < 0 {
+		return h, nil, fmt.Errorf("workload: trace header count %d negative", h.Count)
+	}
+	arrivals := make([]Arrival, 0, h.Count)
+	prev := -1.0
+	for {
+		var a Arrival
+		if err := dec.Decode(&a); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return h, nil, fmt.Errorf("workload: reading trace record %d: %w", len(arrivals), err)
+		}
+		if a.AtMs < 0 || a.AtMs < prev {
+			return h, nil, fmt.Errorf("workload: trace not time-ordered at record %d (%v after %v)", len(arrivals), a.AtMs, prev)
+		}
+		prev = a.AtMs
+		arrivals = append(arrivals, a)
+	}
+	if len(arrivals) != h.Count {
+		return h, nil, fmt.Errorf("workload: trace holds %d records, header says %d", len(arrivals), h.Count)
+	}
+	return h, arrivals, nil
+}
+
+// Recorder accumulates the arrivals of a live serving run in workload form,
+// so the run can be written with WriteTrace and re-simulated
+// deterministically through policy.Split. It is safe for concurrent use;
+// the serving path records under its own lock, admin surfaces read later.
+type Recorder struct {
+	mu       sync.Mutex
+	arrivals []Arrival
+	// byID maps request ID to its slice position so a later cancellation
+	// can be backfilled onto the arrival that replay needs it on.
+	byID map[int]int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{byID: make(map[int]int)}
+}
+
+// Observe records one admitted arrival. atMs is the server's virtual time;
+// deadlineMs is the client-supplied relative deadline (0 for none).
+func (r *Recorder) Observe(id int, modelName string, atMs, deadlineMs float64) {
+	r.mu.Lock()
+	r.byID[id] = len(r.arrivals)
+	r.arrivals = append(r.arrivals, Arrival{ID: id, Model: modelName, AtMs: atMs, DeadlineMs: deadlineMs})
+	r.mu.Unlock()
+}
+
+// ObserveCancel backfills the cancellation time onto a recorded arrival.
+// Unknown IDs (e.g. requests rejected at admission) are ignored.
+func (r *Recorder) ObserveCancel(id int, atMs float64) {
+	r.mu.Lock()
+	if i, ok := r.byID[id]; ok {
+		r.arrivals[i].CancelAtMs = atMs
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many arrivals have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.arrivals)
+}
+
+// Trace returns the recorded arrivals as a replayable trace: a copy,
+// ordered by (AtMs, ID) — concurrent enqueues can be recorded slightly out
+// of order — with IDs preserved as the server assigned them.
+func (r *Recorder) Trace() []Arrival {
+	r.mu.Lock()
+	out := make([]Arrival, len(r.arrivals))
+	copy(out, r.arrivals)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].AtMs != out[j].AtMs {
+			return out[i].AtMs < out[j].AtMs
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Encode writes the recorded trace with WriteTrace under a "serve" source
+// header.
+func (r *Recorder) Encode(w io.Writer) error {
+	return WriteTrace(w, TraceHeader{Source: "serve"}, r.Trace())
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTripBitIdentical(t *testing.T) {
+	cfg := twoCohortConfig()
+	cfg.Cohorts[0].DeadlineMs = 120
+	cfg.Cohorts[0].DeadlineJitterFrac = 0.2
+	cfg.Cohorts[1].CancelFrac = 0.1
+	cfg.Cohorts[1].CancelAfterMs = 80
+	arrivals := MustGenerateCohorts(cfg)
+	h := TraceHeader{Seed: cfg.Seed, ConfigHash: ConfigHash(cfg), Source: "generate"}
+
+	var first bytes.Buffer
+	if err := WriteTrace(&first, h, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	gotH, gotA, err := ReadTrace(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH.Format != TraceFormat || gotH.Version != TraceVersion || gotH.Count != len(arrivals) {
+		t.Fatalf("header not stamped: %+v", gotH)
+	}
+	if gotH.Seed != cfg.Seed || gotH.ConfigHash != ConfigHash(cfg) || gotH.Source != "generate" {
+		t.Fatalf("provenance lost: %+v", gotH)
+	}
+	if !reflect.DeepEqual(gotA, arrivals) {
+		t.Fatal("arrivals changed through the round trip")
+	}
+	// Bit-identity: re-encoding the parsed trace reproduces the bytes.
+	var second bytes.Buffer
+	if err := WriteTrace(&second, gotH, gotA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("trace does not round-trip bit-identically")
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteTrace(&good, TraceHeader{}, []Arrival{
+		{ID: 0, Model: "m", AtMs: 1},
+		{ID: 1, Model: "m", AtMs: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(good.String(), "\n")
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"wrong magic", `{"format":"not-a-trace","version":1,"count":0}` + "\n"},
+		{"future version", `{"format":"split-workload-trace","version":2,"count":0}` + "\n"},
+		{"zero version", `{"format":"split-workload-trace","version":0,"count":0}` + "\n"},
+		{"negative count", `{"format":"split-workload-trace","version":1,"count":-1}` + "\n"},
+		{"count mismatch", lines[0] + lines[1]},
+		{"unordered", lines[0] + lines[2] + lines[1]},
+		{"negative time", lines[0] + `{"id":0,"model":"m","at_ms":-1}` + "\n" + lines[2]},
+		{"garbage record", lines[0] + "not json\n"},
+		{"empty input", ""},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadTrace(strings.NewReader(tc.input)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestConfigHash(t *testing.T) {
+	a := twoCohortConfig()
+	b := twoCohortConfig()
+	if ConfigHash(a) != ConfigHash(b) {
+		t.Fatal("identical configs hash differently")
+	}
+	b.Seed++
+	if ConfigHash(a) == ConfigHash(b) {
+		t.Fatal("different configs hash identically")
+	}
+	if len(ConfigHash(a)) != 16 {
+		t.Fatalf("hash %q not 16 hex chars", ConfigHash(a))
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	// Recorded slightly out of order, as concurrent enqueues can be.
+	r.Observe(2, "vgg16", 10.5, 0)
+	r.Observe(1, "resnet50", 10.5, 200)
+	r.Observe(3, "inception", 12, 0)
+	r.ObserveCancel(3, 15)
+	r.ObserveCancel(99, 16) // unknown ID: ignored
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	got := r.Trace()
+	want := []Arrival{
+		{ID: 1, Model: "resnet50", AtMs: 10.5, DeadlineMs: 200},
+		{ID: 2, Model: "vgg16", AtMs: 10.5},
+		{ID: 3, Model: "inception", AtMs: 12, CancelAtMs: 15},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("trace %+v, want %+v", got, want)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, arrivals, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Source != "serve" {
+		t.Fatalf("source %q, want serve", h.Source)
+	}
+	if !reflect.DeepEqual(arrivals, want) {
+		t.Fatalf("round-tripped trace %+v, want %+v", arrivals, want)
+	}
+}

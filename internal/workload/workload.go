@@ -6,25 +6,54 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 )
 
-// Arrival is one request arrival: which model, when.
+// Typed configuration errors, so callers can distinguish rejection causes
+// with errors.Is.
+var (
+	// ErrNegativeWeight rejects mixes containing a negative model weight.
+	ErrNegativeWeight = errors.New("workload: negative model weight")
+	// ErrZeroWeights rejects mixes whose weights sum to zero — such a mix
+	// would silently degenerate to always picking the first model.
+	ErrZeroWeights = errors.New("workload: model weights sum to zero")
+)
+
+// Arrival is one request arrival: which model, when. The JSON tags define
+// the versioned trace record format (see WriteTrace).
 type Arrival struct {
-	ID    int
-	Model string
-	AtMs  float64
+	ID    int     `json:"id"`
+	Model string  `json:"model"`
+	AtMs  float64 `json:"at_ms"`
 	// DeadlineMs, when > 0, is a client-supplied relative deadline: the
 	// request must finish within this many ms of AtMs or be shed. 0 leaves
 	// the deadline to the system's policy (α·t_ext when deadline
 	// enforcement is on, none otherwise).
-	DeadlineMs float64
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 	// CancelAtMs, when > 0, is the absolute time at which the client
 	// cancels the request: queued work is removed, in-flight work stops at
 	// its next block boundary. 0 means the client never cancels.
-	CancelAtMs float64
+	CancelAtMs float64 `json:"cancel_at_ms,omitempty"`
+	// Cohort names the client cohort that generated the arrival (see
+	// GenerateCohorts); empty for single-population generators.
+	Cohort string `json:"cohort,omitempty"`
+}
+
+// validateWeights rejects negative entries and all-zero vectors.
+func validateWeights(weights []float64) error {
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return fmt.Errorf("%w: weight %d is %v", ErrNegativeWeight, i, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return ErrZeroWeights
+	}
+	return nil
 }
 
 // Scenario is a Table 2 row: a mean arrival interval and its load label.
@@ -86,8 +115,13 @@ func (c Config) Validate() error {
 	if len(c.Models) == 0 {
 		return fmt.Errorf("workload: no models configured")
 	}
-	if c.Weights != nil && len(c.Weights) != len(c.Models) {
-		return fmt.Errorf("workload: %d weights for %d models", len(c.Weights), len(c.Models))
+	if c.Weights != nil {
+		if len(c.Weights) != len(c.Models) {
+			return fmt.Errorf("workload: %d weights for %d models", len(c.Weights), len(c.Models))
+		}
+		if err := validateWeights(c.Weights); err != nil {
+			return err
+		}
 	}
 	if c.MeanIntervalMs <= 0 {
 		return fmt.Errorf("workload: non-positive mean interval %v", c.MeanIntervalMs)
@@ -107,10 +141,10 @@ func Generate(cfg Config) ([]Arrival, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	if cfg.PerTask {
-		return generatePerTask(cfg, rng), nil
+		return generatePerTask(cfg), nil
 	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	arrivals := make([]Arrival, 0, cfg.Count)
 	var t float64
 	for i := 0; i < cfg.Count; i++ {
@@ -124,25 +158,27 @@ func Generate(cfg Config) ([]Arrival, error) {
 	return arrivals, nil
 }
 
-func generatePerTask(cfg Config, rng *rand.Rand) []Arrival {
-	// Over-generate per stream so the merged prefix surely holds Count.
-	per := cfg.Count/len(cfg.Models) + 1
-	merged := make([]Arrival, 0, per*len(cfg.Models))
-	for _, m := range cfg.Models {
-		var t float64
-		for i := 0; i < per; i++ {
-			t += rng.ExpFloat64() * cfg.MeanIntervalMs
-			merged = append(merged, Arrival{Model: m, AtMs: t})
+// generatePerTask superposes one independent Poisson stream per model via
+// the cohort engine's lazy k-way heap merge. Every stream is consulted up
+// to exactly the merge horizon, so the Count-prefix is the true
+// superposition — the eager predecessor over-generated Count/k+1 arrivals
+// per stream and truncated the sorted concatenation, silently dropping any
+// stream's arrivals past its own (randomly short) horizon and biasing the
+// trace tail. Equal-time ties order by model index, deterministically.
+func generatePerTask(cfg Config) []Arrival {
+	cohorts := make([]Cohort, len(cfg.Models))
+	for i, m := range cfg.Models {
+		cohorts[i] = Cohort{
+			Models:  []string{m},
+			Process: Process{Kind: ProcPoisson, MeanIntervalMs: cfg.MeanIntervalMs},
 		}
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].AtMs < merged[j].AtMs })
-	if len(merged) > cfg.Count {
-		merged = merged[:cfg.Count]
+	arrivals, err := GenerateCohorts(CohortSetConfig{Cohorts: cohorts, Count: cfg.Count, Seed: cfg.Seed})
+	if err != nil {
+		// Config passed Validate, so the derived cohort set is valid too.
+		panic(fmt.Sprintf("workload: per-task cohort set: %v", err))
 	}
-	for i := range merged {
-		merged[i].ID = i
-	}
-	return merged
+	return arrivals
 }
 
 // MustGenerate is Generate that panics on error, for fixed test configs.
@@ -158,18 +194,7 @@ func pickModel(cfg Config, rng *rand.Rand) string {
 	if cfg.Weights == nil {
 		return cfg.Models[rng.Intn(len(cfg.Models))]
 	}
-	var total float64
-	for _, w := range cfg.Weights {
-		total += w
-	}
-	x := rng.Float64() * total
-	for i, w := range cfg.Weights {
-		x -= w
-		if x <= 0 {
-			return cfg.Models[i]
-		}
-	}
-	return cfg.Models[len(cfg.Models)-1]
+	return pickWeighted(rng, cfg.Models, cfg.Weights)
 }
 
 // TaskIntervalFactor calibrates the per-task arrival interval against the
@@ -214,6 +239,9 @@ type MMPPConfig struct {
 	BurstIntervalMs float64
 	// CalmDwellMs and BurstDwellMs are the mean state dwell times.
 	CalmDwellMs, BurstDwellMs float64
+	// StartInBurst starts the process in its burst state; the initial
+	// dwell is then drawn from BurstDwellMs rather than CalmDwellMs.
+	StartInBurst bool
 	// Count is the number of requests.
 	Count int
 	// Seed drives the generator.
@@ -235,30 +263,29 @@ func (c MMPPConfig) Validate() error {
 	return nil
 }
 
-// GenerateMMPP produces a bursty arrival trace from the two-state MMPP.
+// GenerateMMPP produces a bursty arrival trace from the two-state MMPP. An
+// inter-arrival that would straddle a state switch is resampled at the new
+// state's rate from the switch point (the exponential's memorylessness
+// makes that exact), so the measured per-state rates converge to
+// 1/CalmIntervalMs and 1/BurstIntervalMs instead of bleeding stale-rate
+// intervals across switches.
 func GenerateMMPP(cfg MMPPConfig) ([]Arrival, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := mmppState{
+		calmMs:       cfg.CalmIntervalMs,
+		burstMs:      cfg.BurstIntervalMs,
+		calmDwellMs:  cfg.CalmDwellMs,
+		burstDwellMs: cfg.BurstDwellMs,
+		burst:        cfg.StartInBurst,
+	}
+	st.start(rng)
 	arrivals := make([]Arrival, 0, cfg.Count)
 	var t float64
-	burst := false
-	stateEnd := rng.ExpFloat64() * cfg.CalmDwellMs
 	for i := 0; i < cfg.Count; i++ {
-		interval := cfg.CalmIntervalMs
-		if burst {
-			interval = cfg.BurstIntervalMs
-		}
-		t += rng.ExpFloat64() * interval
-		for t > stateEnd {
-			burst = !burst
-			dwell := cfg.CalmDwellMs
-			if burst {
-				dwell = cfg.BurstDwellMs
-			}
-			stateEnd += rng.ExpFloat64() * dwell
-		}
+		t = st.next(rng, t, 1)
 		arrivals = append(arrivals, Arrival{
 			ID:    i,
 			Model: cfg.Models[rng.Intn(len(cfg.Models))],
