@@ -15,14 +15,17 @@
 //	splitbench -ablation placement [-devices 2] [-csv placement.csv]
 //	splitbench -ablation batching [-batch-max 8]
 //	splitbench -capacity [-capacity-devices 1,2,4] [-viol-target 0.1] [-placement least-loaded]
+//	splitbench -saturation [-devices 2] [-saturation-points 16] [-viol-target 0.1]
 //	splitbench -replay run.trace [-systems "SPLIT,RT-A"]
 //
 // -capacity binary-searches, per fleet size, the maximum sustainable
 // aggregate request rate (req/s) holding viol@α under -viol-target — the
 // knee of the violation-rate curve for the (devices, batch-max, placement)
-// tuple. -replay re-simulates a recorded workload trace (splitd -record,
-// or workload.WriteTrace) through the selected systems and prints their
-// QoS summaries.
+// tuple. -saturation sweeps offered load through the same probe machinery
+// and prints the full throughput-vs-QoS curve for the -devices fleet, with
+// the knee marked. -replay re-simulates a recorded workload trace (splitd
+// -record, or workload.WriteTrace) through the selected systems and prints
+// their QoS summaries.
 //
 // Command-line mistakes (unknown ablation, -devices 0, -batch-max 0, a bad
 // -viol-target or -capacity-devices list) exit with status 2 and a one-line
@@ -93,8 +96,11 @@ func run(args []string, out io.Writer) error {
 		capDevices  = fs.String("capacity-devices", "1,2,4", "comma-separated fleet sizes for -capacity")
 		violTarget  = fs.Float64("viol-target", 0.10, "viol@4 ceiling the -capacity knee must hold")
 		capRequests = fs.Int("capacity-requests", 20000, "trace length per -capacity probe")
-		placement   = fs.String("placement", "", "fleet placement policy for -capacity (default round-robin)")
+		placement   = fs.String("placement", "", "fleet placement policy for -capacity/-saturation (default round-robin)")
 		replayPath  = fs.String("replay", "", "re-simulate a recorded workload trace through the selected systems")
+
+		saturation = fs.Bool("saturation", false, "sweep offered load and print the throughput-vs-QoS curve with its knee")
+		satPoints  = fs.Int("saturation-points", 16, "linear grid resolution across the -saturation knee region")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -110,6 +116,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *capRequests < 1 {
 		return usagef("-capacity-requests must be >= 1, got %d", *capRequests)
+	}
+	if *satPoints < 1 {
+		return usagef("-saturation-points must be >= 1, got %d", *satPoints)
 	}
 	if _, err := place.New(*placement, 1); err != nil {
 		return usageError{err}
@@ -141,7 +150,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab || *capacity || *replayPath != "" ||
+	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab || *capacity || *saturation || *replayPath != "" ||
 		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness" ||
 		*ablation == "shedding" || *ablation == "placement" || *ablation == "batching"
 	var dep *core.Deployment
@@ -208,6 +217,21 @@ func run(args []string, out io.Writer) error {
 		}
 		rows := dep.CapacitySweep(cfg, capList)
 		fmt.Fprint(out, core.RenderCapacity(rows, *violTarget, 4))
+	}
+	if *saturation {
+		ran = true
+		res := core.NewSaturationAnalyzer(dep, core.SaturationConfig{
+			CapacityConfig: core.CapacityConfig{
+				Devices:    *devices,
+				BatchMax:   capBatch,
+				Placement:  *placement,
+				Requests:   *capRequests,
+				ViolTarget: *violTarget,
+				Seed:       *seed,
+			},
+			Points: *satPoints,
+		}).Analyze()
+		fmt.Fprint(out, core.RenderSaturation(res, *violTarget, 4))
 	}
 	if *replayPath != "" {
 		ran = true

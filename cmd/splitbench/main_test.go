@@ -122,6 +122,20 @@ func TestCapacityOutput(t *testing.T) {
 	}
 }
 
+// TestSaturationOutput: -saturation must print the throughput-vs-QoS curve
+// with the knee marked and a final knee summary line.
+func TestSaturationOutput(t *testing.T) {
+	out := runOK(t, "-saturation", "-devices", "2", "-capacity-requests", "2000", "-saturation-points", "4")
+	for _, want := range []string{"offered req/s", "served req/s", "viol", "knee:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("saturation output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no knee point marked in the curve:\n%s", out)
+	}
+}
+
 func TestReplayOutput(t *testing.T) {
 	arrivals := workload.MustGenerate(workload.Config{
 		Models:         zoo.BenchmarkModels,
@@ -193,6 +207,8 @@ func TestUsageErrors(t *testing.T) {
 		{"-capacity", "-capacity-devices", "0"},
 		{"-capacity", "-capacity-requests", "0"},
 		{"-capacity", "-placement", "teleport"},
+		{"-saturation", "-saturation-points", "0"},
+		{"-saturation", "-placement", "teleport"},
 	}
 	for _, args := range cases {
 		var b strings.Builder

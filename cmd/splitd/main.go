@@ -13,6 +13,8 @@
 //	splitd -addr 127.0.0.1:7100 -devices 4 -placement least-loaded
 //	splitd -addr 127.0.0.1:7100 -batch-max 4
 //	splitd -addr 127.0.0.1:7100 -record run.trace
+//	splitd -addr 127.0.0.1:7100 -autoscale-max 4 -autoscale-min 1
+//	splitd -addr 127.0.0.1:7100 -admit-mode token-bucket -admit-rate 50
 //
 // With -admin set, a live observability endpoint serves /metrics
 // (Prometheus text), /healthz, /queuez (JSON queue snapshot), /tracez
@@ -41,8 +43,18 @@
 // shutdown, so the live run can be re-simulated deterministically with
 // splitbench -replay.
 //
-// Command-line mistakes (-devices 0, -batch-max 0, an unknown -placement)
-// exit with status 2 and a one-line error; runtime failures exit with 1.
+// With -autoscale-max N > 0, the daemon runs an elastic fleet: N executors
+// are provisioned but only [-autoscale-min, N] are actively placed, scaling
+// on queue-depth and rolling-QoS watermarks with drain-then-release (the
+// fixed -devices value is superseded). The live active count appears as
+// split_fleet_active_devices and in /queuez. With -admit-mode, a front-door
+// admission gate rejects work the fleet cannot absorb (token-bucket,
+// queue-length or predicted-rr); rejections are typed ErrAdmissionRejected
+// on the wire and count under split_drops_total{reason="admission"}.
+//
+// Command-line mistakes (-devices 0, -batch-max 0, an unknown -placement,
+// inconsistent -autoscale-*/-admit-* combinations) exit with status 2 and a
+// one-line error; runtime failures exit with 1.
 package main
 
 import (
@@ -57,6 +69,7 @@ import (
 	"syscall"
 
 	"split/internal/core"
+	"split/internal/fleet"
 	"split/internal/gpusim"
 	"split/internal/model"
 	"split/internal/obs"
@@ -127,6 +140,18 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		predictive = fs.Bool("predictive-shed", false, "with -deadlines, also shed requests that cannot finish in time even if not yet expired")
 		drainTO    = fs.Duration("drain-timeout", 0, "drain gracefully on the first signal, shedding what remains after this long (0 = stop immediately)")
 
+		asMax      = fs.Int("autoscale-max", 0, "enable the elastic fleet with this many provisioned devices (0 = fixed fleet)")
+		asMin      = fs.Int("autoscale-min", 1, "minimum active devices with -autoscale-max")
+		asEvalMs   = fs.Float64("autoscale-eval-ms", 0, "autoscaler evaluation throttle in ms (0 = default)")
+		asDepth    = fs.Float64("autoscale-high-depth", 0, "scale-out watermark: waiting requests per active device (0 = default)")
+		asViol     = fs.Float64("autoscale-high-viol", 0, "scale-out watermark: rolling viol@α rate (0 = default)")
+		asIdleMs   = fs.Float64("autoscale-idle-ms", 0, "sustained-idle time before a device is drained and released (0 = default)")
+		admitMode  = fs.String("admit-mode", "", "front-door admission gate: token-bucket|queue-length|predicted-rr (empty = off)")
+		admitRate  = fs.Float64("admit-rate", 0, "token-bucket refill rate in req/s (with -admit-mode token-bucket)")
+		admitBurst = fs.Int("admit-burst", 0, "token-bucket capacity (0 = derived from -admit-rate)")
+		admitQueue = fs.Int("admit-max-queue", 0, "waiting-request cap (with -admit-mode queue-length)")
+		admitRR    = fs.Float64("admit-max-rr", 0, "predicted response-ratio ceiling (with -admit-mode predicted-rr; 0 = α)")
+
 		spikeProb   = fs.Float64("fault-spike-prob", 0, "per-block probability of a latency spike")
 		spikeFactor = fs.Float64("fault-spike-factor", 3, "latency multiplier for spiked blocks")
 		failProb    = fs.Float64("fault-fail-prob", 0, "per-block probability of a transient failure")
@@ -143,6 +168,27 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		return usagef("-batch-max must be >= 1, got %d", *batchMax)
 	}
 	if _, err := place.New(*placement, *devices); err != nil {
+		return usageError{err}
+	}
+	autoscale := fleet.AutoscaleConfig{
+		Min:                *asMin,
+		Max:                *asMax,
+		EvalEveryMs:        *asEvalMs,
+		HighDepthPerDevice: *asDepth,
+		HighViolRate:       *asViol,
+		IdleReleaseMs:      *asIdleMs,
+	}
+	if err := autoscale.Validate(); err != nil {
+		return usageError{err}
+	}
+	admission := fleet.AdmissionConfig{
+		Mode:           fleet.AdmissionMode(*admitMode),
+		RatePerSec:     *admitRate,
+		Burst:          *admitBurst,
+		MaxQueue:       *admitQueue,
+		MaxPredictedRR: *admitRR,
+	}
+	if err := admission.Validate(); err != nil {
 		return usageError{err}
 	}
 
@@ -180,6 +226,8 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		Devices:          *devices,
 		Placement:        *placement,
 		BatchMax:         *batchMax,
+		Fleet:            autoscale,
+		Admission:        admission,
 	}
 	if *batchMax > 1 {
 		fmt.Fprintf(out, "micro-batching on: up to %d same-model requests per block\n", *batchMax)
@@ -248,12 +296,20 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 
 	fmt.Fprintf(out, "splitd serving %d models on %s (timescale %.2f, α=%.0f)\n",
 		len(catalog), srv.Addr(), *timescale, *alpha)
-	if *devices > 1 {
+	if *devices > 1 || autoscale.Enabled() {
 		pol := *placement
 		if pol == "" {
 			pol = place.Default
 		}
-		fmt.Fprintf(out, "fleet: %d devices, %s placement\n", *devices, pol)
+		if autoscale.Enabled() {
+			fmt.Fprintf(out, "fleet: elastic %d..%d devices, %s placement\n",
+				max(*asMin, 1), *asMax, pol)
+		} else {
+			fmt.Fprintf(out, "fleet: %d devices, %s placement\n", *devices, pol)
+		}
+	}
+	if admission.Enabled() {
+		fmt.Fprintf(out, "admission gate on: %s\n", admission.Mode)
 	}
 	if ready != nil {
 		ready <- srv.Addr()

@@ -137,6 +137,67 @@ func TestDaemonFleet(t *testing.T) {
 	}
 }
 
+// TestDaemonElasticFleetWithAdmission boots an autoscaled daemon with a
+// burst-1 token-bucket gate: the elastic fleet line and gate line appear in
+// the log, the first request is served, and the second is rejected with the
+// typed admission error across the wire (the bucket refills at a negligible
+// rate, so the second decision is deterministic).
+func TestDaemonElasticFleetWithAdmission(t *testing.T) {
+	dir := t.TempDir()
+	if err := onnxlite.SavePlan(filepath.Join(dir, "vgg19.plan.json"), planFor(t, "vgg19", []int{16, 29})); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	out := &syncBuilder{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-plans", dir,
+			"-timescale", "0.01",
+			"-autoscale-max", "2",
+			"-placement", "least-loaded",
+			"-admit-mode", "token-bucket",
+			"-admit-rate", "0.001",
+			"-admit-burst", "1",
+		}, out, ready, nil, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not become ready")
+	}
+	client, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devs, _ := client.Fleet(); devs != 2 {
+		t.Errorf("negotiated fleet size %d, want autoscale-max 2", devs)
+	}
+	if _, err := client.Infer("vgg19"); err != nil {
+		t.Fatalf("burst token not honored: %v", err)
+	}
+	if _, err := client.Infer("vgg19"); !errors.Is(err, serve.ErrAdmissionRejected) {
+		t.Errorf("second request past the burst: %v, want ErrAdmissionRejected", err)
+	}
+	client.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit error: %v", err)
+	}
+	o := out.String()
+	if !strings.Contains(o, "fleet: elastic 1..2 devices, least-loaded placement") {
+		t.Errorf("daemon log missing elastic fleet line: %s", o)
+	}
+	if !strings.Contains(o, "admission gate on: token-bucket") {
+		t.Errorf("daemon log missing admission line: %s", o)
+	}
+}
+
 // TestDaemonRejectsUnknownPlacement: an invalid -placement fails fast, as a
 // usage error, before any plan loading or GA work.
 func TestDaemonRejectsUnknownPlacement(t *testing.T) {
@@ -164,6 +225,10 @@ func TestDaemonUsageErrors(t *testing.T) {
 		{"-batch-max", "-4"},
 		{"-placement", "nope"},
 		{"-not-a-flag"},
+		{"-autoscale-max", "2", "-autoscale-min", "3"},
+		{"-admit-mode", "bogus"},
+		{"-admit-mode", "token-bucket"},
+		{"-admit-mode", "queue-length"},
 	}
 	for _, args := range cases {
 		out := &syncBuilder{}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"split/internal/fleet"
 	"split/internal/metrics"
 	"split/internal/policy"
 	"split/internal/workload"
@@ -91,20 +92,7 @@ func (d *Deployment) CapacitySearch(cfg CapacityConfig) CapacityRow {
 
 	probe := func(reqPerSec float64) float64 {
 		row.Evals++
-		arrivals := workload.MustGenerateCohorts(workload.CohortSetConfig{
-			Cohorts: []workload.Cohort{{
-				Models:  cfg.Models,
-				Process: workload.Process{Kind: workload.ProcPoisson, MeanIntervalMs: 1000 / reqPerSec},
-			}},
-			Count: cfg.Requests,
-			Seed:  cfg.Seed,
-		})
-		sys := policy.NewSplit()
-		sys.Alpha = cfg.Alpha
-		sys.Devices = cfg.Devices
-		sys.Placement = cfg.Placement
-		sys.BatchMax = cfg.BatchMax
-		recs := sys.Run(arrivals, d.Catalog, nil)
+		recs, _ := d.loadProbe(cfg, reqPerSec, fleet.AdmissionConfig{}, fleet.AutoscaleConfig{})
 		return metrics.ViolationRate(recs, cfg.Alpha)
 	}
 
@@ -140,6 +128,32 @@ func (d *Deployment) CapacitySearch(cfg CapacityConfig) CapacityRow {
 	row.KneeReqPerSec = lo
 	row.ViolAtKnee = violLo
 	return row
+}
+
+// loadProbe is the single measurement path shared by CapacitySearch and
+// SaturationAnalyzer: generate a fresh uniform-mix Poisson trace at the
+// offered aggregate rate and replay it through policy.Split, optionally with
+// the front-door admission gate or the elastic-fleet controller installed.
+// Because both searches probe through this one function with the same seed,
+// their curves sample the identical deterministic function of offered load
+// and their knees are directly comparable.
+func (d *Deployment) loadProbe(cfg CapacityConfig, reqPerSec float64, gate fleet.AdmissionConfig, elastic fleet.AutoscaleConfig) ([]policy.Record, policy.FleetStats) {
+	arrivals := workload.MustGenerateCohorts(workload.CohortSetConfig{
+		Cohorts: []workload.Cohort{{
+			Models:  cfg.Models,
+			Process: workload.Process{Kind: workload.ProcPoisson, MeanIntervalMs: 1000 / reqPerSec},
+		}},
+		Count: cfg.Requests,
+		Seed:  cfg.Seed,
+	})
+	sys := policy.NewSplit()
+	sys.Alpha = cfg.Alpha
+	sys.Devices = cfg.Devices
+	sys.Placement = cfg.Placement
+	sys.BatchMax = cfg.BatchMax
+	sys.Admission = gate
+	sys.Fleet = elastic
+	return sys.RunWithStats(arrivals, d.Catalog, nil)
 }
 
 // CapacitySweep runs CapacitySearch across fleet sizes with otherwise

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"split/internal/fleet"
+	"split/internal/metrics"
+	"split/internal/policy"
+	"split/internal/workload"
+	"split/internal/zoo"
+)
+
+// TestSaturationKneeMatchesCapacitySearch: the two knee estimators probe
+// the identical deterministic function of offered load (same seed, same
+// probe path), so the saturation grid's knee must land within 10% of the
+// capacity search's bisected knee.
+func TestSaturationKneeMatchesCapacitySearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep probes dozens of traces")
+	}
+	d := testDeploy(t)
+	ccfg := CapacityConfig{Devices: 2, Placement: "least-loaded", Seed: 5, Requests: 6000}
+	knee := d.CapacitySearch(ccfg)
+	if knee.KneeReqPerSec <= 0 {
+		t.Fatal("capacity search found no sustainable rate")
+	}
+	sat := NewSaturationAnalyzer(d, SaturationConfig{CapacityConfig: ccfg}).Analyze()
+	if sat.KneeReqPerSec <= 0 {
+		t.Fatal("saturation sweep found no sustainable rate")
+	}
+	if rel := math.Abs(sat.KneeReqPerSec-knee.KneeReqPerSec) / knee.KneeReqPerSec; rel > 0.10 {
+		t.Fatalf("saturation knee %.1f req/s vs capacity knee %.1f req/s: %.1f%% apart, want <= 10%%",
+			sat.KneeReqPerSec, knee.KneeReqPerSec, rel*100)
+	}
+	if sat.ViolAtKnee > ccfg.withDefaults().ViolTarget {
+		t.Fatalf("knee point violates the target: %.1f%%", sat.ViolAtKnee*100)
+	}
+	if sat.Evals != len(sat.Points) {
+		t.Fatalf("evals %d != points %d", sat.Evals, len(sat.Points))
+	}
+	for i := 1; i < len(sat.Points); i++ {
+		if sat.Points[i].OfferedReqPerSec < sat.Points[i-1].OfferedReqPerSec {
+			t.Fatal("curve points not ascending in offered rate")
+		}
+	}
+	out := RenderSaturation(sat, 0.10, 4)
+	for _, col := range []string{"offered req/s", "served req/s", "knee:"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("render missing %q:\n%s", col, out)
+		}
+	}
+}
+
+// TestSaturationAdmissionBoundsOverload is the overload acceptance
+// criterion: at 2x the knee rate an ungated fleet blows through the QoS
+// target, while a token-bucket gate refilling at the knee rate clips the
+// admitted load back to what the fleet sustains — viol@4 over admitted
+// requests stays bounded near the target.
+func TestSaturationAdmissionBoundsOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload probes replay multi-thousand-request traces")
+	}
+	d := testDeploy(t)
+	ccfg := CapacityConfig{Devices: 2, Placement: "least-loaded", Seed: 5, Requests: 6000}
+	open := NewSaturationAnalyzer(d, SaturationConfig{CapacityConfig: ccfg})
+	sat := open.Analyze()
+	if sat.KneeReqPerSec <= 0 {
+		t.Fatal("no knee to overload")
+	}
+	target := ccfg.withDefaults().ViolTarget
+	overload := 2 * sat.KneeReqPerSec
+
+	ungated := open.Probe(overload)
+	if ungated.ViolRate <= target {
+		t.Fatalf("2x knee did not overload the open fleet: viol %.1f%%", ungated.ViolRate*100)
+	}
+	if ungated.AdmitFrac != 1 {
+		t.Fatalf("open fleet admitted %.0f%% of requests", ungated.AdmitFrac*100)
+	}
+
+	gated := NewSaturationAnalyzer(d, SaturationConfig{
+		CapacityConfig: ccfg,
+		Admission:      fleet.AdmissionConfig{Mode: fleet.AdmitTokenBucket, RatePerSec: sat.KneeReqPerSec},
+	}).Probe(overload)
+	if gated.ViolRate >= ungated.ViolRate {
+		t.Fatalf("gate did not help: gated viol %.1f%% >= ungated %.1f%%",
+			gated.ViolRate*100, ungated.ViolRate*100)
+	}
+	if gated.ViolRate > 2*target {
+		t.Fatalf("gated viol@4 %.1f%% not bounded near the %.0f%% target",
+			gated.ViolRate*100, target*100)
+	}
+	if gated.AdmitFrac >= 0.9 {
+		t.Fatalf("gate admitted %.0f%% of a 2x overload — it is not clipping", gated.AdmitFrac*100)
+	}
+}
+
+// diurnalScenario is the elasticity testbed: one interactive population
+// whose Poisson rate is modulated by a four-phase diurnal envelope — a deep
+// night trough, two shoulders, and a peak that needs most of the fleet.
+func diurnalScenario(count int, seed int64) workload.CohortSetConfig {
+	return workload.CohortSetConfig{
+		Cohorts: []workload.Cohort{{
+			Name:     "diurnal",
+			Models:   zoo.BenchmarkModels,
+			Process:  workload.Process{Kind: workload.ProcPoisson, MeanIntervalMs: 40},
+			Envelope: &workload.Envelope{PeriodMs: 240000, Factors: []float64{0.25, 1, 2.5, 1}},
+		}},
+		Count: count,
+		Seed:  seed,
+	}
+}
+
+// TestElasticFleetBeatsFixedOnDiurnal is the end-to-end elasticity
+// criterion: on the diurnal cohort workload an autoscaled Min=1/Max=4
+// fleet must hold viol@4 no worse than a fixed 4-device fleet while
+// spending strictly fewer device-hours, and its scale events must stay
+// bounded per diurnal period (no flapping at the envelope edges).
+func TestElasticFleetBeatsFixedOnDiurnal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diurnal comparison replays two multi-period traces")
+	}
+	d := testDeploy(t)
+	cfg := diurnalScenario(30000, 7)
+	arrivals := workload.MustGenerateCohorts(cfg)
+
+	fixed := policy.NewSplit()
+	fixed.Devices = 4
+	fixed.Placement = "least-loaded"
+	frecs, fstats := fixed.RunWithStats(arrivals, d.Catalog, nil)
+
+	auto := policy.NewSplit()
+	auto.Placement = "least-loaded"
+	auto.Fleet = fleet.AutoscaleConfig{
+		Min: 1, Max: 4,
+		EvalEveryMs:        20,
+		HighDepthPerDevice: 1,
+		HighViolRate:       0.05,
+		ScaleOutCooldownMs: 50,
+		ScaleInCooldownMs:  8000,
+		IdleReleaseMs:      15000,
+	}
+	arecs, astats := auto.RunWithStats(arrivals, d.Catalog, nil)
+
+	fviol := metrics.ViolationRate(frecs, 4)
+	aviol := metrics.ViolationRate(arecs, 4)
+	if aviol > fviol {
+		t.Fatalf("autoscaled fleet degraded QoS: viol@4 %.2f%% vs fixed %.2f%%", aviol*100, fviol*100)
+	}
+	if astats.DeviceHoursMs >= fstats.DeviceHoursMs {
+		t.Fatalf("autoscaled fleet spent %.0f device-ms, fixed spent %.0f — elasticity bought nothing",
+			astats.DeviceHoursMs, fstats.DeviceHoursMs)
+	}
+	if astats.MaxActive < 2 {
+		t.Fatalf("autoscaler never grew past %d device(s) under the peak", astats.MaxActive)
+	}
+	if astats.ScaleOuts == 0 || astats.ScaleIns == 0 {
+		t.Fatalf("expected both directions of scaling: %d outs, %d ins", astats.ScaleOuts, astats.ScaleIns)
+	}
+
+	// Flapping bound: the envelope crosses the watermarks a handful of
+	// times per period; hysteresis must keep actuations in that order, not
+	// one per evaluation.
+	horizonMs := arrivals[len(arrivals)-1].AtMs
+	periods := horizonMs/cfg.Cohorts[0].Envelope.PeriodMs + 1
+	if perPeriod := float64(astats.ScaleOuts+astats.ScaleIns) / periods; perPeriod > 12 {
+		t.Fatalf("autoscaler flapping: %.1f scale events per diurnal period (%d out, %d in over %.1f periods)",
+			perPeriod, astats.ScaleOuts, astats.ScaleIns, periods)
+	}
+
+	// A fixed-size run through the same RunWithStats path reports the
+	// trivial cost accounting: Devices x horizon.
+	if fstats.ScaleOuts != 0 || fstats.ScaleIns != 0 || fstats.MaxActive != 4 {
+		t.Fatalf("fixed fleet grew a control plane: %+v", fstats)
+	}
+}

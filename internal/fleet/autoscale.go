@@ -1,0 +1,247 @@
+package fleet
+
+import "fmt"
+
+// AutoscaleConfig configures the elastic-fleet controller. The zero value
+// disables autoscaling (the fleet stays at its configured fixed size).
+//
+// The controller is a watermark policy with hysteresis. Scale-out triggers
+// when the per-device queue depth reaches HighDepthPerDevice or the rolling
+// violation rate reaches HighViolRate — both are leading indicators of a
+// predicted QoS violation. Scale-in triggers only after the per-device
+// depth has stayed at or under LowDepthPerDevice for IdleReleaseMs
+// (sustained idle, not a momentary lull). Cool-down windows rate-limit both
+// directions, and a scale-in is additionally suppressed within
+// ScaleInCooldownMs of the last scale-out, so a diurnal envelope crossing
+// the watermarks produces a bounded number of scale events per period
+// rather than flapping at the boundary.
+type AutoscaleConfig struct {
+	// Min and Max bound the active fleet size. Max > 0 enables the
+	// controller; Min <= 0 defaults to 1.
+	Min int
+	Max int
+	// EvalEveryMs throttles controller evaluations; <= 0 defaults to 100.
+	EvalEveryMs float64
+	// HighDepthPerDevice is the scale-out watermark on waiting requests per
+	// active device; <= 0 defaults to 4.
+	HighDepthPerDevice float64
+	// LowDepthPerDevice is the scale-in watermark; < 0 disables the depth
+	// condition, 0 (the default) releases only fully idle capacity.
+	LowDepthPerDevice float64
+	// HighViolRate scales out when the rolling violation rate at α reaches
+	// it; <= 0 defaults to 0.05.
+	HighViolRate float64
+	// ScaleOutCooldownMs is the minimum spacing between scale-outs;
+	// <= 0 defaults to 500.
+	ScaleOutCooldownMs float64
+	// ScaleInCooldownMs is the minimum spacing between scale-ins, and the
+	// minimum quiet time after a scale-out before any scale-in; <= 0
+	// defaults to 4x ScaleOutCooldownMs.
+	ScaleInCooldownMs float64
+	// IdleReleaseMs is how long the low-watermark condition must persist
+	// before a device is released; <= 0 defaults to ScaleInCooldownMs.
+	IdleReleaseMs float64
+}
+
+// Enabled reports whether the controller is configured.
+func (c AutoscaleConfig) Enabled() bool { return c.Max > 0 }
+
+// Validate rejects impossible bounds.
+func (c AutoscaleConfig) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.Min > c.Max {
+		return fmt.Errorf("fleet: autoscale Min %d > Max %d", c.Min, c.Max)
+	}
+	if c.LowDepthPerDevice > c.HighDepthPerDevice && c.HighDepthPerDevice > 0 {
+		return fmt.Errorf("fleet: autoscale low watermark %g above high watermark %g",
+			c.LowDepthPerDevice, c.HighDepthPerDevice)
+	}
+	return nil
+}
+
+// withDefaults fills unset knobs.
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.EvalEveryMs <= 0 {
+		c.EvalEveryMs = 100
+	}
+	if c.HighDepthPerDevice <= 0 {
+		c.HighDepthPerDevice = 4
+	}
+	if c.HighViolRate <= 0 {
+		c.HighViolRate = 0.05
+	}
+	if c.ScaleOutCooldownMs <= 0 {
+		c.ScaleOutCooldownMs = 500
+	}
+	if c.ScaleInCooldownMs <= 0 {
+		c.ScaleInCooldownMs = 4 * c.ScaleOutCooldownMs
+	}
+	if c.IdleReleaseMs <= 0 {
+		c.IdleReleaseMs = c.ScaleInCooldownMs
+	}
+	return c
+}
+
+// Signals is the controller's input: the instantaneous fleet state at
+// evaluation time. Callers assemble it from whatever bookkeeping their
+// layer already maintains (the sim's device array, the server's rolling QoS
+// window).
+type Signals struct {
+	NowMs float64
+	// Active is the current active fleet size.
+	Active int
+	// QueueDepth counts requests waiting (not in flight) across active
+	// devices.
+	QueueDepth int
+	// Inflight counts requests currently holding a device.
+	Inflight int
+	// ViolRate is the rolling QoS violation rate at α over recent
+	// completions.
+	ViolRate float64
+}
+
+// Decision is one controller verdict.
+type Decision int
+
+const (
+	// Hold keeps the active set unchanged.
+	Hold Decision = iota
+	// ScaleOut attaches one device.
+	ScaleOut
+	// ScaleIn begins drain-then-release of one device.
+	ScaleIn
+)
+
+// Autoscaler is the elastic-fleet state machine: pure decisions, no
+// actuation. Not safe for concurrent use; callers serialize evaluations
+// (the server under its mutex, the sim on its event loop).
+type Autoscaler struct {
+	cfg        AutoscaleConfig
+	lastEvalMs float64
+	lastOutMs  float64
+	lastInMs   float64
+	lowSinceMs float64
+	outEvents  int
+	inEvents   int
+}
+
+// NewAutoscaler validates cfg and returns a controller, or (nil, nil) when
+// cfg is disabled so callers can gate on a nil check.
+func NewAutoscaler(cfg AutoscaleConfig) (*Autoscaler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	cfg = cfg.withDefaults()
+	neverMs := -(cfg.ScaleOutCooldownMs + cfg.ScaleInCooldownMs + 1)
+	return &Autoscaler{cfg: cfg, lastEvalMs: neverMs, lastOutMs: neverMs, lastInMs: neverMs, lowSinceMs: -1}, nil
+}
+
+// Config returns the validated, defaulted configuration.
+func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+// Due reports whether enough time has passed since the last evaluation.
+// Callers piggyback Evaluate on existing scheduling events (arrivals, block
+// boundaries) and use Due to throttle, so the controller adds no timers of
+// its own — in the simulator a self-perpetuating evaluation timer would
+// keep the event heap alive forever.
+func (a *Autoscaler) Due(nowMs float64) bool {
+	return nowMs-a.lastEvalMs >= a.cfg.EvalEveryMs
+}
+
+// Evaluate runs one controller step and returns the decision.
+// Allocation-free.
+func (a *Autoscaler) Evaluate(sig Signals) Decision {
+	a.lastEvalMs = sig.NowMs
+	active := sig.Active
+	if active < 1 {
+		active = 1
+	}
+	depthPer := float64(sig.QueueDepth) / float64(active)
+	high := depthPer >= a.cfg.HighDepthPerDevice || sig.ViolRate >= a.cfg.HighViolRate
+	low := a.cfg.LowDepthPerDevice >= 0 && depthPer <= a.cfg.LowDepthPerDevice
+
+	if high {
+		a.lowSinceMs = -1
+		if sig.Active < a.cfg.Max && sig.NowMs-a.lastOutMs >= a.cfg.ScaleOutCooldownMs {
+			a.lastOutMs = sig.NowMs
+			a.outEvents++
+			return ScaleOut
+		}
+		return Hold
+	}
+	if !low {
+		a.lowSinceMs = -1
+		return Hold
+	}
+	if a.lowSinceMs < 0 {
+		a.lowSinceMs = sig.NowMs
+	}
+	if sig.Active > a.cfg.Min &&
+		sig.NowMs-a.lowSinceMs >= a.cfg.IdleReleaseMs &&
+		sig.NowMs-a.lastInMs >= a.cfg.ScaleInCooldownMs &&
+		sig.NowMs-a.lastOutMs >= a.cfg.ScaleInCooldownMs {
+		a.lastInMs = sig.NowMs
+		a.lowSinceMs = sig.NowMs // a further release needs a fresh idle period
+		a.inEvents++
+		return ScaleIn
+	}
+	return Hold
+}
+
+// Events returns the scale-out and scale-in decision counts — the flapping
+// tests assert these stay bounded per diurnal period.
+func (a *Autoscaler) Events() (out, in int) { return a.outEvents, a.inEvents }
+
+// Window is a fixed-size rolling violation window: the sim's substitute
+// for the server's obs.RollingQoS (which the policy layer cannot import
+// without a cycle). Observe and Rate are allocation-free.
+type Window struct {
+	hits []bool
+	idx  int
+	n    int
+	bad  int
+}
+
+// NewWindow returns a window over the last n observations (n <= 0 picks 64).
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		n = 64
+	}
+	return &Window{hits: make([]bool, n)}
+}
+
+// Observe records one completion outcome (violated or not).
+func (w *Window) Observe(violated bool) {
+	if w.n == len(w.hits) {
+		if w.hits[w.idx] {
+			w.bad--
+		}
+	} else {
+		w.n++
+	}
+	w.hits[w.idx] = violated
+	if violated {
+		w.bad++
+	}
+	w.idx++
+	if w.idx == len(w.hits) {
+		w.idx = 0
+	}
+}
+
+// Rate returns the violation fraction over the observed window (0 when
+// empty).
+func (w *Window) Rate() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return float64(w.bad) / float64(w.n)
+}

@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func newScaler(t *testing.T, cfg AutoscaleConfig) *Autoscaler {
+	t.Helper()
+	a, err := NewAutoscaler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil {
+		t.Fatal("enabled config yielded nil controller")
+	}
+	return a
+}
+
+func TestAutoscalerDisabled(t *testing.T) {
+	a, err := NewAutoscaler(AutoscaleConfig{})
+	if err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if a != nil {
+		t.Fatalf("zero config should yield a nil controller, got %+v", a)
+	}
+}
+
+func TestAutoscalerValidate(t *testing.T) {
+	if _, err := NewAutoscaler(AutoscaleConfig{Min: 4, Max: 2}); err == nil ||
+		!strings.Contains(err.Error(), "Min 4 > Max 2") {
+		t.Fatalf("Min > Max: got %v", err)
+	}
+	if _, err := NewAutoscaler(AutoscaleConfig{Max: 4, LowDepthPerDevice: 5, HighDepthPerDevice: 2}); err == nil ||
+		!strings.Contains(err.Error(), "watermark") {
+		t.Fatalf("inverted watermarks: got %v", err)
+	}
+}
+
+func TestScaleOutOnHighDepthWithCooldown(t *testing.T) {
+	a := newScaler(t, AutoscaleConfig{Min: 1, Max: 4, HighDepthPerDevice: 4, ScaleOutCooldownMs: 500})
+	if d := a.Evaluate(Signals{NowMs: 0, Active: 1, QueueDepth: 8}); d != ScaleOut {
+		t.Fatalf("high depth at t=0: got %v, want ScaleOut", d)
+	}
+	// Still hot 100ms later, but inside the cool-down window.
+	if d := a.Evaluate(Signals{NowMs: 100, Active: 2, QueueDepth: 16}); d != Hold {
+		t.Fatalf("inside cooldown: got %v, want Hold", d)
+	}
+	if d := a.Evaluate(Signals{NowMs: 600, Active: 2, QueueDepth: 16}); d != ScaleOut {
+		t.Fatalf("after cooldown: got %v, want ScaleOut", d)
+	}
+	// At Max the controller holds no matter how hot the signal.
+	if d := a.Evaluate(Signals{NowMs: 2000, Active: 4, QueueDepth: 64}); d != Hold {
+		t.Fatalf("at Max: got %v, want Hold", d)
+	}
+}
+
+func TestScaleOutOnViolRate(t *testing.T) {
+	a := newScaler(t, AutoscaleConfig{Min: 1, Max: 2, HighViolRate: 0.05})
+	if d := a.Evaluate(Signals{NowMs: 0, Active: 1, QueueDepth: 0, ViolRate: 0.10}); d != ScaleOut {
+		t.Fatalf("viol rate over watermark: got %v, want ScaleOut", d)
+	}
+}
+
+func TestScaleInNeedsSustainedIdle(t *testing.T) {
+	a := newScaler(t, AutoscaleConfig{
+		Min: 1, Max: 4,
+		ScaleOutCooldownMs: 100, ScaleInCooldownMs: 400, IdleReleaseMs: 1000,
+	})
+	// A momentary lull does not release: the idle clock must run IdleReleaseMs.
+	if d := a.Evaluate(Signals{NowMs: 0, Active: 3, QueueDepth: 0}); d != Hold {
+		t.Fatalf("idle onset: got %v, want Hold", d)
+	}
+	if d := a.Evaluate(Signals{NowMs: 500, Active: 3, QueueDepth: 0}); d != Hold {
+		t.Fatalf("idle 500ms < IdleReleaseMs: got %v, want Hold", d)
+	}
+	// A burst resets the idle clock.
+	if d := a.Evaluate(Signals{NowMs: 600, Active: 3, QueueDepth: 6}); d != Hold {
+		t.Fatalf("burst mid-idle: got %v, want Hold (watermark not reached)", d)
+	}
+	if d := a.Evaluate(Signals{NowMs: 1200, Active: 3, QueueDepth: 0}); d != Hold {
+		t.Fatalf("idle clock must restart after the burst: got %v, want Hold", d)
+	}
+	if d := a.Evaluate(Signals{NowMs: 2300, Active: 3, QueueDepth: 0}); d != ScaleIn {
+		t.Fatalf("sustained idle: got %v, want ScaleIn", d)
+	}
+	// The next release needs a fresh idle period AND the scale-in cooldown.
+	if d := a.Evaluate(Signals{NowMs: 2600, Active: 2, QueueDepth: 0}); d != Hold {
+		t.Fatalf("right after release: got %v, want Hold", d)
+	}
+	if d := a.Evaluate(Signals{NowMs: 3400, Active: 2, QueueDepth: 0}); d != ScaleIn {
+		t.Fatalf("second sustained idle: got %v, want ScaleIn", d)
+	}
+	// At Min the controller never releases.
+	if d := a.Evaluate(Signals{NowMs: 9000, Active: 1, QueueDepth: 0}); d != Hold {
+		t.Fatalf("at Min: got %v, want Hold", d)
+	}
+}
+
+func TestScaleInSuppressedAfterScaleOut(t *testing.T) {
+	a := newScaler(t, AutoscaleConfig{
+		Min: 1, Max: 4,
+		ScaleOutCooldownMs: 100, ScaleInCooldownMs: 1000, IdleReleaseMs: 200,
+	})
+	if d := a.Evaluate(Signals{NowMs: 0, Active: 1, QueueDepth: 10}); d != ScaleOut {
+		t.Fatalf("t=0: got %v, want ScaleOut", d)
+	}
+	// Load vanishes immediately; sustained idle alone must not flap the
+	// device back within ScaleInCooldownMs of the scale-out.
+	for now := 50.0; now < 1000; now += 150 {
+		if d := a.Evaluate(Signals{NowMs: now, Active: 2, QueueDepth: 0}); d != Hold {
+			t.Fatalf("t=%.0f inside post-scale-out quiet window: got %v, want Hold", now, d)
+		}
+	}
+	if d := a.Evaluate(Signals{NowMs: 1100, Active: 2, QueueDepth: 0}); d != ScaleIn {
+		t.Fatalf("after quiet window: got %v, want ScaleIn", d)
+	}
+}
+
+// TestFlappingBoundedPerDiurnalPeriod drives the controller with a square-
+// wave diurnal signal (hot half-period, idle half-period) evaluated every
+// 100ms for several periods and asserts hysteresis bounds the scale events:
+// at most (Max-Min) outs and (Max-Min) ins per period — one ramp up and one
+// ramp down — rather than an event per evaluation at the watermark edge.
+func TestFlappingBoundedPerDiurnalPeriod(t *testing.T) {
+	cfg := AutoscaleConfig{
+		Min: 1, Max: 4,
+		HighDepthPerDevice: 4, LowDepthPerDevice: 0,
+		ScaleOutCooldownMs: 500, ScaleInCooldownMs: 2000, IdleReleaseMs: 1000,
+	}
+	a := newScaler(t, cfg)
+	const (
+		periodMs = 20000.0
+		periods  = 3
+		stepMs   = 100.0
+	)
+	active := 1
+	for now := 0.0; now < periods*periodMs; now += stepMs {
+		phase := now / periodMs
+		hot := phase-float64(int(phase)) < 0.5
+		depth := 0
+		if hot {
+			depth = 6 * active // stays over the per-device watermark as we grow
+		}
+		if !a.Due(now) {
+			continue
+		}
+		switch a.Evaluate(Signals{NowMs: now, Active: active, QueueDepth: depth}) {
+		case ScaleOut:
+			active++
+		case ScaleIn:
+			active--
+		}
+		if active < cfg.Min || active > cfg.Max {
+			t.Fatalf("active %d escaped [%d,%d] at t=%.0f", active, cfg.Min, cfg.Max, now)
+		}
+	}
+	out, in := a.Events()
+	maxPer := cfg.Max - cfg.Min
+	if out > periods*maxPer || in > periods*maxPer {
+		t.Fatalf("flapping: %d outs / %d ins over %d periods, want <= %d each",
+			out, in, periods, periods*maxPer)
+	}
+	if out == 0 || in == 0 {
+		t.Fatalf("controller never moved (outs=%d ins=%d); test signal broken", out, in)
+	}
+}
+
+func TestDueThrottles(t *testing.T) {
+	a := newScaler(t, AutoscaleConfig{Min: 1, Max: 2, EvalEveryMs: 100})
+	if !a.Due(0) {
+		t.Fatal("first evaluation should be due")
+	}
+	a.Evaluate(Signals{NowMs: 0, Active: 1})
+	if a.Due(50) {
+		t.Fatal("50ms after an evaluation should not be due")
+	}
+	if !a.Due(100) {
+		t.Fatal("100ms after an evaluation should be due")
+	}
+}

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAdmission throws random offered load at every admission mode and
+// checks the gate's safety invariants:
+//
+//   - token bucket: total admissions never exceed the token budget
+//     Burst + RatePerSec * elapsed (the overload-absorption guarantee);
+//   - every rejection carries one of the typed Detail* constants;
+//   - decisions are deterministic: replaying the identical arrival
+//     sequence through a fresh gate yields the identical decisions.
+func FuzzAdmission(f *testing.F) {
+	f.Add(uint8(10), uint8(3), []byte{0, 10, 50, 255, 1, 1, 1})
+	f.Add(uint8(1), uint8(1), []byte{255, 255, 0, 0, 0, 0})
+	f.Add(uint8(100), uint8(0), []byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, rate, burst uint8, steps []byte) {
+		if rate == 0 {
+			rate = 1
+		}
+		cfgs := []AdmissionConfig{
+			{Mode: AdmitTokenBucket, RatePerSec: float64(rate), Burst: int(burst)},
+			{Mode: AdmitQueueLength, MaxQueue: int(rate)},
+			{Mode: AdmitPredictedRR, MaxPredictedRR: float64(rate) / 16},
+		}
+		for _, cfg := range cfgs {
+			a, err := NewAdmission(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Mode, err)
+			}
+			b, err := NewAdmission(cfg) // determinism twin
+			if err != nil {
+				t.Fatalf("%s twin: %v", cfg.Mode, err)
+			}
+			var (
+				nowMs    float64
+				admitted int
+			)
+			for i, step := range steps {
+				// Each byte advances the clock 0..255 ms and shapes the view.
+				nowMs += float64(step)
+				extMs := float64(step%31) + 1
+				v := View{
+					QueueDepth:        int(step) % 40,
+					ActiveDevices:     1 + int(step)%4,
+					ShortestBacklogMs: float64(step) * 3,
+				}
+				ok, detail := a.Admit(nowMs, extMs, 4, v)
+				ok2, detail2 := b.Admit(nowMs, extMs, 4, v)
+				if ok != ok2 || detail != detail2 {
+					t.Fatalf("%s step %d: nondeterministic decision (%v,%q) vs (%v,%q)",
+						cfg.Mode, i, ok, detail, ok2, detail2)
+				}
+				if ok {
+					admitted++
+					if detail != "" {
+						t.Fatalf("%s step %d: admitted with detail %q", cfg.Mode, i, detail)
+					}
+					continue
+				}
+				switch detail {
+				case DetailTokenBucket, DetailQueueLength, DetailPredictedRR:
+				default:
+					t.Fatalf("%s step %d: untyped rejection detail %q", cfg.Mode, i, detail)
+				}
+			}
+			if cfg.Mode == AdmitTokenBucket {
+				budget := float64(a.Config().Burst) + float64(rate)*nowMs/1000
+				if float64(admitted) > math.Ceil(budget)+1e-9 {
+					t.Fatalf("token bucket overspent: admitted %d > budget %.2f (burst=%d rate=%d elapsed=%.0fms)",
+						admitted, budget, a.Config().Burst, rate, nowMs)
+				}
+			}
+			st := a.Stats()
+			if st.Admitted != admitted || st.Admitted+st.Rejected != len(steps) {
+				t.Fatalf("%s: stats %+v disagree with %d admitted of %d", cfg.Mode, st, admitted, len(steps))
+			}
+		}
+	})
+}

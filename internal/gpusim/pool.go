@@ -33,6 +33,15 @@ type Device struct {
 	batchedBlocks int
 	batchedReqs   int
 	maxBatch      int
+	// Membership accounting for elastic fleets. attached mirrors whether
+	// the device is currently part of the active set; attachedAtMs stamps
+	// the current attach, and activeMs accumulates completed attach spans.
+	// A fixed fleet attaches every device at 0 and never detaches, so all
+	// legacy accounting is unchanged.
+	attached     bool
+	attachedAtMs float64
+	activeMs     float64
+	attaches     int
 }
 
 // Busy reports whether a block currently occupies the device.
@@ -99,13 +108,63 @@ func (d *Device) BatchedRequests() int { return d.batchedReqs }
 // MaxBatch returns the largest batch granted, 0 if none were.
 func (d *Device) MaxBatch() int { return d.maxBatch }
 
-// Utilization returns BusyMs over the given horizon, or 0 for a
-// non-positive horizon.
+// Attach marks the device part of the active fleet from nowMs. Attaching
+// an attached device panics: membership flips must alternate.
+func (d *Device) Attach(nowMs float64) {
+	if d.attached {
+		panic(fmt.Sprintf("gpusim: device %d attached while attached", d.ID))
+	}
+	d.attached = true
+	d.attachedAtMs = nowMs
+	d.attaches++
+}
+
+// Detach removes the device from the active fleet at nowMs and accounts
+// the attach span. Detaching while busy panics — the autoscaler must
+// drain-then-release, never yank a device mid-block — as does detaching an
+// already-detached device.
+func (d *Device) Detach(nowMs float64) {
+	if !d.attached {
+		panic(fmt.Sprintf("gpusim: device %d detached while detached", d.ID))
+	}
+	if d.busy {
+		panic(fmt.Sprintf("gpusim: device %d detached while busy; drain before release", d.ID))
+	}
+	d.attached = false
+	d.activeMs += nowMs - d.attachedAtMs
+}
+
+// Attached reports whether the device is currently in the active fleet.
+func (d *Device) Attached() bool { return d.attached }
+
+// Attaches returns how many times the device has joined the active fleet.
+func (d *Device) Attaches() int { return d.attaches }
+
+// ActiveMs returns the total time the device has been attached up to
+// nowMs, including the in-progress attach span. This is the device-hours
+// denominator for an elastic fleet.
+func (d *Device) ActiveMs(nowMs float64) float64 {
+	if d.attached && nowMs > d.attachedAtMs {
+		return d.activeMs + nowMs - d.attachedAtMs
+	}
+	return d.activeMs
+}
+
+// Utilization returns BusyMs over the time the device was actually
+// attached within the horizon — not the full horizon, which would dilute
+// the signal for devices added mid-run and make a fresh device look idle
+// to the autoscaler. For a device attached at 0 and never detached this is
+// exactly busyMs / horizonMs. Returns 0 when the device has no attached
+// time in the horizon.
 func (d *Device) Utilization(horizonMs float64) float64 {
 	if horizonMs <= 0 {
 		return 0
 	}
-	return d.busyMs / horizonMs
+	active := d.ActiveMs(horizonMs)
+	if active <= 0 {
+		return 0
+	}
+	return d.busyMs / active
 }
 
 // DevicePool is a fleet of N device timelines under one simulator clock.
@@ -114,16 +173,31 @@ type DevicePool struct {
 	devices []*Device
 }
 
-// NewDevicePool builds n devices sharing sim's clock. faults, when
-// non-nil, is split per device with ForDevice: device 0 keeps the base
-// schedule, others get decorrelated seeds. n < 1 panics.
+// NewDevicePool builds n devices sharing sim's clock, all attached from
+// time 0 (the fixed-fleet case). faults, when non-nil, is split per device
+// with ForDevice: device 0 keeps the base schedule, others get
+// decorrelated seeds. n < 1 panics.
 func NewDevicePool(sim *Sim, n int, faults *FaultInjector) *DevicePool {
-	if n < 1 {
-		panic(fmt.Sprintf("gpusim: device pool size %d, want >= 1", n))
+	return NewElasticPool(sim, n, n, faults)
+}
+
+// NewElasticPool builds max devices of which only the first active are
+// attached at time 0 — the autoscaler attaches and detaches the rest as
+// load moves. active == max is exactly NewDevicePool. Panics unless
+// 1 <= active <= max.
+func NewElasticPool(sim *Sim, max, active int, faults *FaultInjector) *DevicePool {
+	if max < 1 {
+		panic(fmt.Sprintf("gpusim: device pool size %d, want >= 1", max))
 	}
-	p := &DevicePool{sim: sim, devices: make([]*Device, n)}
+	if active < 1 || active > max {
+		panic(fmt.Sprintf("gpusim: initial active %d outside [1,%d]", active, max))
+	}
+	p := &DevicePool{sim: sim, devices: make([]*Device, max)}
 	for i := range p.devices {
 		p.devices[i] = &Device{ID: i, Faults: faults.ForDevice(i)}
+		if i < active {
+			p.devices[i].Attach(0)
+		}
 	}
 	return p
 }
@@ -140,3 +214,25 @@ func (p *DevicePool) Device(i int) *Device { return p.devices[i] }
 // Devices returns the fleet in ID order; callers must not mutate the
 // slice.
 func (p *DevicePool) Devices() []*Device { return p.devices }
+
+// Attached returns the number of currently attached devices.
+func (p *DevicePool) Attached() int {
+	n := 0
+	for _, d := range p.devices {
+		if d.attached {
+			n++
+		}
+	}
+	return n
+}
+
+// DeviceHoursMs returns the fleet's total attached device-time up to
+// nowMs — the cost denominator an elastic fleet is trying to shrink. For a
+// fixed fleet this is exactly Len() * nowMs.
+func (p *DevicePool) DeviceHoursMs(nowMs float64) float64 {
+	total := 0.0
+	for _, d := range p.devices {
+		total += d.ActiveMs(nowMs)
+	}
+	return total
+}

@@ -32,6 +32,99 @@ func TestDevicePoolAccounting(t *testing.T) {
 	}
 }
 
+// TestUtilizationAccountsFromAttachTime pins the mid-run-attach fix: a
+// device added halfway through the horizon divides its busy time by its
+// attached span, not the full horizon, so the autoscaler's utilization
+// signal is not diluted on fresh devices.
+func TestUtilizationAccountsFromAttachTime(t *testing.T) {
+	pool := NewElasticPool(New(), 2, 1, nil)
+	d0, d1 := pool.Device(0), pool.Device(1)
+	if !d0.Attached() || d1.Attached() {
+		t.Fatalf("initial membership: d0=%v d1=%v, want true,false", d0.Attached(), d1.Attached())
+	}
+	// d1 joins at 50 and is busy 25 of its 50 attached ms by horizon 100.
+	d1.Attach(50)
+	d1.Acquire(60)
+	d1.Release(85)
+	if got := d1.Utilization(100); got != 0.5 {
+		t.Errorf("mid-run device utilization = %v, want 25/50 = 0.5", got)
+	}
+	// A device attached at 0 keeps the legacy busy/horizon semantics.
+	d0.Acquire(0)
+	d0.Release(25)
+	if got := d0.Utilization(100); got != 0.25 {
+		t.Errorf("full-run device utilization = %v, want 0.25", got)
+	}
+	// A never-attached device reports 0, not NaN.
+	never := &Device{}
+	if got := never.Utilization(100); got != 0 {
+		t.Errorf("detached device utilization = %v, want 0", got)
+	}
+}
+
+func TestAttachDetachAccounting(t *testing.T) {
+	pool := NewElasticPool(New(), 3, 1, nil)
+	d1 := pool.Device(1)
+	d1.Attach(100)
+	d1.Detach(300)
+	d1.Attach(600)
+	if got := d1.ActiveMs(1000); got != 600 {
+		t.Errorf("d1 active = %v ms, want (300-100)+(1000-600) = 600", got)
+	}
+	if d1.Attaches() != 2 {
+		t.Errorf("d1 attaches = %d, want 2", d1.Attaches())
+	}
+	if got := pool.Attached(); got != 2 {
+		t.Errorf("attached count = %d, want 2 (d0, d1)", got)
+	}
+	// Fixed fleet: device-hours is exactly N * horizon.
+	fixed := NewDevicePool(New(), 4, nil)
+	if got := fixed.DeviceHoursMs(250); got != 1000 {
+		t.Errorf("fixed-fleet device-hours = %v, want 4*250", got)
+	}
+	// Elastic: only attached spans count.
+	if got := pool.DeviceHoursMs(1000); got != 1000+600 {
+		t.Errorf("elastic device-hours = %v, want d0 1000 + d1 600", got)
+	}
+}
+
+func TestDetachWhileBusyPanics(t *testing.T) {
+	d := &Device{}
+	d.Attach(0)
+	d.Acquire(5)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("detach while busy did not panic")
+			}
+		}()
+		d.Detach(10)
+	}()
+	d.Release(10)
+	d.Detach(10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double detach did not panic")
+			}
+		}()
+		d.Detach(11)
+	}()
+}
+
+func TestElasticPoolBounds(t *testing.T) {
+	for _, bad := range []struct{ max, active int }{{2, 0}, {2, 3}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewElasticPool(%d,%d) did not panic", bad.max, bad.active)
+				}
+			}()
+			NewElasticPool(New(), bad.max, bad.active, nil)
+		}()
+	}
+}
+
 func TestDeviceDoubleAcquirePanics(t *testing.T) {
 	d := &Device{}
 	d.Acquire(0)

@@ -53,6 +53,20 @@ func Served(recs []policy.Record) []policy.Record {
 	return out
 }
 
+// Admitted filters out records rejected at the front door by admission
+// control. QoS rates are computed over admitted records — a rejection is
+// the gate doing its job, not a violation the fleet inflicted on an
+// accepted request — while the rejected count is reported alongside.
+func Admitted(recs []policy.Record) []policy.Record {
+	out := make([]policy.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Outcome != policy.OutcomeAdmission {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // DropRate returns the fraction of records that were shed rather than
 // served.
 func DropRate(recs []policy.Record) float64 {

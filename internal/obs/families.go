@@ -30,4 +30,10 @@ const (
 	// Micro-batching families, registered when batching is enabled.
 	MetricBatchedBlocks = "split_batched_blocks_total"
 	MetricBatchSize     = "split_batch_size"
+
+	// Elastic-fleet families, registered when the autoscaler is enabled.
+	MetricFleetActive     = "split_fleet_active_devices"
+	MetricAutoscaleEvents = "split_autoscale_events_total"
+	// Admission families, registered when the admission gate is enabled.
+	MetricAdmittedTotal = "split_admitted_total"
 )

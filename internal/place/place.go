@@ -81,6 +81,16 @@ type Placer interface {
 	// Place returns the chosen device index in [0, len(fleet)). fleet is
 	// indexed by device ID and is never empty.
 	Place(r Request, fleet []Load) int
+	// Resize tells the placer the active membership changed: active lists
+	// the device IDs that remain placeable, and every subsequent Place
+	// sees a fleet view of exactly those devices. Elastic pools keep the
+	// active set a contiguous prefix [0, len(active)) — scale-out attaches
+	// the next ID, drain-then-release removes the highest — so fleet views
+	// stay indexed by device ID. Stateful policies must flush any state
+	// that references a removed device; a fixed fleet never calls Resize,
+	// which is what keeps fixed-N decision sequences bit-identical to the
+	// pre-elastic behavior.
+	Resize(active []int)
 }
 
 // New constructs the named policy for a fleet of the given size. An empty
@@ -116,6 +126,10 @@ func (p *roundRobin) Place(_ Request, fleet []Load) int {
 	return dev
 }
 
+// Resize is a no-op: the modulo in Place can never index outside the
+// current fleet view, whatever the membership history.
+func (p *roundRobin) Resize([]int) {}
+
 // leastLoaded joins the shortest expected backlog, breaking ties toward
 // the lowest device ID so decisions are reproducible.
 type leastLoaded struct{}
@@ -131,6 +145,9 @@ func (p *leastLoaded) Place(_ Request, fleet []Load) int {
 	}
 	return best
 }
+
+// Resize is a no-op: least-loaded carries no state across decisions.
+func (p *leastLoaded) Resize([]int) {}
 
 // affinity pins each model to the device that first served it. The first
 // sighting of a model claims the device with the fewest warm models (ties
@@ -159,4 +176,25 @@ func (p *affinity) Place(r Request, fleet []Load) int {
 	p.home[r.Model] = best
 	p.warm[best]++
 	return best
+}
+
+// Resize evicts homes on devices that left the active set and releases
+// their warm counts, so the next arrival of an evicted model re-homes on a
+// live device instead of silently claiming a second home while the old
+// device's warm count leaks. Models homed on surviving devices keep their
+// homes — membership churn must not reshuffle warm state that is still
+// valid.
+func (p *affinity) Resize(active []int) {
+	live := make(map[int]bool, len(active))
+	for _, id := range active {
+		live[id] = true
+	}
+	for m, dev := range p.home {
+		if !live[dev] {
+			delete(p.home, m)
+			if dev >= 0 && dev < len(p.warm) {
+				p.warm[dev]--
+			}
+		}
+	}
 }

@@ -1,0 +1,98 @@
+package place
+
+import "testing"
+
+// prefix returns the active-ID list [0, n) — the shape elastic pools pass.
+func prefix(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// TestResizeNeverPlacesOutsideView: every policy, after arbitrary shrink
+// and regrow, keeps returning indices inside the current fleet view.
+func TestResizeNeverPlacesOutsideView(t *testing.T) {
+	models := []string{"a", "b", "c", "d", "e", "f"}
+	sizes := []int{4, 2, 1, 3, 4, 2}
+	for _, name := range Names() {
+		p, err := New(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := 0
+		for _, n := range sizes {
+			p.Resize(prefix(n))
+			for _, m := range models {
+				dev := p.Place(Request{ID: id, Model: m, ExtMs: 10, PlannedMs: 10}, idle(n))
+				if dev < 0 || dev >= n {
+					t.Fatalf("%s placed %d with %d active devices", name, dev, n)
+				}
+				id++
+			}
+		}
+	}
+}
+
+// TestAffinityResizeEvictsAndRebalances pins the eviction semantics: homes
+// on released devices are forgotten (with their warm counts), homes on
+// surviving devices persist, and evicted models re-home onto live devices.
+func TestAffinityResizeEvictsAndRebalances(t *testing.T) {
+	p, err := New(Affinity, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four models claim the four devices in fewest-warm order: 0,1,2,3.
+	for i, m := range []string{"a", "b", "c", "d"} {
+		if dev := p.Place(Request{ID: i, Model: m}, idle(4)); dev != i {
+			t.Fatalf("model %s homed on %d, want %d", m, dev, i)
+		}
+	}
+	// Devices 2 and 3 are released. Surviving homes stay put...
+	p.Resize(prefix(2))
+	if dev := p.Place(Request{ID: 10, Model: "a"}, idle(2)); dev != 0 {
+		t.Fatalf("model a moved to %d after unrelated shrink", dev)
+	}
+	// ...and evicted models re-home across the live devices, filling the
+	// freed warm slots evenly (c takes 0, d takes 1) — the leak this guards
+	// against is warm counts stranded on released devices skewing spread.
+	if dev := p.Place(Request{ID: 11, Model: "c"}, idle(2)); dev != 0 {
+		t.Fatalf("evicted model c re-homed on %d, want 0", dev)
+	}
+	if dev := p.Place(Request{ID: 12, Model: "d"}, idle(2)); dev != 1 {
+		t.Fatalf("evicted model d re-homed on %d, want 1", dev)
+	}
+	// Regrow: a fresh model claims the emptiest (rejoined) device.
+	p.Resize(prefix(4))
+	if dev := p.Place(Request{ID: 13, Model: "e"}, idle(4)); dev != 2 {
+		t.Fatalf("new model e homed on %d, want freshly rejoined 2", dev)
+	}
+}
+
+// TestResizeAbsentIsBitIdenticalAtFixedN: constructing a policy and never
+// calling Resize reproduces the exact decision stream the pre-elastic
+// placers made — the fixed-N compatibility guarantee.
+func TestResizeAbsentIsBitIdenticalAtFixedN(t *testing.T) {
+	models := []string{"a", "b", "a", "c", "b", "d", "a", "c"}
+	want := map[string][]int{
+		RoundRobin:  {0, 1, 2, 0, 1, 2, 0, 1},
+		LeastLoaded: {0, 1, 2, 0, 1, 2, 0, 1}, // load grows with each placement
+		Affinity:    {0, 1, 0, 2, 1, 0, 0, 2},
+	}
+	for _, name := range Names() {
+		p, err := New(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet := idle(3)
+		for i, m := range models {
+			dev := p.Place(Request{ID: i, Model: m, ExtMs: 10, PlannedMs: 10}, fleet)
+			if dev != want[name][i] {
+				t.Fatalf("%s arrival %d: placed %d, want %d", name, i, dev, want[name][i])
+			}
+			fleet[dev].Queued++
+			fleet[dev].QueuedMs += 10
+		}
+	}
+}

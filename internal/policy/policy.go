@@ -75,6 +75,12 @@ const (
 	OutcomeDeadline = trace.ReasonDeadline
 	// OutcomeCanceled marks a request canceled by its client.
 	OutcomeCanceled = trace.ReasonCanceled
+	// OutcomeAdmission marks a request rejected at the front door by the
+	// fleet.Admission gate — never enqueued, never started. Rejections are
+	// the overload-absorption mechanism, so QoS accounting (ViolationRate)
+	// is normally computed over admitted records only; see
+	// metrics.Admitted.
+	OutcomeAdmission = trace.ReasonAdmission
 	// OutcomeDeviceFault marks a request whose block kept failing past the
 	// injected-fault retry budget.
 	OutcomeDeviceFault = trace.ReasonDeviceFault

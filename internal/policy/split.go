@@ -2,7 +2,9 @@ package policy
 
 import (
 	"fmt"
+	"math"
 
+	"split/internal/fleet"
 	"split/internal/gpusim"
 	"split/internal/model"
 	"split/internal/place"
@@ -74,6 +76,16 @@ type Split struct {
 	// BatchCost prices batched block execution; the zero value means
 	// gpusim.DefaultBatchCost(). Ignored unless BatchMax > 1.
 	BatchCost gpusim.BatchCost
+	// Fleet configures the elastic autoscaler: when enabled (Max > 0) the
+	// pool holds Fleet.Max devices of which [Min, Max] are active, scaled
+	// on queue-depth and rolling-QoS signals with drain-then-release
+	// semantics. The zero value keeps the fixed fleet of Devices — and the
+	// decision stream bit-identical to the pre-elastic scheduler.
+	Fleet fleet.AutoscaleConfig
+	// Admission configures the front-door gate; the zero value admits
+	// everything. A rejected arrival is recorded with OutcomeAdmission and
+	// never touches a queue.
+	Admission fleet.AdmissionConfig
 }
 
 // NewSplit returns the default SPLIT configuration (α=4 for decision
@@ -145,6 +157,33 @@ type splitRun struct {
 	// view is the fleet-load scratch fleetView refills per placement
 	// decision.
 	view []place.Load
+	// Elastic-fleet state. active is the size of the active device prefix
+	// rn.devs[:active]; devices at or past active are draining (finishing
+	// queued work, then detaching) or detached. With the autoscaler
+	// disabled active == len(devs) forever and none of this runs.
+	pool      *gpusim.DevicePool
+	active    int
+	scaler    *fleet.Autoscaler
+	admit     *fleet.Admission
+	window    *fleet.Window
+	activeIDs []int
+	stats     FleetStats
+}
+
+// FleetStats summarizes the control plane's activity over one Run.
+type FleetStats struct {
+	// DeviceHoursMs is the summed attached device-time, the elastic
+	// fleet's cost denominator. A fixed fleet reports Devices x horizon.
+	DeviceHoursMs float64
+	// ScaleOuts / ScaleIns count autoscaler actuations.
+	ScaleOuts int
+	ScaleIns  int
+	// MaxActive is the largest active fleet size reached.
+	MaxActive int
+	// Admitted / Rejected count front-door admission decisions; both stay
+	// 0 when the gate is disabled.
+	Admitted int
+	Rejected int
 }
 
 // grant is one boundary-delimited device hold: the leader request, the
@@ -175,17 +214,48 @@ type grant struct {
 // Devices <= 1 it reduces exactly to the paper's single shared GPU: same
 // events, same records.
 func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Tracer) []Record {
+	recs, _ := s.RunWithStats(arrivals, catalog, tr)
+	return recs
+}
+
+// RunWithStats is Run plus the control plane's end-of-run summary:
+// device-hours, scale events, and admission decisions. With autoscaling
+// and admission disabled the records are identical to Run's and the stats
+// report the fixed fleet's cost.
+func (s *Split) RunWithStats(arrivals []workload.Arrival, catalog Catalog, tr *trace.Tracer) ([]Record, FleetStats) {
 	validateArrivals(arrivals, catalog)
 	n := s.Devices
 	if n < 1 {
 		n = 1
 	}
+	active := n
+	if s.Fleet.Enabled() {
+		if err := s.Fleet.Validate(); err != nil {
+			panic(fmt.Sprintf("policy: %v", err))
+		}
+		// The pool holds Max timelines; the autoscaler moves the active
+		// prefix between Min and Max. A fixed Devices setting is
+		// superseded by the controller's bounds.
+		n = s.Fleet.Max
+		active = s.Fleet.Min
+		if active < 1 {
+			active = 1
+		}
+	}
 	placer, err := place.New(s.Placement, n)
 	if err != nil {
 		panic(fmt.Sprintf("policy: %v", err))
 	}
+	scaler, err := fleet.NewAutoscaler(s.Fleet)
+	if err != nil {
+		panic(fmt.Sprintf("policy: %v", err))
+	}
+	admit, err := fleet.NewAdmission(s.Admission)
+	if err != nil {
+		panic(fmt.Sprintf("policy: %v", err))
+	}
 	sim := gpusim.New()
-	pool := gpusim.NewDevicePool(sim, n, s.Faults)
+	pool := gpusim.NewElasticPool(sim, n, active, s.Faults)
 	rn := &splitRun{
 		cfg:     s,
 		sim:     sim,
@@ -199,10 +269,19 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 		planner:   sched.BatchPlanner{Max: s.BatchMax},
 		batchCost: s.BatchCost.OrDefault(),
 		view:      make([]place.Load, n),
+		pool:      pool,
+		active:    active,
+		scaler:    scaler,
+		admit:     admit,
 		// One record per arrival; preallocating keeps million-request
 		// sweeps out of the append-regrowth copy path.
 		records: make([]Record, 0, len(arrivals)),
 	}
+	if scaler != nil {
+		rn.window = fleet.NewWindow(0)
+		rn.activeIDs = make([]int, 0, n)
+	}
+	rn.stats.MaxActive = active
 	for i := range rn.devs {
 		q := sched.NewQueue(s.Alpha)
 		q.StarveGuardRR = s.StarveGuardRR
@@ -222,12 +301,29 @@ func (s *Split) Run(arrivals []workload.Arrival, catalog Catalog, tr *trace.Trac
 		}
 	}
 	sim.Run()
-	return sortRecords(rn.records)
+	rn.stats.DeviceHoursMs = pool.DeviceHoursMs(sim.Now())
+	if admit != nil {
+		st := admit.Stats()
+		rn.stats.Admitted, rn.stats.Rejected = st.Admitted, st.Rejected
+	}
+	if scaler != nil {
+		rn.stats.ScaleOuts, rn.stats.ScaleIns = scaler.Events()
+	}
+	return sortRecords(rn.records), rn.stats
 }
 
 // record finalizes a request's outcome.
 func (rn *splitRun) record(r *sched.Request, doneMs float64, outcome string) {
 	delete(rn.live, r.ID)
+	if rn.window != nil {
+		// Feed the autoscaler's rolling violation window with the same
+		// per-record violation predicate as metrics.ViolationRate.
+		alpha := rn.cfg.Alpha
+		if r.AlphaOverride > 0 {
+			alpha = r.AlphaOverride
+		}
+		rn.window.Observe(outcome != OutcomeServed || r.ResponseRatio() > alpha)
+	}
 	rn.records = append(rn.records, Record{
 		ID:          r.ID,
 		Model:       r.Model,
@@ -268,6 +364,11 @@ func (rn *splitRun) startNext(dv *device, now float64) {
 	r := dv.queue.PopFront()
 	if r == nil {
 		dv.inflight = nil
+		// A draining device (scaled in while loaded) detaches the moment
+		// its backlog empties — drain-then-release's release half.
+		if rn.scaler != nil && dv.d.ID >= rn.active && dv.d.Attached() {
+			dv.d.Detach(now)
+		}
 		return
 	}
 	if rn.planner.Enabled() {
@@ -517,12 +618,14 @@ func (g *grant) settleBatch(now float64) {
 	rn.startNext(dv, now)
 }
 
-// fleetView snapshots every device's placement-relevant load into the
+// fleetView snapshots the active devices' placement-relevant load into the
 // reusable view buffer. Both sides of the parity guarantee compute the
 // in-flight remainder the same way: the executing request's uncommitted
-// blocks.
+// blocks. Draining and detached devices are excluded — placement must
+// never target them.
 func (rn *splitRun) fleetView() []place.Load {
-	for i, dv := range rn.devs {
+	for i := 0; i < rn.active; i++ {
+		dv := rn.devs[i]
 		rn.view[i] = place.Load{
 			Device:   i,
 			Queued:   dv.queue.Len(),
@@ -533,7 +636,87 @@ func (rn *splitRun) fleetView() []place.Load {
 			rn.view[i].InflightMs = dv.inflight.RemainingMs()
 		}
 	}
-	return rn.view
+	return rn.view[:rn.active]
+}
+
+// admitView assembles the admission gate's fleet view from the active
+// prefix; the serving path computes the identical quantities under its
+// mutex, which is what makes admission decisions parity-comparable.
+func (rn *splitRun) admitView() fleet.View {
+	v := fleet.View{ActiveDevices: rn.active, ShortestBacklogMs: math.MaxFloat64}
+	for i := 0; i < rn.active; i++ {
+		dv := rn.devs[i]
+		v.QueueDepth += dv.queue.Len()
+		backlog := dv.queue.TotalRemainingMs()
+		if dv.inflight != nil {
+			backlog += dv.inflight.RemainingMs()
+		}
+		if backlog < v.ShortestBacklogMs {
+			v.ShortestBacklogMs = backlog
+		}
+	}
+	return v
+}
+
+// autoscale runs one throttled controller evaluation and actuates its
+// decision. It is piggybacked on arrivals — the simulator must not plant
+// self-perpetuating timers, or the event heap never drains — which is
+// sufficient: an idle stretch with no arrivals has nothing to scale out
+// for, and the evaluation at the next arrival observes the idle period via
+// the controller's persistence clocks.
+func (rn *splitRun) autoscale(now float64) {
+	if rn.scaler == nil || !rn.scaler.Due(now) {
+		return
+	}
+	depth, inflight := 0, 0
+	for i := 0; i < rn.active; i++ {
+		depth += rn.devs[i].queue.Len()
+		if rn.devs[i].inflight != nil {
+			inflight++
+		}
+	}
+	switch rn.scaler.Evaluate(fleet.Signals{
+		NowMs: now, Active: rn.active, QueueDepth: depth,
+		Inflight: inflight, ViolRate: rn.window.Rate(),
+	}) {
+	case fleet.ScaleOut:
+		dv := rn.devs[rn.active]
+		if !dv.d.Attached() {
+			// Re-including a device that never finished draining skips
+			// the attach: its timeline never left the fleet.
+			dv.d.Attach(now)
+		}
+		rn.active++
+		if rn.active > rn.stats.MaxActive {
+			rn.stats.MaxActive = rn.active
+		}
+		rn.resizePlacer()
+		rn.tr.Record(trace.Event{AtMs: now, Kind: trace.ScaleOut, ReqID: -1,
+			Device: dv.d.ID, Detail: fmt.Sprintf("active=%d depth=%d", rn.active, depth)})
+	case fleet.ScaleIn:
+		rn.active--
+		rn.resizePlacer()
+		dv := rn.devs[rn.active]
+		rn.tr.Record(trace.Event{AtMs: now, Kind: trace.ScaleIn, ReqID: -1,
+			Device: dv.d.ID, Detail: fmt.Sprintf("active=%d drain=%d", rn.active, dv.queue.Len())})
+		// Drain-then-release: an idle empty device detaches now; a busy
+		// one keeps running and detaches when startNext finds its queue
+		// empty.
+		if dv.d.Attached() && !dv.d.Busy() && dv.queue.Len() == 0 {
+			dv.d.Detach(now)
+		}
+	}
+}
+
+// resizePlacer rebuilds the active-ID list and notifies the placement
+// policy so stateful placers (affinity homes) cannot reference a draining
+// device.
+func (rn *splitRun) resizePlacer() {
+	rn.activeIDs = rn.activeIDs[:0]
+	for i := 0; i < rn.active; i++ {
+		rn.activeIDs = append(rn.activeIDs, i)
+	}
+	rn.placer.Resize(rn.activeIDs)
 }
 
 // arrive admits one arrival: placement, elastic split decision, deadline
@@ -546,12 +729,30 @@ func (rn *splitRun) arrive(a workload.Arrival, catalog Catalog, now float64) {
 	for _, b := range plan {
 		planned += b
 	}
+	if rn.admit != nil {
+		if ok, detail := rn.admit.Admit(now, info.ExtMs, s.Alpha, rn.admitView()); !ok {
+			if rn.tracing {
+				rn.tr.Record(trace.Event{AtMs: now, Kind: trace.Drop, ReqID: a.ID,
+					Model: a.Model, Detail: trace.ReasonAdmission + ": " + detail})
+			}
+			// Rejected at the door: never enqueued, never started. The
+			// record keeps per-arrival accounting complete; QoS rates are
+			// computed over admitted records (metrics.Admitted).
+			rn.records = append(rn.records, Record{
+				ID: a.ID, Model: a.Model, Class: info.Class, ArriveMs: now,
+				StartMs: -1, DoneMs: now, ExtMs: info.ExtMs, Outcome: OutcomeAdmission,
+			})
+			rn.autoscale(now)
+			return
+		}
+	}
+	rn.autoscale(now)
 	view := rn.fleetView()
 	devID := rn.placer.Place(place.Request{
 		ID: a.ID, Model: a.Model, ExtMs: info.ExtMs, PlannedMs: planned,
 	}, view)
-	if devID < 0 || devID >= len(rn.devs) {
-		panic(fmt.Sprintf("policy: placer %q chose device %d of %d", rn.placer.Name(), devID, len(rn.devs)))
+	if devID < 0 || devID >= len(view) {
+		panic(fmt.Sprintf("policy: placer %q chose device %d of %d", rn.placer.Name(), devID, len(view)))
 	}
 	dv := rn.devs[devID]
 	if len(rn.devs) > 1 {

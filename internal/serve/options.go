@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"split/internal/fleet"
 	"split/internal/gpusim"
 	"split/internal/model"
 	"split/internal/obs"
@@ -15,10 +16,23 @@ import (
 // fields (Devices, Placement) and the functional-option constructor;
 // version 3 added the sim-mirrored scheduling knobs (StarveGuardRR,
 // AlphaByClass) so a tuned policy.Split carries over verbatim; version 4
-// added arrival record/replay (ArrivalRecorder). The version is recorded
-// on the built Options so deployment tooling can assert which schema a
-// server was configured under.
-const OptionsVersion = 4
+// added arrival record/replay (ArrivalRecorder); version 5 added the
+// elastic control plane as nested sub-structs (FleetOptions via WithFleet,
+// AdmissionOptions via WithAdmission). The version is recorded on the
+// built Options so deployment tooling can assert which schema a server was
+// configured under.
+const OptionsVersion = 5
+
+// FleetOptions is the nested autoscaler option block WithFleet installs —
+// the same watermark/hysteresis configuration the simulator takes as
+// policy.Split.Fleet, so a tuned controller carries between layers
+// unchanged.
+type FleetOptions = fleet.AutoscaleConfig
+
+// AdmissionOptions is the nested front-door gate option block
+// WithAdmission installs; the simulator's counterpart is
+// policy.Split.Admission.
+type AdmissionOptions = fleet.AdmissionConfig
 
 // Options is the versioned server configuration New assembles from
 // functional options. It embeds the legacy flat Config so every knob has
@@ -164,4 +178,19 @@ func WithAlphaByClass(byClass map[model.RequestClass]float64) Option {
 // through policy.Split.
 func WithArrivalRecorder(rec *workload.Recorder) Option {
 	return func(o *Options) { o.ArrivalRecorder = rec }
+}
+
+// WithFleet enables the elastic autoscaler: the server runs f.Max
+// executors, keeps [Min, Max] of them actively placed on queue-depth and
+// rolling-QoS signals, and drains-then-releases on sustained idle. The
+// zero value keeps the fixed WithDevices fleet. Mirrors policy.Split.Fleet.
+func WithFleet(f FleetOptions) Option {
+	return func(o *Options) { o.Fleet = f }
+}
+
+// WithAdmission enables the front-door admission gate; rejected requests
+// receive ErrAdmissionRejected and count under the shared
+// trace.ReasonAdmission drop reason. Mirrors policy.Split.Admission.
+func WithAdmission(a AdmissionOptions) Option {
+	return func(o *Options) { o.Admission = a }
 }

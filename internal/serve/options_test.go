@@ -5,10 +5,14 @@ import (
 	"reflect"
 	"testing"
 
+	"split/internal/fleet"
 	"split/internal/gpusim"
+	"split/internal/model"
+	"split/internal/obs"
 	"split/internal/place"
 	"split/internal/sched"
 	"split/internal/trace"
+	"split/internal/workload"
 )
 
 // TestOptionsAssembleConfig: every functional option must land on the
@@ -49,6 +53,56 @@ func TestOptionsAssembleConfig(t *testing.T) {
 	}
 	if srv.placer.Name() != place.Affinity {
 		t.Errorf("placer is %q", srv.placer.Name())
+	}
+}
+
+// TestShimMapsEveryConfigField is the options-v5 regression gate: the
+// deprecated NewServer shim must map EVERY Config field onto the
+// functional-option surface. The fixture sets each field non-zero, runs it
+// through Config.options, and reflects over the struct so that a future
+// Config field either appears in options() or fails here by name — a
+// silently dropped knob is the exact bug class the v1→v2 migration hit.
+func TestShimMapsEveryConfigField(t *testing.T) {
+	cfg := Config{
+		Catalog:          lifecycleCatalog(),
+		Alpha:            6,
+		Elastic:          sched.Elastic{Enabled: true, HighLoadQueueLen: 7},
+		StarveGuardRR:    9,
+		AlphaByClass:     map[model.RequestClass]float64{model.Short: 2},
+		TimeScale:        0.5,
+		MaxQueue:         12,
+		EnforceDeadlines: true,
+		PredictiveShed:   true,
+		Faults:           &gpusim.FaultInjector{Seed: 3, FailProb: 0.1, MaxRetries: 1},
+		Obs:              obs.NewRegistry(),
+		Sink:             trace.NewRing(4),
+		QoSWindow:        32,
+		ArrivalRecorder:  workload.NewRecorder(),
+		Devices:          3,
+		Placement:        place.Affinity,
+		BatchMax:         4,
+		BatchCost:        gpusim.BatchCost{SetupFrac: 0.2, EffGain: 0.3},
+		Fleet:            fleet.AutoscaleConfig{Min: 1, Max: 3, EvalEveryMs: 50},
+		Admission:        fleet.AdmissionConfig{Mode: fleet.AdmitTokenBucket, RatePerSec: 5, Burst: 2},
+	}
+	cv := reflect.ValueOf(cfg)
+	for i := 0; i < cv.NumField(); i++ {
+		if cv.Field(i).IsZero() {
+			t.Fatalf("fixture leaves Config.%s zero — set it so a dropped option cannot hide",
+				cv.Type().Field(i).Name)
+		}
+	}
+	var o Options
+	o.Catalog = cfg.Catalog // New's positional argument, not an option
+	for _, opt := range cfg.options() {
+		opt(&o)
+	}
+	got := reflect.ValueOf(o.Config)
+	for i := 0; i < cv.NumField(); i++ {
+		if !reflect.DeepEqual(got.Field(i).Interface(), cv.Field(i).Interface()) {
+			t.Errorf("NewServer shim loses Config.%s: got %+v, want %+v",
+				cv.Type().Field(i).Name, got.Field(i).Interface(), cv.Field(i).Interface())
+		}
 	}
 }
 

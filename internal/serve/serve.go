@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/rpc"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"split/internal/fleet"
 	"split/internal/gpusim"
 	"split/internal/model"
 	"split/internal/obs"
@@ -70,6 +72,10 @@ var (
 	// ErrDeviceFault sheds requests whose block kept failing past the
 	// injected-fault retry budget.
 	ErrDeviceFault = errors.New("serve: device fault")
+	// ErrAdmissionRejected rejects requests at the front door when the
+	// fleet.Admission gate decides the fleet cannot absorb them (token
+	// bucket empty, queue over its cap, or predicted RR past the limit).
+	ErrAdmissionRejected = errors.New("serve: admission rejected")
 )
 
 // IsShed reports whether err is one of the lifecycle shed/rejection
@@ -102,6 +108,7 @@ const (
 	DropCanceled     = trace.ReasonCanceled
 	DropDrained      = "drained"
 	DropDeviceFault  = trace.ReasonDeviceFault
+	DropAdmission    = trace.ReasonAdmission
 )
 
 // Config parameterizes a server.
@@ -135,8 +142,10 @@ type Config struct {
 	TimeScale float64
 	// MaxQueue caps the number of waiting requests; arrivals beyond it are
 	// rejected with ErrQueueFull. 0 means unbounded (the paper's setting).
+	// For the gate both layers share — with typed drop reasons and parity-
+	// comparable decisions — use Admission instead.
 	//
-	//lint:mirror-exempt admission control is an online-serving concern; the sim admits every arrival
+	//lint:mirror-exempt serve-local legacy queue cap; the shared gate is Admission (queue-length mode)
 	MaxQueue int
 	// EnforceDeadlines derives an absolute deadline ArriveMs + α·t_ext for
 	// every request (unless the RPC supplies its own) and sheds expired
@@ -194,6 +203,19 @@ type Config struct {
 	// BatchCost prices batched block execution; the zero value means
 	// gpusim.DefaultBatchCost(). Ignored unless BatchMax > 1.
 	BatchCost gpusim.BatchCost
+	// Fleet configures the elastic autoscaler: when enabled (Max > 0) the
+	// server runs Fleet.Max executors of which [Min, Max] are actively
+	// placed, scaled on queue-depth and rolling-QoS signals with
+	// drain-then-release semantics; Devices is superseded by the bounds.
+	// The zero value keeps the fixed fleet of Devices — and the decision
+	// stream identical to the pre-elastic server. Mirrors
+	// policy.Split.Fleet so tuned sim experiments carry over.
+	Fleet fleet.AutoscaleConfig
+	// Admission configures the front-door gate; the zero value admits
+	// everything. A rejected request receives ErrAdmissionRejected and is
+	// counted under the shared trace.ReasonAdmission drop reason. Mirrors
+	// policy.Split.Admission so sim and serve reject identically.
+	Admission fleet.AdmissionConfig
 }
 
 // outcome is what a waiter receives: the completed request, or a typed
@@ -260,12 +282,26 @@ type Server struct {
 	cond *sync.Cond
 	// devs are the fleet members; len(devs) >= 1. placer routes arrivals to
 	// them and is only called with mu held (placers are not concurrency-safe).
-	devs    []*srvDevice
-	placer  place.Placer
-	nextID  int
-	closed  bool
-	served  int
-	dropped int
+	devs   []*srvDevice
+	placer place.Placer
+	// active is the size of the actively placed device prefix devs[:active].
+	// Executors at or past active keep draining their queues (drain-then-
+	// release) but receive no new placements. Without the autoscaler it is
+	// len(devs) forever.
+	active int
+	// scaler and admit are the elastic control plane (both nil when their
+	// Config blocks are disabled); fwin feeds the autoscaler's rolling
+	// violation window with the same per-record predicate the simulator
+	// uses, so the two layers' scaling signals cannot diverge. activeIDs is
+	// the reusable Resize argument buffer.
+	scaler    *fleet.Autoscaler
+	admit     *fleet.Admission
+	fwin      *fleet.Window
+	activeIDs []int
+	nextID    int
+	closed    bool
+	served    int
+	dropped   int
 	// running counts live executor goroutines; the last one to exit under a
 	// drain owns the clean DrainEnd event.
 	running int
@@ -320,7 +356,17 @@ type Server struct {
 //
 //	srv, err := serve.New(catalog, serve.WithDevices(2), serve.WithDeadlines(4))
 func NewServer(cfg Config) (*Server, error) {
-	return New(cfg.Catalog,
+	return New(cfg.Catalog, cfg.options()...)
+}
+
+// options expands the flat Config into the equivalent functional-option
+// list — every Config field except Catalog (which New takes positionally)
+// must be carried by exactly one entry. The shim regression test walks the
+// struct by reflection, so adding a Config field without extending this
+// list fails the build's tests by field name rather than silently dropping
+// the knob.
+func (cfg Config) options() []Option {
+	return []Option{
 		WithAlpha(cfg.Alpha),
 		WithElastic(cfg.Elastic),
 		WithTimeScale(cfg.TimeScale),
@@ -338,7 +384,9 @@ func NewServer(cfg Config) (*Server, error) {
 		WithStarveGuard(cfg.StarveGuardRR),
 		WithAlphaByClass(cfg.AlphaByClass),
 		WithArrivalRecorder(cfg.ArrivalRecorder),
-	)
+		WithFleet(cfg.Fleet),
+		WithAdmission(cfg.Admission),
+	}
 }
 
 // newServer validates assembled options and builds a stopped server.
@@ -356,7 +404,29 @@ func newServer(o Options) (*Server, error) {
 	if cfg.Devices < 1 {
 		cfg.Devices = 1
 	}
+	active := cfg.Devices
+	if cfg.Fleet.Enabled() {
+		// The fleet holds Max executors; the autoscaler moves the active
+		// prefix between Min and Max. A fixed Devices setting is superseded
+		// by the controller's bounds, mirroring policy.Split.RunWithStats.
+		if err := cfg.Fleet.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		cfg.Devices = cfg.Fleet.Max
+		active = cfg.Fleet.Min
+		if active < 1 {
+			active = 1
+		}
+	}
 	placer, err := place.New(cfg.Placement, cfg.Devices)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	scaler, err := fleet.NewAutoscaler(cfg.Fleet)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	admit, err := fleet.NewAdmission(cfg.Admission)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -372,6 +442,13 @@ func newServer(o Options) (*Server, error) {
 		series:     obs.NewTimeSeries(cfg.Alpha, 0, 0, cfg.Devices),
 		stopReason: DropStopped,
 		stopCause:  ErrStopped,
+		active:     active,
+		scaler:     scaler,
+		admit:      admit,
+	}
+	if scaler != nil {
+		s.fwin = fleet.NewWindow(0)
+		s.activeIDs = make([]int, 0, cfg.Devices)
 	}
 	s.devs = make([]*srvDevice, cfg.Devices)
 	for i := range s.devs {
@@ -383,7 +460,11 @@ func newServer(o Options) (*Server, error) {
 		s.devs[i] = dv
 	}
 	if cfg.Obs != nil {
-		s.met = newServeMetrics(cfg.Obs, cfg.Catalog, cfg.Devices, s.planner.Enabled())
+		s.met = newServeMetrics(cfg.Obs, cfg.Catalog, cfg.Devices, s.planner.Enabled(),
+			scaler != nil, admit != nil)
+		if s.met.fleetActive != nil {
+			s.met.fleetActive.SetInt(s.active)
+		}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
@@ -413,10 +494,12 @@ func (s *Server) anyBusyLocked() bool {
 // fleetViewLocked snapshots per-device load for the placer, computed with
 // the exact formula the fleet simulator uses (queued remaining ms plus the
 // in-flight request's uncommitted blocks) so sim and serve make identical
-// placement decisions. Caller holds s.mu.
+// placement decisions. Only the active prefix is visible — placement must
+// never target a draining device. Caller holds s.mu.
 func (s *Server) fleetViewLocked() []place.Load {
-	view := make([]place.Load, len(s.devs))
-	for i, dv := range s.devs {
+	view := make([]place.Load, s.active)
+	for i := range view {
+		dv := s.devs[i]
 		view[i] = place.Load{
 			Device:   i,
 			Queued:   dv.queue.Len(),
@@ -428,6 +511,80 @@ func (s *Server) fleetViewLocked() []place.Load {
 		}
 	}
 	return view
+}
+
+// admitViewLocked assembles the admission gate's fleet view from the active
+// prefix — the identical quantities splitRun.admitView computes, which is
+// what makes admission decisions parity-comparable. Caller holds s.mu.
+func (s *Server) admitViewLocked() fleet.View {
+	v := fleet.View{ActiveDevices: s.active, ShortestBacklogMs: math.MaxFloat64}
+	for i := 0; i < s.active; i++ {
+		dv := s.devs[i]
+		v.QueueDepth += dv.queue.Len()
+		backlog := dv.queue.TotalRemainingMs()
+		if dv.inflight != nil {
+			backlog += dv.inflight.RemainingMs()
+		}
+		if backlog < v.ShortestBacklogMs {
+			v.ShortestBacklogMs = backlog
+		}
+	}
+	return v
+}
+
+// autoscaleLocked runs one throttled controller evaluation and actuates its
+// decision. Like the simulator it piggybacks on arrivals — the enqueue path
+// is the only caller — so a fleet with no traffic holds its size, and the
+// evaluation at the next arrival observes the idle stretch through the
+// controller's persistence clocks. Caller holds s.mu.
+func (s *Server) autoscaleLocked(now float64) {
+	if s.scaler == nil || !s.scaler.Due(now) {
+		return
+	}
+	depth, inflight := 0, 0
+	for i := 0; i < s.active; i++ {
+		depth += s.devs[i].queue.Len()
+		if s.devs[i].inflight != nil {
+			inflight++
+		}
+	}
+	switch s.scaler.Evaluate(fleet.Signals{
+		NowMs: now, Active: s.active, QueueDepth: depth,
+		Inflight: inflight, ViolRate: s.fwin.Rate(),
+	}) {
+	case fleet.ScaleOut:
+		s.active++
+		s.resizePlacerLocked()
+		if s.met != nil && s.met.fleetActive != nil {
+			s.met.fleetActive.SetInt(s.active)
+			s.met.scaleOuts.Inc()
+		}
+		s.emit(trace.Event{AtMs: now, Kind: trace.ScaleOut, ReqID: -1,
+			Device: s.active - 1, Detail: fmt.Sprintf("active=%d depth=%d", s.active, depth)})
+	case fleet.ScaleIn:
+		s.active--
+		s.resizePlacerLocked()
+		dv := s.devs[s.active]
+		if s.met != nil && s.met.fleetActive != nil {
+			s.met.fleetActive.SetInt(s.active)
+			s.met.scaleIns.Inc()
+		}
+		// Drain-then-release: the device's executor keeps draining its queue
+		// and then idles; placement simply never targets it again.
+		s.emit(trace.Event{AtMs: now, Kind: trace.ScaleIn, ReqID: -1,
+			Device: dv.id, Detail: fmt.Sprintf("active=%d drain=%d", s.active, dv.queue.Len())})
+	}
+}
+
+// resizePlacerLocked rebuilds the active-ID list and notifies the placement
+// policy so stateful placers (affinity homes) cannot reference a draining
+// device. Caller holds s.mu.
+func (s *Server) resizePlacerLocked() {
+	s.activeIDs = s.activeIDs[:0]
+	for i := 0; i < s.active; i++ {
+		s.activeIDs = append(s.activeIDs, i)
+	}
+	s.placer.Resize(s.activeIDs)
 }
 
 // dropsHelp is the split_drops_total help text; the family covers both
@@ -465,9 +622,16 @@ type serveMetrics struct {
 	// keep their exact /metrics output.
 	batchedBlocks *obs.Counter
 	batchSize     *obs.Histogram
+	// Control-plane families, registered only when the autoscaler /
+	// admission gate is enabled, again to keep fixed deployments' /metrics
+	// output byte-stable.
+	fleetActive *obs.Gauge
+	scaleOuts   *obs.Counter
+	scaleIns    *obs.Counter
+	admitted    *obs.Counter
 }
 
-func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int, batching bool) *serveMetrics {
+func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int, batching, elastic, admission bool) *serveMetrics {
 	m := &serveMetrics{
 		reg:         reg,
 		requests:    make(map[string]*obs.Counter, len(catalog)),
@@ -510,6 +674,15 @@ func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int, bat
 		m.batchedBlocks = reg.Counter(obs.MetricBatchedBlocks, "device grants that executed a same-type micro-batch (size > 1)")
 		m.batchSize = reg.Histogram(obs.MetricBatchSize, "members per batched device grant",
 			[]float64{1, 2, 3, 4, 6, 8, 12, 16})
+	}
+	if elastic {
+		m.fleetActive = reg.Gauge(obs.MetricFleetActive, "devices in the actively placed fleet prefix")
+		m.scaleOuts = reg.Counter(obs.MetricAutoscaleEvents, "autoscaler actuations, by direction", "direction", "out")
+		m.scaleIns = reg.Counter(obs.MetricAutoscaleEvents, "autoscaler actuations, by direction", "direction", "in")
+	}
+	if admission {
+		m.admitted = reg.Counter(obs.MetricAdmittedTotal, "requests admitted through the front-door gate")
+		m.drops[DropAdmission] = reg.Counter(obs.MetricDropsTotal, dropsHelp, "reason", DropAdmission)
 	}
 	return m
 }
@@ -609,6 +782,11 @@ func (s *Server) shedLocked(nowMs float64, r *sched.Request, reason string, caus
 	}
 	s.qos.Observe(rec)
 	s.series.ObserveOutcome(rec)
+	if s.fwin != nil {
+		// A shed request violated its target by definition — the same
+		// predicate splitRun.record feeds the sim-side window.
+		s.fwin.Observe(true)
+	}
 	if s.met != nil {
 		//lint:ignore hotalloc steady-state reasons hit the cached map; Registry.Counter runs once per never-seen reason
 		s.met.dropCounter(reason).Inc()
@@ -1153,6 +1331,13 @@ func (s *Server) observeCompletion(r *sched.Request, rr float64) {
 	}
 	s.qos.Observe(rec)
 	s.series.ObserveOutcome(rec)
+	if s.fwin != nil {
+		alpha := s.cfg.Alpha
+		if r.AlphaOverride > 0 {
+			alpha = r.AlphaOverride
+		}
+		s.fwin.Observe(rr > alpha)
+	}
 	if s.met == nil {
 		return
 	}
@@ -1195,6 +1380,26 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 		s.drop(now, modelName, DropUnknownModel)
 		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
 	}
+	// Front door, in the simulator's exact decision order: admission gate,
+	// then the throttled autoscale evaluation, then placement — any other
+	// interleaving would let the two layers' decisions diverge under the
+	// same schedule (splitRun.arrive is the mirror).
+	if s.admit != nil {
+		if ok, detail := s.admit.Admit(now, info.ExtMs, s.cfg.Alpha, s.admitViewLocked()); !ok {
+			s.dropped++
+			if s.met != nil {
+				s.met.dropCounter(DropAdmission).Inc()
+			}
+			s.emit(trace.Event{AtMs: now, Kind: trace.Drop, ReqID: -1, Model: modelName,
+				Detail: DropAdmission + ": " + detail})
+			s.autoscaleLocked(now)
+			return 0, nil, fmt.Errorf("%w (%s: %s)", ErrAdmissionRejected, modelName, detail)
+		}
+		if s.met != nil && s.met.admitted != nil {
+			s.met.admitted.Inc()
+		}
+	}
+	s.autoscaleLocked(now)
 	if depth := s.depthLocked(); s.cfg.MaxQueue > 0 && depth >= s.cfg.MaxQueue {
 		s.drop(now, modelName, DropQueueFull)
 		return 0, nil, fmt.Errorf("%w: %d waiting", ErrQueueFull, depth)
@@ -1208,7 +1413,7 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 	}
 	view := s.fleetViewLocked()
 	devID := s.placer.Place(place.Request{ID: id, Model: modelName, ExtMs: info.ExtMs, PlannedMs: planned}, view)
-	if devID < 0 || devID >= len(s.devs) {
+	if devID < 0 || devID >= len(view) {
 		devID = 0
 	}
 	dv := s.devs[devID]
@@ -1330,6 +1535,9 @@ type QueueSnapshot struct {
 	// single-device deployments, whose payload is unchanged.
 	Placement string           `json:"placement,omitempty"`
 	Devices   []DeviceSnapshot `json:"devices,omitempty"`
+	// ActiveDevices is the actively placed fleet prefix size; omitted
+	// unless the autoscaler is enabled.
+	ActiveDevices int `json:"active_devices,omitempty"`
 }
 
 // QueueSnapshot captures the live queue state for the admin endpoint. On a
@@ -1365,6 +1573,9 @@ func (s *Server) QueueSnapshot() QueueSnapshot {
 				Device:      r.Device,
 			})
 		}
+	}
+	if s.scaler != nil {
+		snap.ActiveDevices = s.active
 	}
 	if len(s.devs) > 1 {
 		snap.Placement = s.placer.Name()

@@ -86,6 +86,7 @@ var codeToErr = map[string]error{
 	DropCanceled:     ErrCanceled,
 	DropDrained:      ErrDrained,
 	DropDeviceFault:  ErrDeviceFault,
+	DropAdmission:    ErrAdmissionRejected,
 }
 
 // CodeForError returns the wire-stable code for a typed serving error, or

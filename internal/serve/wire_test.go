@@ -23,6 +23,7 @@ var exportedWireErrors = []error{
 	ErrCanceled,
 	ErrDrained,
 	ErrDeviceFault,
+	ErrAdmissionRejected,
 }
 
 // TestWireCodeRoundTripEveryError: every exported error must survive a

@@ -15,4 +15,8 @@ const (
 	// ReasonDeviceFault marks a request whose block kept failing past the
 	// injected-fault retry budget.
 	ReasonDeviceFault = "device_fault"
+	// ReasonAdmission marks a request rejected at the front door by the
+	// fleet.Admission gate before it was ever enqueued — token bucket empty,
+	// queue-length cap reached, or predicted response ratio over budget.
+	ReasonAdmission = "admission"
 )

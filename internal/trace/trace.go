@@ -48,6 +48,12 @@ const (
 	// Device, the policy name in Detail. Emitted only by multi-device
 	// deployments, so single-device traces are unchanged.
 	Place EventKind = "place"
+	// ScaleOut / ScaleIn record autoscaler membership changes: Device is
+	// the device attached (scale-out) or beginning drain-then-release
+	// (scale-in), Detail carries the triggering signal. They are control-
+	// plane events and carry ReqID -1, so span folding ignores them.
+	ScaleOut EventKind = "scale_out"
+	ScaleIn  EventKind = "scale_in"
 )
 
 // Event is one timeline entry.
