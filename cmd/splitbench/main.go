@@ -14,6 +14,7 @@
 //	splitbench -ablation search|evenness|elastic|blocks|init|starvation|burstiness|shedding
 //	splitbench -ablation placement [-devices 2] [-csv placement.csv]
 //	splitbench -ablation batching [-batch-max 8]
+//	splitbench -ablation sharing [-partitions 1,2,4]
 //	splitbench -capacity [-capacity-devices 1,2,4] [-viol-target 0.1] [-placement least-loaded]
 //	splitbench -saturation [-devices 2] [-saturation-points 16] [-viol-target 0.1]
 //	splitbench -replay run.trace [-systems "SPLIT,RT-A"]
@@ -84,9 +85,10 @@ func run(args []string, out io.Writer) error {
 		table2   = fs.Bool("table2", false, "print Table 2 scenarios")
 		stab     = fs.Bool("stability", false, "print the §5.1 hardware-tolerance stability sweep")
 		summary  = fs.Bool("summary", false, "print per-scenario QoS summaries")
-		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness|shedding|placement|batching")
+		ablation = fs.String("ablation", "", "run an ablation: search|evenness|elastic|blocks|init|starvation|burstiness|shedding|placement|batching|sharing")
 		devices  = fs.Int("devices", 2, "fleet size for -ablation placement")
 		batchMax = fs.Int("batch-max", 8, "micro-batch cap for -ablation batching (1 disables batching)")
+		partList = fs.String("partitions", "1,2,4", "comma-separated per-device partition counts for -ablation sharing")
 		csvPath  = fs.String("csv", "", "also write -ablation placement rows as CSV to this file")
 		systems  = fs.String("systems", "", "comma-separated system list for -fig6/-fig7/-summary (default: the paper's four; add REEF or Stream-Parallel here)")
 		seeds    = fs.Int("seeds", 1, "replications for -fig6/-fig7; >1 reports mean±std over seeds")
@@ -127,6 +129,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	partitions, err := parseCounts("-partitions", *partList)
+	if err != nil {
+		return err
+	}
 	// -batch-max defaults to 8 for the batching ablation; for -capacity,
 	// batching stays off unless the flag is set explicitly.
 	capBatch := 1
@@ -152,7 +158,8 @@ func run(args []string, out io.Writer) error {
 
 	needDeploy := *fig6 || *fig7 || *fig3 || *fig1 || *summary || *stab || *capacity || *saturation || *replayPath != "" ||
 		*ablation == "elastic" || *ablation == "starvation" || *ablation == "burstiness" ||
-		*ablation == "shedding" || *ablation == "placement" || *ablation == "batching"
+		*ablation == "shedding" || *ablation == "placement" || *ablation == "batching" ||
+		*ablation == "sharing"
 	var dep *core.Deployment
 	if needDeploy {
 		var err error
@@ -303,6 +310,9 @@ func run(args []string, out io.Writer) error {
 	case "batching":
 		ran = true
 		fmt.Fprint(out, core.RenderBatchingAblation(core.BatchingAblation(dep, *batchMax, *seed)))
+	case "sharing":
+		ran = true
+		fmt.Fprint(out, core.RenderSharingAblation(core.SharingAblation(dep, partitions, *seed)))
 	default:
 		return usagef("unknown ablation %q", *ablation)
 	}
@@ -316,11 +326,16 @@ func run(args []string, out io.Writer) error {
 
 // parseDevices parses a comma-separated list of positive fleet sizes.
 func parseDevices(list string) ([]int, error) {
+	return parseCounts("-capacity-devices", list)
+}
+
+// parseCounts parses a comma-separated list of positive integers.
+func parseCounts(flagName, list string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(list, ",") {
 		var n int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
-			return nil, usagef("-capacity-devices: %q is not a positive fleet size", part)
+			return nil, usagef("%s: %q is not a positive count", flagName, part)
 		}
 		out = append(out, n)
 	}

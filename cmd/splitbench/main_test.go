@@ -104,6 +104,18 @@ func TestBatchingAblationOutput(t *testing.T) {
 	}
 }
 
+func TestSharingAblationOutput(t *testing.T) {
+	out := runOK(t, "-ablation", "sharing", "-partitions", "1,2")
+	for _, want := range []string{"temporal", "spatial", "hybrid", "parts", "rps", "viol@4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sharing ablation missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != 4 {
+		t.Errorf("sharing ablation with -partitions 1,2: %d lines, want header + 3 rows:\n%s", len(lines), out)
+	}
+}
+
 // TestCapacityOutput is the acceptance criterion's knee sweep: capacity
 // mode must emit a knee req/s for N in {1, 2, 4} devices.
 func TestCapacityOutput(t *testing.T) {
@@ -208,6 +220,8 @@ func TestUsageErrors(t *testing.T) {
 		{"-capacity", "-capacity-requests", "0"},
 		{"-capacity", "-placement", "teleport"},
 		{"-saturation", "-saturation-points", "0"},
+		{"-ablation", "sharing", "-partitions", "0"},
+		{"-ablation", "sharing", "-partitions", "1,x"},
 		{"-saturation", "-placement", "teleport"},
 	}
 	for _, args := range cases {

@@ -122,19 +122,22 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 	fs := flag.NewFlagSet("splitd", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7100", "listen address")
-		adminAddr = fs.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /queuez, /tracez, /spanz, /timeseriesz, /debug/pprof) on this address")
-		plansDir  = fs.String("plans", "", "load plans from this directory (default: run the GA)")
-		alpha     = fs.Float64("alpha", 4, "latency target multiplier α")
-		timescale = fs.Float64("timescale", 1.0, "wall-clock ms per simulated ms (e.g. 0.1 = 10x faster)")
-		noElastic = fs.Bool("no-elastic", false, "disable elastic splitting")
-		maxQueue  = fs.Int("max-queue", 0, "reject requests once this many are waiting (0 = unbounded)")
-		ringCap   = fs.Int("trace-ring", 4096, "flight-recorder capacity in events (with -admin)")
-		qosWindow = fs.Int("qos-window", 0, "rolling QoS window in completions (0 = default)")
-		devices   = fs.Int("devices", 1, "fleet size: executors and queues, one per device")
-		placement = fs.String("placement", "", "fleet placement policy: round-robin|least-loaded|affinity (default round-robin)")
-		batchMax  = fs.Int("batch-max", 1, "coalesce up to this many same-model requests into one batched block execution (1 = off)")
-		record    = fs.String("record", "", "record admitted arrivals and write them as a workload trace to this path on shutdown")
+		addr       = fs.String("addr", "127.0.0.1:7100", "listen address")
+		adminAddr  = fs.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /queuez, /tracez, /spanz, /timeseriesz, /debug/pprof) on this address")
+		plansDir   = fs.String("plans", "", "load plans from this directory (default: run the GA)")
+		alpha      = fs.Float64("alpha", 4, "latency target multiplier α")
+		timescale  = fs.Float64("timescale", 1.0, "wall-clock ms per simulated ms (e.g. 0.1 = 10x faster)")
+		noElastic  = fs.Bool("no-elastic", false, "disable elastic splitting")
+		maxQueue   = fs.Int("max-queue", 0, "reject requests once this many are waiting (0 = unbounded)")
+		ringCap    = fs.Int("trace-ring", 4096, "flight-recorder capacity in events (with -admin)")
+		qosWindow  = fs.Int("qos-window", 0, "rolling QoS window in completions (0 = default)")
+		devices    = fs.Int("devices", 1, "fleet size: executors and queues, one per device")
+		placement  = fs.String("placement", "", "fleet placement policy: round-robin|least-loaded|affinity (default round-robin)")
+		batchMax   = fs.Int("batch-max", 1, "coalesce up to this many same-model requests into one batched block execution (1 = off)")
+		partitions = fs.Int("partitions", 1, "spatial sharing: concurrent partition lanes per device (1 = temporal only)")
+		partBeta   = fs.Float64("partition-beta", 0, "fractional-width efficiency exponent eff(f)=f^beta (0 = default)")
+		partWidth  = fs.String("partition-width", "", "partition hold-width policy: fixed|adaptive (default adaptive)")
+		record     = fs.String("record", "", "record admitted arrivals and write them as a workload trace to this path on shutdown")
 
 		deadlines  = fs.Bool("deadlines", false, "enforce per-request deadlines of α·t_ext; shed doomed work at block boundaries")
 		predictive = fs.Bool("predictive-shed", false, "with -deadlines, also shed requests that cannot finish in time even if not yet expired")
@@ -166,6 +169,21 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 	}
 	if *batchMax < 1 {
 		return usagef("-batch-max must be >= 1, got %d", *batchMax)
+	}
+	if *partitions < 1 {
+		return usagef("-partitions must be >= 1, got %d", *partitions)
+	}
+	if *partBeta < 0 || *partBeta > 1 {
+		return usagef("-partition-beta must be in [0, 1], got %v", *partBeta)
+	}
+	if *partitions > 1 {
+		rr, err := place.New(place.RoundRobin, 1)
+		if err != nil {
+			return err
+		}
+		if _, err := place.NewSpatial(rr, *partitions, *partWidth); err != nil {
+			return usageError{err}
+		}
 	}
 	if _, err := place.New(*placement, *devices); err != nil {
 		return usageError{err}
@@ -226,11 +244,21 @@ func run(args []string, out io.Writer, ready, adminReady chan<- string, stop <-c
 		Devices:          *devices,
 		Placement:        *placement,
 		BatchMax:         *batchMax,
+		Partitions:       *partitions,
+		PartitionCost:    gpusim.PartitionCost{Beta: *partBeta},
+		PartitionWidth:   *partWidth,
 		Fleet:            autoscale,
 		Admission:        admission,
 	}
 	if *batchMax > 1 {
 		fmt.Fprintf(out, "micro-batching on: up to %d same-model requests per block\n", *batchMax)
+	}
+	if *partitions > 1 {
+		width := *partWidth
+		if width == "" {
+			width = place.DefaultWidth
+		}
+		fmt.Fprintf(out, "spatial sharing on: %d partition lanes per device, %s width\n", *partitions, width)
 	}
 	var rec *workload.Recorder
 	if *record != "" {

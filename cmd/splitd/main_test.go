@@ -103,6 +103,8 @@ func TestDaemonFleet(t *testing.T) {
 			"-devices", "2",
 			"-placement", "least-loaded",
 			"-batch-max", "2",
+			"-partitions", "2",
+			"-partition-width", "fixed",
 		}, out, ready, nil, stop)
 	}()
 	var addr string
@@ -120,6 +122,9 @@ func TestDaemonFleet(t *testing.T) {
 	if devs, pol := client.Fleet(); devs != 2 || pol != "least-loaded" {
 		t.Errorf("negotiated fleet = (%d, %q)", devs, pol)
 	}
+	if client.Partitions() != 2 {
+		t.Errorf("negotiated partitions = %d, want 2", client.Partitions())
+	}
 	if _, err := client.Infer("vgg19"); err != nil {
 		t.Fatal(err)
 	}
@@ -134,6 +139,9 @@ func TestDaemonFleet(t *testing.T) {
 	}
 	if !strings.Contains(o, "micro-batching on: up to 2") {
 		t.Errorf("daemon log missing batching line: %s", o)
+	}
+	if !strings.Contains(o, "spatial sharing on: 2 partition lanes per device, fixed width") {
+		t.Errorf("daemon log missing spatial sharing line: %s", o)
 	}
 }
 
@@ -229,6 +237,9 @@ func TestDaemonUsageErrors(t *testing.T) {
 		{"-admit-mode", "bogus"},
 		{"-admit-mode", "token-bucket"},
 		{"-admit-mode", "queue-length"},
+		{"-partitions", "0"},
+		{"-partition-beta", "1.5"},
+		{"-partitions", "2", "-partition-width", "diagonal"},
 	}
 	for _, args := range cases {
 		out := &syncBuilder{}

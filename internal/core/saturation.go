@@ -58,6 +58,27 @@ type SaturationPoint struct {
 	DeviceHoursMs float64
 }
 
+// KneeState classifies a sweep's knee estimate. The curve only brackets a
+// knee when it contains both a point that holds the violation target and a
+// later one that breaks it; the two edge shapes are typed sentinels so
+// callers cannot mistake "the sweep never found the knee" for a measured
+// capacity of zero (or of the highest rate probed).
+type KneeState string
+
+const (
+	// KneeFound: the curve holds the target and then breaks it, so the knee
+	// is bracketed to the grid resolution.
+	KneeFound KneeState = "found"
+	// KneeBelowRange: the FIRST probed point already breaks the target —
+	// the deployment saturates below every rate probed and the knee fields
+	// are zero, not a measurement.
+	KneeBelowRange KneeState = "below-range"
+	// KneeAboveRange: NO probed point breaks the target (an all-green
+	// curve). The knee fields hold the highest green point — a lower bound
+	// on capacity, not the knee itself.
+	KneeAboveRange KneeState = "above-range"
+)
+
 // SaturationResult is one sweep's curve and knee.
 type SaturationResult struct {
 	// Points is the measured curve, ascending in offered rate. Every probe
@@ -66,13 +87,40 @@ type SaturationResult struct {
 	// KneeReqPerSec is the highest probed offered rate below the first
 	// point that breaks the violation target — the same bracketing
 	// semantics CapacitySearch bisects, so the two estimates agree to the
-	// grid resolution.
+	// grid resolution. Meaningful only per KneeState: zero when the knee is
+	// below the probed range, a lower bound when above it.
 	KneeReqPerSec float64
 	// ViolAtKnee and ThroughputAtKnee are the knee point's measurements.
 	ViolAtKnee       float64
 	ThroughputAtKnee float64
+	// KneeState says whether KneeReqPerSec is a bracketed knee or one of
+	// the typed edge sentinels.
+	KneeState KneeState
 	// Evals counts the probes spent.
 	Evals int
+}
+
+// selectKnee reads the knee off a curve that is ascending in offered rate:
+// the last point holding the violation target before the first that breaks
+// it. The two unbracketed shapes return their typed sentinels — a zero
+// point for below-range, the highest green point for above-range.
+func selectKnee(points []SaturationPoint, violTarget float64) (SaturationPoint, KneeState) {
+	var knee SaturationPoint
+	green, broke := false, false
+	for _, p := range points {
+		if p.ViolRate > violTarget {
+			broke = true
+			break
+		}
+		knee, green = p, true
+	}
+	switch {
+	case !green:
+		return SaturationPoint{}, KneeBelowRange
+	case !broke:
+		return knee, KneeAboveRange
+	}
+	return knee, KneeFound
 }
 
 // SaturationAnalyzer sweeps offered load through the shared
@@ -157,14 +205,11 @@ func (a *SaturationAnalyzer) Analyze() SaturationResult {
 	sort.Slice(res.Points, func(i, j int) bool {
 		return res.Points[i].OfferedReqPerSec < res.Points[j].OfferedReqPerSec
 	})
-	for _, p := range res.Points {
-		if p.ViolRate > cfg.ViolTarget {
-			break
-		}
-		res.KneeReqPerSec = p.OfferedReqPerSec
-		res.ViolAtKnee = p.ViolRate
-		res.ThroughputAtKnee = p.ThroughputReqPerSec
-	}
+	knee, state := selectKnee(res.Points, cfg.ViolTarget)
+	res.KneeReqPerSec = knee.OfferedReqPerSec
+	res.ViolAtKnee = knee.ViolRate
+	res.ThroughputAtKnee = knee.ThroughputReqPerSec
+	res.KneeState = state
 	return res
 }
 
@@ -176,13 +221,26 @@ func RenderSaturation(res SaturationResult, viol float64, alpha float64) string 
 		"offered req/s", "served req/s", "viol", "admit", "device-hrs ms")
 	for _, p := range res.Points {
 		mark := " "
-		if p.OfferedReqPerSec == res.KneeReqPerSec {
+		if res.KneeState == KneeFound && p.OfferedReqPerSec == res.KneeReqPerSec {
 			mark = "*"
 		}
 		fmt.Fprintf(&b, "%13.1f%s %14.1f %9.1f%% %9.0f%% %14.0f\n",
 			p.OfferedReqPerSec, mark, p.ThroughputReqPerSec, p.ViolRate*100, p.AdmitFrac*100, p.DeviceHoursMs)
 	}
-	fmt.Fprintf(&b, "knee: %.1f req/s (viol %.1f%%, %.1f served req/s, %d evals)\n",
-		res.KneeReqPerSec, res.ViolAtKnee*100, res.ThroughputAtKnee, res.Evals)
+	switch res.KneeState {
+	case KneeBelowRange:
+		lowest := 0.0
+		if len(res.Points) > 0 {
+			lowest = res.Points[0].OfferedReqPerSec
+		}
+		fmt.Fprintf(&b, "knee: below probed range — even the lowest probe (%.1f req/s) breaks the target (%d evals)\n",
+			lowest, res.Evals)
+	case KneeAboveRange:
+		fmt.Fprintf(&b, "knee: above probed range — target held at every probed rate; >= %.1f req/s (viol %.1f%%, %.1f served req/s, %d evals)\n",
+			res.KneeReqPerSec, res.ViolAtKnee*100, res.ThroughputAtKnee, res.Evals)
+	default:
+		fmt.Fprintf(&b, "knee: %.1f req/s (viol %.1f%%, %.1f served req/s, %d evals)\n",
+			res.KneeReqPerSec, res.ViolAtKnee*100, res.ThroughputAtKnee, res.Evals)
+	}
 	return b.String()
 }

@@ -97,6 +97,72 @@ func TestSaturationAdmissionBoundsOverload(t *testing.T) {
 	}
 }
 
+// TestSelectKneeEdges table-tests the knee classifier on the two curve
+// shapes that used to produce a bogus knee: an all-green curve (no point
+// breaks the target) and a curve whose first point already breaks it.
+func TestSelectKneeEdges(t *testing.T) {
+	pt := func(rate, viol float64) SaturationPoint {
+		return SaturationPoint{OfferedReqPerSec: rate, ViolRate: viol, ThroughputReqPerSec: rate * 0.9}
+	}
+	cases := []struct {
+		name      string
+		points    []SaturationPoint
+		wantState KneeState
+		wantKnee  float64
+	}{
+		{"bracketed", []SaturationPoint{pt(1, 0.01), pt(2, 0.05), pt(4, 0.30)}, KneeFound, 2},
+		{"all-green", []SaturationPoint{pt(1, 0.01), pt(2, 0.02), pt(4, 0.05)}, KneeAboveRange, 4},
+		{"first-point-breaks", []SaturationPoint{pt(1, 0.40), pt(2, 0.60)}, KneeBelowRange, 0},
+		{"empty", nil, KneeBelowRange, 0},
+		{"single-green", []SaturationPoint{pt(3, 0.02)}, KneeAboveRange, 3},
+	}
+	for _, tc := range cases {
+		knee, state := selectKnee(tc.points, 0.10)
+		if state != tc.wantState {
+			t.Errorf("%s: state %q, want %q", tc.name, state, tc.wantState)
+		}
+		if knee.OfferedReqPerSec != tc.wantKnee {
+			t.Errorf("%s: knee %.1f req/s, want %.1f", tc.name, knee.OfferedReqPerSec, tc.wantKnee)
+		}
+	}
+}
+
+// TestRenderSaturationEdgeStates: the rendered summary must say the knee
+// was not bracketed instead of printing a zero (or highest-probe) capacity
+// as if it were measured.
+func TestRenderSaturationEdgeStates(t *testing.T) {
+	pt := func(rate, viol float64) SaturationPoint {
+		return SaturationPoint{OfferedReqPerSec: rate, ViolRate: viol}
+	}
+	finish := func(points []SaturationPoint) SaturationResult {
+		knee, state := selectKnee(points, 0.10)
+		return SaturationResult{Points: points, KneeReqPerSec: knee.OfferedReqPerSec,
+			ViolAtKnee: knee.ViolRate, ThroughputAtKnee: knee.ThroughputReqPerSec,
+			KneeState: state, Evals: len(points)}
+	}
+
+	below := RenderSaturation(finish([]SaturationPoint{pt(1, 0.40), pt(2, 0.60)}), 0.10, 4)
+	if !strings.Contains(below, "below probed range") {
+		t.Errorf("below-range render not honest:\n%s", below)
+	}
+	if strings.Contains(below, "knee: 0.0 req/s") {
+		t.Errorf("below-range render reports a zero knee as measured:\n%s", below)
+	}
+
+	above := RenderSaturation(finish([]SaturationPoint{pt(1, 0.01), pt(2, 0.02)}), 0.10, 4)
+	if !strings.Contains(above, "above probed range") || !strings.Contains(above, ">= 2.0 req/s") {
+		t.Errorf("above-range render not honest:\n%s", above)
+	}
+	if strings.Contains(above, "*") {
+		t.Errorf("above-range render marks a knee point that is not bracketed:\n%s", above)
+	}
+
+	found := RenderSaturation(finish([]SaturationPoint{pt(1, 0.01), pt(2, 0.30)}), 0.10, 4)
+	if !strings.Contains(found, "knee: 1.0 req/s") || !strings.Contains(found, "1.0*") {
+		t.Errorf("bracketed render lost the knee:\n%s", found)
+	}
+}
+
 // diurnalScenario is the elasticity testbed: one interactive population
 // whose Poisson rate is modulated by a four-phase diurnal envelope — a deep
 // night trough, two shoulders, and a peak that needs most of the fleet.

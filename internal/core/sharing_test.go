@@ -1,0 +1,48 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSharingAblation is the tentpole acceptance bar: on the same-type
+// burst workload, spatial or hybrid sharing at M>=2 must beat the pure
+// temporal baseline on throughput at equal-or-lower viol@4.
+func TestSharingAblation(t *testing.T) {
+	dep := testDeploy(t)
+	rows := SharingAblation(dep, []int{1, 2}, 1)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows for partitions [1,2], want 3 (temporal + spatial + hybrid): %+v", len(rows), rows)
+	}
+	byMode := map[SharingMode]SharingRow{}
+	for _, r := range rows {
+		if r.Served != r.Requests {
+			t.Errorf("%s/M=%d served %d of %d requests", r.Mode, r.Partitions, r.Served, r.Requests)
+		}
+		if r.ThroughputRps <= 0 {
+			t.Errorf("%s/M=%d has no throughput", r.Mode, r.Partitions)
+		}
+		byMode[r.Mode] = r
+	}
+	temporal := byMode[SharingTemporal]
+	better := false
+	for _, mode := range []SharingMode{SharingSpatial, SharingHybrid} {
+		r := byMode[mode]
+		if r.ThroughputRps > temporal.ThroughputRps && r.Viol4 <= temporal.Viol4 {
+			better = true
+		}
+	}
+	if !better {
+		t.Errorf("no shared arm beats temporal (%.2f rps, viol %.1f%%): spatial %.2f rps/%.1f%%, hybrid %.2f rps/%.1f%%",
+			temporal.ThroughputRps, temporal.Viol4*100,
+			byMode[SharingSpatial].ThroughputRps, byMode[SharingSpatial].Viol4*100,
+			byMode[SharingHybrid].ThroughputRps, byMode[SharingHybrid].Viol4*100)
+	}
+
+	out := RenderSharingAblation(rows)
+	for _, want := range []string{"temporal", "spatial", "hybrid", "viol@4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

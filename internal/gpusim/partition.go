@@ -1,0 +1,229 @@
+package gpusim
+
+// This file models spatial GPU sharing: a device split into M equal
+// partition slots that execute concurrently, the ParvaGPU-style resource
+// partitioning SPLIT itself never uses (it time-slices one sequential
+// accelerator). A hold anchored at partition p may span a contiguous run of
+// free slots starting at p, so a width-adaptive policy can take the whole
+// device when it is idle and shrink to one slot under contention; the span
+// rule is also what makes fraction conservation (Σ fractions <= 1 per
+// device at all times) hold by construction. Busy-ms accounting pro-rates
+// each hold by its occupied fraction, so a device running two half-width
+// blocks for 10 ms reports 10 busy-ms, not 20.
+
+import (
+	"fmt"
+	"math"
+)
+
+// PartitionCost parameterizes the fractional-width block-time model
+//
+//	t(b, f) = b / eff(f),  eff(f) = f^Beta
+//
+// where b is the block's full-device serial time and f in (0, 1] is the
+// allotted device fraction. eff is monotone increasing and saturating
+// (concave for Beta < 1), with eff(1) = 1 exactly: a full-width hold costs
+// the serial time bit-for-bit, which is what keeps unpartitioned runs
+// identical. Smaller Beta means compute partitions better: at Beta = 0.5 a
+// half-width block runs at ~71% speed, so two half lanes aggregate to
+// ~1.41x the serial throughput — the regime MIG-style partitioning reports
+// for memory-bound inference kernels.
+type PartitionCost struct {
+	// Beta in [0, 1] is the contention exponent of eff(f) = f^Beta. 0 means
+	// partitioning is free (a slot runs at full speed), 1 means it is
+	// useless (speed scales linearly with the fraction, so M lanes aggregate
+	// to exactly serial throughput). Values outside [0, 1] are clamped.
+	Beta float64
+}
+
+// DefaultPartitionCost returns the model used by the evaluation harness:
+// Beta = 0.5, giving an aggregate throughput of sqrt(M) for M equal lanes
+// (1.41x at M=2, 2x at M=4), in the range the spatial-sharing literature
+// reports for mid-size inference models on MIG slices.
+func DefaultPartitionCost() PartitionCost {
+	return PartitionCost{Beta: 0.5}
+}
+
+// OrDefault returns c, or DefaultPartitionCost for the zero value — so
+// config structs can carry a PartitionCost without forcing every caller to
+// fill it in.
+func (c PartitionCost) OrDefault() PartitionCost {
+	if c == (PartitionCost{}) {
+		return DefaultPartitionCost()
+	}
+	return c
+}
+
+// Efficiency returns eff(f) = f^Beta, the relative execution speed of a
+// hold allotted fraction f of the device. f >= 1 returns exactly 1 (the
+// full-width identity the M=1 guarantee rests on); f <= 0 is a caller bug
+// and panics, since it would imply a hold on no resources.
+func (c PartitionCost) Efficiency(f float64) float64 {
+	if f >= 1 {
+		return 1
+	}
+	if f <= 0 {
+		panic(fmt.Sprintf("gpusim: partition efficiency of non-positive fraction %v", f))
+	}
+	return math.Pow(f, clamp01(c.Beta))
+}
+
+// BlockMs returns t(b, f): the virtual time a block whose serial cost is
+// blockMs holds its partition when allotted fraction f. f >= 1 returns
+// blockMs unchanged — not just algebraically but bit-for-bit, so a
+// full-width hold reproduces the serial path exactly.
+func (c PartitionCost) BlockMs(blockMs, f float64) float64 {
+	if f >= 1 {
+		return blockMs
+	}
+	return blockMs / c.Efficiency(f)
+}
+
+// Speedup returns the aggregate throughput multiple of m equal concurrent
+// lanes over one serial device: m · eff(1/m). It is independent of block
+// time.
+func (c PartitionCost) Speedup(m int) float64 {
+	if m <= 1 {
+		return 1
+	}
+	return float64(m) * c.Efficiency(1/float64(m))
+}
+
+// ConfigurePartitions splits the device into m equal partition slots that
+// may execute concurrently. It must be called before any hold; m <= 1 is a
+// no-op that keeps the serial Acquire/Release path untouched. Partition
+// holds use AcquirePartition/ReleasePartition; the serial methods keep
+// working and mean "the whole device" (they panic if any partition hold is
+// active, and vice versa).
+func (d *Device) ConfigurePartitions(m int) {
+	if d.busy || d.heldParts > 0 {
+		panic(fmt.Sprintf("gpusim: device %d repartitioned while busy", d.ID))
+	}
+	if m <= 1 {
+		d.parts = 0
+		d.slotOwner = nil
+		d.holdSince = nil
+		d.holdSlots = nil
+		return
+	}
+	d.parts = m
+	d.slotOwner = make([]int, m)
+	for i := range d.slotOwner {
+		d.slotOwner[i] = -1
+	}
+	d.holdSince = make([]float64, m)
+	d.holdSlots = make([]int, m)
+}
+
+// Partitions returns the configured slot count, 1 for an unpartitioned
+// device.
+func (d *Device) Partitions() int {
+	if d.parts <= 1 {
+		return 1
+	}
+	return d.parts
+}
+
+// PartitionBusy reports whether slot p is covered by an active hold (its
+// own, or a wider hold anchored at a lower slot).
+func (d *Device) PartitionBusy(p int) bool {
+	if d.parts <= 1 {
+		return d.busy
+	}
+	return d.slotOwner[p] >= 0
+}
+
+// HeldFraction returns the summed fraction of the device occupied by
+// active holds, in [0, 1]. An unpartitioned device reports 1 while busy.
+func (d *Device) HeldFraction() float64 {
+	if d.parts <= 1 {
+		if d.busy {
+			return 1
+		}
+		return 0
+	}
+	held := 0
+	for _, o := range d.slotOwner {
+		if o >= 0 {
+			held++
+		}
+	}
+	return float64(held) / float64(d.parts)
+}
+
+// AcquirePartition starts a hold anchored at slot p, wanting up to `want`
+// slots; it grants the contiguous run of free slots starting at p, clamped
+// to want, and returns the granted fraction. The anchor slot must be free
+// (the caller's lane gates on PartitionBusy), so the grant is always >= 1
+// slot — which is exactly what makes Σ granted fractions <= 1 at all
+// times: slots are never shared and never granted twice.
+//
+//lint:hotpath partition occupancy flips once per granted block on spatial fleets
+func (d *Device) AcquirePartition(nowMs float64, p, want int) float64 {
+	return d.AcquirePartitionBatch(nowMs, p, want, 1)
+}
+
+// AcquirePartitionBatch is AcquirePartition for a hold coalescing n
+// same-type requests; n >= 2 additionally accounts the batch in the
+// device's batched-grant counters, exactly as AcquireBatch does on the
+// serial path.
+//
+//lint:hotpath batched spatial grants route every partition hold through here
+func (d *Device) AcquirePartitionBatch(nowMs float64, p, want, n int) float64 {
+	if d.parts <= 1 {
+		panic(fmt.Sprintf("gpusim: partition acquire on unpartitioned device %d", d.ID))
+	}
+	if p < 0 || p >= d.parts {
+		panic(fmt.Sprintf("gpusim: device %d partition %d outside [0,%d)", d.ID, p, d.parts))
+	}
+	if d.slotOwner[p] >= 0 {
+		panic(fmt.Sprintf("gpusim: device %d partition %d acquired while busy", d.ID, p))
+	}
+	if d.busy {
+		panic(fmt.Sprintf("gpusim: device %d partition %d acquired under a whole-device hold", d.ID, p))
+	}
+	if want < 1 {
+		want = 1
+	}
+	k := 1
+	for k < want && p+k < d.parts && d.slotOwner[p+k] < 0 {
+		k++
+	}
+	for i := p; i < p+k; i++ {
+		d.slotOwner[i] = p
+	}
+	d.holdSince[p] = nowMs
+	d.holdSlots[p] = k
+	d.heldParts++
+	if n > 1 {
+		d.batchedBlocks++
+		d.batchedReqs += n
+		if n > d.maxBatch {
+			d.maxBatch = n
+		}
+	}
+	return float64(k) / float64(d.parts)
+}
+
+// ReleasePartition ends the hold anchored at slot p at nowMs, freeing its
+// span and accounting the occupancy pro-rated by the held fraction: a hold
+// of k of M slots for t ms adds (k/M)·t busy-ms, so concurrent partition
+// holds can never push a device's utilization past 1.
+//
+//lint:hotpath partition occupancy flips once per completed block on spatial fleets
+func (d *Device) ReleasePartition(nowMs float64, p int) {
+	if d.parts <= 1 {
+		panic(fmt.Sprintf("gpusim: partition release on unpartitioned device %d", d.ID))
+	}
+	if p < 0 || p >= d.parts || d.holdSlots[p] == 0 {
+		panic(fmt.Sprintf("gpusim: device %d partition %d released while idle", d.ID, p))
+	}
+	k := d.holdSlots[p]
+	for i := p; i < p+k; i++ {
+		d.slotOwner[i] = -1
+	}
+	d.holdSlots[p] = 0
+	d.heldParts--
+	d.busyMs += float64(k) / float64(d.parts) * (nowMs - d.holdSince[p])
+	d.blocks++
+}

@@ -42,17 +42,29 @@ type Device struct {
 	attachedAtMs float64
 	activeMs     float64
 	attaches     int
+	// Spatial-sharing state (see partition.go). parts is the configured
+	// slot count (0 or 1 = unpartitioned, the serial path above untouched);
+	// slotOwner maps each slot to the anchor partition of the hold covering
+	// it (-1 free); holdSince/holdSlots record each anchored hold's start
+	// and span width; heldParts counts active holds.
+	parts     int
+	slotOwner []int
+	holdSince []float64
+	holdSlots []int
+	heldParts int
 }
 
-// Busy reports whether a block currently occupies the device.
-func (d *Device) Busy() bool { return d.busy }
+// Busy reports whether any hold currently occupies the device: the serial
+// whole-device hold, or — on a partitioned device — at least one partition
+// hold. Per-slot occupancy is PartitionBusy.
+func (d *Device) Busy() bool { return d.busy || d.heldParts > 0 }
 
 // Acquire marks the device occupied from nowMs. Acquiring a busy device
 // panics: two blocks on one timeline is always a scheduler bug.
 //
 //lint:hotpath device occupancy flips once per granted block
 func (d *Device) Acquire(nowMs float64) {
-	if d.busy {
+	if d.busy || d.heldParts > 0 {
 		panic(fmt.Sprintf("gpusim: device %d acquired while busy", d.ID))
 	}
 	d.busy = true
@@ -92,8 +104,29 @@ func (d *Device) Release(nowMs float64) {
 
 // BusyMs returns the accumulated occupancy in virtual milliseconds
 // (completed holds only; an in-progress hold is not counted until
-// Release).
+// Release). For occupancy as of a point in time — including in-progress
+// holds — use BusyMsAt.
 func (d *Device) BusyMs() float64 { return d.busyMs }
+
+// BusyMsAt returns the occupancy accumulated up to nowMs, counting the
+// in-progress hold (or, on a partitioned device, every active partition
+// hold pro-rated by its fraction). This is the numerator utilization
+// measurements must use: a device halfway through one long block is 100%
+// utilized, not 0%.
+func (d *Device) BusyMsAt(nowMs float64) float64 {
+	total := d.busyMs
+	if d.busy && nowMs > d.busySinceMs {
+		total += nowMs - d.busySinceMs
+	}
+	if d.parts > 1 {
+		for p, k := range d.holdSlots {
+			if k > 0 && nowMs > d.holdSince[p] {
+				total += float64(k) / float64(d.parts) * (nowMs - d.holdSince[p])
+			}
+		}
+	}
+	return total
+}
 
 // Blocks returns the number of completed device holds.
 func (d *Device) Blocks() int { return d.blocks }
@@ -109,13 +142,23 @@ func (d *Device) BatchedRequests() int { return d.batchedReqs }
 func (d *Device) MaxBatch() int { return d.maxBatch }
 
 // Attach marks the device part of the active fleet from nowMs. Attaching
-// an attached device panics: membership flips must alternate.
+// an attached device panics, as does attaching a busy one: membership
+// flips must alternate, and a device that left the fleet cannot have kept
+// a hold (Detach refuses while busy), so a busy re-attach means a hold was
+// started across the detached gap and its busy-since stamp is stale.
 func (d *Device) Attach(nowMs float64) {
 	if d.attached {
 		panic(fmt.Sprintf("gpusim: device %d attached while attached", d.ID))
 	}
+	if d.busy || d.heldParts > 0 {
+		panic(fmt.Sprintf("gpusim: device %d attached while busy; holds cannot span a detached gap", d.ID))
+	}
 	d.attached = true
 	d.attachedAtMs = nowMs
+	// A re-attached device must not carry the previous attach span's hold
+	// stamp: the device is idle here, so the stamp is dead state, and
+	// clearing it pins the seam (a later Acquire always restamps).
+	d.busySinceMs = 0
 	d.attaches++
 }
 
@@ -127,7 +170,7 @@ func (d *Device) Detach(nowMs float64) {
 	if !d.attached {
 		panic(fmt.Sprintf("gpusim: device %d detached while detached", d.ID))
 	}
-	if d.busy {
+	if d.busy || d.heldParts > 0 {
 		panic(fmt.Sprintf("gpusim: device %d detached while busy; drain before release", d.ID))
 	}
 	d.attached = false
@@ -150,12 +193,15 @@ func (d *Device) ActiveMs(nowMs float64) float64 {
 	return d.activeMs
 }
 
-// Utilization returns BusyMs over the time the device was actually
+// Utilization returns occupancy over the time the device was actually
 // attached within the horizon — not the full horizon, which would dilute
 // the signal for devices added mid-run and make a fresh device look idle
-// to the autoscaler. For a device attached at 0 and never detached this is
-// exactly busyMs / horizonMs. Returns 0 when the device has no attached
-// time in the horizon.
+// to the autoscaler. The numerator is BusyMsAt(horizonMs), so a device in
+// the middle of one long block reads as occupied rather than idle (the
+// completed-holds-only numerator undercounted exactly when the signal
+// mattered most). For a device attached at 0 and never detached this is
+// busy time / horizonMs. Returns 0 when the device has no attached time in
+// the horizon; the ratio is clamped to 1.
 func (d *Device) Utilization(horizonMs float64) float64 {
 	if horizonMs <= 0 {
 		return 0
@@ -164,7 +210,11 @@ func (d *Device) Utilization(horizonMs float64) float64 {
 	if active <= 0 {
 		return 0
 	}
-	return d.busyMs / active
+	u := d.BusyMsAt(horizonMs) / active
+	if u > 1 {
+		return 1
+	}
+	return u
 }
 
 // DevicePool is a fleet of N device timelines under one simulator clock.
@@ -200,6 +250,15 @@ func NewElasticPool(sim *Sim, max, active int, faults *FaultInjector) *DevicePoo
 		}
 	}
 	return p
+}
+
+// ConfigurePartitions splits every device in the pool into m concurrent
+// partition slots (see Device.ConfigurePartitions); m <= 1 keeps the
+// serial whole-device timelines untouched.
+func (p *DevicePool) ConfigurePartitions(m int) {
+	for _, d := range p.devices {
+		d.ConfigurePartitions(m)
+	}
 }
 
 // Sim returns the shared clock.

@@ -20,6 +20,8 @@ type Split struct {
 	PartialPreemption bool
 	// TimeScale drifts in type (float64 here, int on the serve side).
 	TimeScale float64
+	// Partitions mirrors cleanly: the spatial-sharing knob pair.
+	Partitions int
 }
 
 // Outcomes references both reasons, so the sim side is fully spoken.

@@ -15,6 +15,8 @@ type Config struct {
 	TimeScale int
 	// Devices exists only here: flagged as a one-sided knob.
 	Devices int
+	// Partitions mirrors cleanly: the spatial-sharing knob pair.
+	Partitions int
 	// Reg is exempt: no report.
 	//lint:mirror-exempt fixture: serve-only wiring
 	Reg *obs.Registry
@@ -35,4 +37,10 @@ func Drop() string {
 // Register references the canonical constant: clean.
 func Register(r *obs.Registry) int {
 	return r.Gauge(obs.MetricQueueDepth)
+}
+
+// RegisterPartition spells a partition-lane family as a literal: flagged —
+// the spatial-sharing families obey the same vocabulary discipline.
+func RegisterPartition(r *obs.Registry) int {
+	return r.Gauge("split_partition_width")
 }

@@ -36,4 +36,11 @@ const (
 	MetricAutoscaleEvents = "split_autoscale_events_total"
 	// Admission families, registered when the admission gate is enabled.
 	MetricAdmittedTotal = "split_admitted_total"
+
+	// Spatial-sharing families, registered when devices run partitioned
+	// (Partitions >= 2). Busy-ms is pro-rated by the granted fraction, so
+	// the per-lane sum stays comparable to split_device_busy_ms_total.
+	MetricPartitionBusyMs = "split_partition_busy_ms_total"
+	MetricPartitionBlocks = "split_partition_blocks_total"
+	MetricPartitionWidth  = "split_partition_width"
 )

@@ -41,8 +41,13 @@ type windowAgg struct {
 	sheds       int
 	violations  int // completions with RR > α, plus all sheds
 	busyMs      []float64
-	depthSum    float64
-	depthN      int
+	// activeMs tracks how long each device was attached within the window;
+	// nil when the feed carries no membership information, in which case
+	// the whole window is the busy-fraction denominator (the fixed-fleet
+	// case). Allocated on the first ObserveActive, exactly like busyMs.
+	activeMs []float64
+	depthSum float64
+	depthN   int
 }
 
 // WindowStat is one window of the /timeseriesz payload.
@@ -62,7 +67,11 @@ type WindowStat struct {
 	// MeanQueueDepth averages the depth samples taken in the window; -1
 	// when the window saw no samples.
 	MeanQueueDepth float64 `json:"mean_queue_depth"`
-	// DeviceBusyFrac is each device's busy fraction of the window.
+	// DeviceBusyFrac is each device's busy fraction of the time it was
+	// attached within the window (the whole window when the feed carries no
+	// membership spans). A device attached for the last 100 ms of a 1000 ms
+	// window and busy throughout reads 1.0, not 0.1 — dividing by the full
+	// window diluted exactly the devices the autoscaler just added.
 	DeviceBusyFrac []float64 `json:"device_busy_frac"`
 }
 
@@ -180,8 +189,19 @@ func (ts *TimeSeries) ObserveOutcome(rec policy.Record) {
 // ObserveBusy attributes one device hold [startMs, endMs] to the windows
 // it crosses, pro-rated.
 func (ts *TimeSeries) ObserveBusy(device int, startMs, endMs float64) {
-	if ts == nil || endMs <= startMs || device < 0 || device >= ts.devices {
+	ts.ObserveBusyFrac(device, startMs, endMs, 1)
+}
+
+// ObserveBusyFrac attributes one fractional device hold — a partition
+// grant occupying frac of the device — to the windows it crosses. A hold
+// of frac f for t ms contributes f·t busy-ms, so concurrent partition
+// lanes can never push a device's windowed busy fraction past 1.
+func (ts *TimeSeries) ObserveBusyFrac(device int, startMs, endMs, frac float64) {
+	if ts == nil || endMs <= startMs || device < 0 || device >= ts.devices || frac <= 0 {
 		return
+	}
+	if frac > 1 {
+		frac = 1
 	}
 	ts.mu.Lock()
 	for cur := startMs; cur < endMs; {
@@ -193,7 +213,34 @@ func (ts *TimeSeries) ObserveBusy(device int, startMs, endMs float64) {
 			if w.busyMs == nil {
 				w.busyMs = make([]float64, ts.devices)
 			}
-			w.busyMs[device] += winEnd - cur
+			w.busyMs[device] += frac * (winEnd - cur)
+		}
+		cur = winEnd
+	}
+	ts.mu.Unlock()
+}
+
+// ObserveActive attributes one attach span [startMs, endMs] of a device to
+// the windows it crosses, pro-rated. Feeding attach spans switches the
+// busy-fraction denominator from the full window to the device's attached
+// time within it, which is what makes the fraction honest across the
+// attach boundary: without it, a device attached mid-window divides its
+// busy time by the whole window and reads mostly idle the moment it joins.
+func (ts *TimeSeries) ObserveActive(device int, startMs, endMs float64) {
+	if ts == nil || endMs <= startMs || device < 0 || device >= ts.devices {
+		return
+	}
+	ts.mu.Lock()
+	for cur := startMs; cur < endMs; {
+		winEnd := (float64(int(cur/ts.windowMs)) + 1) * ts.windowMs
+		if winEnd > endMs {
+			winEnd = endMs
+		}
+		if w := ts.slot(cur); w != nil {
+			if w.activeMs == nil {
+				w.activeMs = make([]float64, ts.devices)
+			}
+			w.activeMs[device] += winEnd - cur
 		}
 		cur = winEnd
 	}
@@ -250,9 +297,24 @@ func (ts *TimeSeries) Snapshot() TimeSeriesSnapshot {
 			ws.MeanQueueDepth = w.depthSum / float64(w.depthN)
 		}
 		for d := range ws.DeviceBusyFrac {
-			if w.busyMs != nil {
-				ws.DeviceBusyFrac[d] = w.busyMs[d] / ts.windowMs
+			if w.busyMs == nil {
+				continue
 			}
+			denom := ts.windowMs
+			if w.activeMs != nil {
+				// Membership-aware denominator: busy over attached time. A
+				// device with no attached time in the window reads 0 — it
+				// cannot have been busy (Attach refuses busy devices).
+				denom = w.activeMs[d]
+				if denom <= 0 {
+					continue
+				}
+			}
+			frac := w.busyMs[d] / denom
+			if frac > 1 {
+				frac = 1
+			}
+			ws.DeviceBusyFrac[d] = frac
 		}
 		snap.Windows = append(snap.Windows, ws)
 	}
@@ -305,6 +367,52 @@ func TimeSeriesFromRun(recs []policy.Record, events []trace.Event, alpha, window
 		ts.ObserveArrival(r.ArriveMs)
 		ts.ObserveOutcome(r)
 	}
+	// Membership spans: fold ScaleOut/ScaleIn control events into per-device
+	// attach spans so busy fractions across the attach boundary divide by
+	// attached time, matching the live server's feed. Traces without scale
+	// events carry no membership information and keep the full-window
+	// denominator. (ScaleIn marks the start of drain-then-release; using it
+	// as the span end slightly undercounts the drain tail, which only makes
+	// the reported fraction conservative.)
+	sawScale := false
+	for _, e := range events {
+		if e.Kind == trace.ScaleOut || e.Kind == trace.ScaleIn {
+			sawScale = true
+			break
+		}
+	}
+	if sawScale {
+		attachedFrom := map[int]float64{}
+		touched := map[int]bool{}
+		for _, e := range events {
+			switch e.Kind {
+			case trace.ScaleOut:
+				touched[e.Device] = true
+				attachedFrom[e.Device] = e.AtMs
+			case trace.ScaleIn:
+				start, wasOpen := attachedFrom[e.Device]
+				if !wasOpen {
+					if touched[e.Device] {
+						break // duplicate scale-in; no open span to close
+					}
+					// First sight is a scale-in: attached since time 0.
+					start = 0
+				}
+				touched[e.Device] = true
+				ts.ObserveActive(e.Device, start, e.AtMs)
+				delete(attachedFrom, e.Device)
+			}
+		}
+		for d, start := range attachedFrom {
+			ts.ObserveActive(d, start, horizon)
+		}
+		for d := 0; d < devices; d++ {
+			if !touched[d] {
+				ts.ObserveActive(d, 0, horizon)
+			}
+		}
+	}
+
 	type open struct {
 		at  float64
 		dev int

@@ -203,3 +203,80 @@ func TestTimeSeriesDefaults(t *testing.T) {
 			ts.alpha, ts.windowMs, len(ts.windows), ts.devices)
 	}
 }
+
+// TestTimeSeriesBusyFracProRated: a fractional (partition) hold
+// contributes frac·duration, so two concurrent half-width lanes sum to the
+// same fraction one serial hold would.
+func TestTimeSeriesBusyFracProRated(t *testing.T) {
+	ts := NewTimeSeries(4, 100, 10, 1)
+	ts.ObserveBusyFrac(0, 0, 100, 0.5)
+	ts.ObserveBusyFrac(0, 50, 100, 0.5)
+	snap := ts.Snapshot()
+	if got := snap.Windows[0].DeviceBusyFrac[0]; math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("two half-width holds = %v, want 0.75", got)
+	}
+}
+
+// TestTimeSeriesActiveDenominator pins the attach-boundary fix: a device
+// attached for the last tenth of a window and busy throughout is fully
+// utilized, not 10% — the full-window denominator diluted exactly the
+// devices the autoscaler just added.
+func TestTimeSeriesActiveDenominator(t *testing.T) {
+	ts := NewTimeSeries(4, 100, 10, 2)
+	// Device 0 attached the whole run; device 1 attaches at 90.
+	ts.ObserveActive(0, 0, 200)
+	ts.ObserveActive(1, 90, 200)
+	ts.ObserveBusy(0, 0, 50)
+	ts.ObserveBusy(1, 90, 150)
+	snap := ts.Snapshot()
+	if got := snap.Windows[0].DeviceBusyFrac[0]; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("dev0 w0 = %v, want 0.5 (full-window denominator)", got)
+	}
+	// Device 1: busy 10 of its 10 attached ms in w0, 50 of 100 in w1.
+	if got := snap.Windows[0].DeviceBusyFrac[1]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("dev1 w0 = %v, want 1.0 across the attach boundary", got)
+	}
+	if got := snap.Windows[1].DeviceBusyFrac[1]; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("dev1 w1 = %v, want 0.5", got)
+	}
+}
+
+// TestTimeSeriesFromRunInfersMembership: ScaleOut/ScaleIn control events
+// in the trace switch the busy-fraction denominator to attached time.
+func TestTimeSeriesFromRunInfersMembership(t *testing.T) {
+	events := []trace.Event{
+		// Device 1 joins at 150 and is immediately saturated until 200.
+		{AtMs: 150, Kind: trace.ScaleOut, ReqID: -1, Device: 1},
+		{AtMs: 150, Kind: trace.StartBlock, ReqID: 7, Device: 1},
+		{AtMs: 200, Kind: trace.EndBlock, ReqID: 7, Device: 1},
+		{AtMs: 200, Kind: trace.Complete, ReqID: 7},
+	}
+	recs := []policy.Record{served(7, 140, 200, 50)}
+	snap := TimeSeriesFromRun(recs, events, 4, 100, 2)
+	if len(snap.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2", len(snap.Windows))
+	}
+	// The first retained window is 100..200 (window 0 is empty and
+	// trimmed): attached 150..200, busy 150..200 → 1.0. The pre-fix
+	// full-window denominator read 0.5.
+	if got := snap.Windows[0].DeviceBusyFrac[1]; math.Abs(got-1) > 1e-9 {
+		t.Errorf("scaled-out device busy frac = %v, want 1.0", got)
+	}
+	// Device 0 never scaled: attached throughout, idle → 0.
+	if got := snap.Windows[0].DeviceBusyFrac[0]; got != 0 {
+		t.Errorf("idle device busy frac = %v, want 0", got)
+	}
+
+	// A device whose first event is ScaleIn was attached from 0.
+	events = []trace.Event{
+		{AtMs: 20, Kind: trace.StartBlock, ReqID: 1, Device: 0},
+		{AtMs: 60, Kind: trace.EndBlock, ReqID: 1, Device: 0},
+		{AtMs: 60, Kind: trace.Complete, ReqID: 1},
+		{AtMs: 80, Kind: trace.ScaleIn, ReqID: -1, Device: 0},
+	}
+	snap = TimeSeriesFromRun([]policy.Record{served(1, 0, 60, 30)}, events, 4, 100, 1)
+	// Attached 0..80, busy 20..60 → 0.5.
+	if got := snap.Windows[0].DeviceBusyFrac[0]; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("scaled-in device busy frac = %v, want 40/80", got)
+	}
+}

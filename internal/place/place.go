@@ -159,6 +159,13 @@ type affinity struct {
 	home map[string]int
 	// warm counts models homed on each device.
 	warm []int
+	// evicted marks models whose home left the active set. An evicted
+	// model's next arrival re-homes by load, not by warm count: eviction
+	// happens at scale-in, when the surviving devices are absorbing the
+	// drained device's backlog, and the fewest-warm device is often exactly
+	// the one drowning in it. A fixed fleet never calls Resize, so the map
+	// stays empty and first-sighting behavior is bit-identical.
+	evicted map[string]bool
 }
 
 func (p *affinity) Name() string { return Affinity }
@@ -168,9 +175,27 @@ func (p *affinity) Place(r Request, fleet []Load) int {
 		return dev
 	}
 	best := 0
-	for i := 1; i < len(fleet); i++ {
-		if p.warm[i] < p.warm[best] {
-			best = i
+	if p.evicted[r.Model] {
+		// Re-home after eviction: join the least-loaded active device, so a
+		// post-scale-in burst of the evicted model doesn't pile onto a
+		// survivor that is already behind. Load ties break toward the fewest
+		// warm models (then the lowest ID), preserving the even spread the
+		// first-sighting rule gives when the survivors are equally loaded.
+		delete(p.evicted, r.Model)
+		for i := 1; i < len(fleet); i++ {
+			li, lb := fleet[i].ExpectedMs(), fleet[best].ExpectedMs()
+			if li < lb || (li == lb && p.warm[i] < p.warm[best]) {
+				best = i
+			}
+		}
+	} else {
+		// First sighting: claim the device with the fewest warm models, so
+		// models spread evenly without depending on timing-sensitive load
+		// views.
+		for i := 1; i < len(fleet); i++ {
+			if p.warm[i] < p.warm[best] {
+				best = i
+			}
 		}
 	}
 	p.home[r.Model] = best
@@ -183,7 +208,8 @@ func (p *affinity) Place(r Request, fleet []Load) int {
 // live device instead of silently claiming a second home while the old
 // device's warm count leaks. Models homed on surviving devices keep their
 // homes — membership churn must not reshuffle warm state that is still
-// valid.
+// valid. Evicted models are remembered so their re-homing placement is
+// load-aware (see Place).
 func (p *affinity) Resize(active []int) {
 	live := make(map[int]bool, len(active))
 	for _, id := range active {
@@ -192,6 +218,10 @@ func (p *affinity) Resize(active []int) {
 	for m, dev := range p.home {
 		if !live[dev] {
 			delete(p.home, m)
+			if p.evicted == nil {
+				p.evicted = make(map[string]bool)
+			}
+			p.evicted[m] = true
 			if dev >= 0 && dev < len(p.warm) {
 				p.warm[dev]--
 			}

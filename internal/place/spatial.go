@@ -1,0 +1,136 @@
+package place
+
+// Spatial sharing generalizes placement from "which device" to "which
+// lane": when every device is split into M concurrent partition slots
+// (gpusim.Device.ConfigurePartitions), the schedulable unit is a lane —
+// one (device, partition) pair — and the fleet view grows from N device
+// loads to N*M lane loads. Rather than invent a second placer interface,
+// a Spatial wrapper feeds the lane-level view to any existing Placer (the
+// inner policy picks a lane exactly as it would pick a device) and
+// translates the pick into a Decision carrying the partition anchor and
+// requested width. M = 1 collapses lanes back to devices, so existing
+// policies are the degenerate case through the unchanged interface.
+
+import "fmt"
+
+// Width policy names accepted by NewSpatial.
+const (
+	// WidthFixed grants every hold exactly one slot (fraction 1/M): maximum
+	// concurrency, every block pays the partition efficiency tax.
+	WidthFixed = "fixed"
+	// WidthAdaptive asks for all M slots and lets the grant clamp to the
+	// contiguous free span at the anchor: an idle device runs the block at
+	// full width (serial speed), a contended one shrinks to what is free.
+	WidthAdaptive = "adaptive"
+)
+
+// DefaultWidth is the width policy used when none is named.
+const DefaultWidth = WidthAdaptive
+
+// Decision is a spatial placement: the lane an arrival joins and the hold
+// width its block will request. The fraction actually granted can be
+// smaller than the requested Want/M — the device clamps the span to the
+// contiguous free slots at grant time — which is what keeps fraction
+// conservation a device-side invariant rather than a placement promise.
+type Decision struct {
+	// Device is the chosen device ID.
+	Device int
+	// Partition is the anchor slot on that device, in [0, M).
+	Partition int
+	// Want is the requested hold width in slots, in [1, M].
+	Want int
+	// Fraction is the requested device fraction, Want/M.
+	Fraction float64
+}
+
+// LaneOf maps a (device, partition) pair to its index in a lane-level
+// fleet view of parts slots per device.
+func LaneOf(device, partition, parts int) int { return device*parts + partition }
+
+// LaneDevice maps a lane index back to its (device, partition) pair.
+func LaneDevice(lane, parts int) (device, partition int) {
+	return lane / parts, lane % parts
+}
+
+// Spatial wraps a Placer so its picks address lanes instead of devices.
+// It is a Placer itself over the lane-level view, plus the Decide/ResizeDevices
+// pair that policy and serve use directly.
+type Spatial struct {
+	inner Placer
+	parts int
+	want  int
+	width string
+}
+
+// NewSpatial wraps inner for a fleet whose devices each expose parts
+// partition slots. An empty width selects DefaultWidth; unknown widths and
+// parts < 2 error (an unpartitioned fleet should use inner directly).
+func NewSpatial(inner Placer, parts int, width string) (*Spatial, error) {
+	if parts < 2 {
+		return nil, fmt.Errorf("place: spatial wrapper over %d partitions, want >= 2", parts)
+	}
+	s := &Spatial{inner: inner, parts: parts, width: width}
+	switch width {
+	case "":
+		s.width = DefaultWidth
+		s.want = parts
+	case WidthAdaptive:
+		s.want = parts
+	case WidthFixed:
+		s.want = 1
+	default:
+		return nil, fmt.Errorf("place: unknown partition width %q (want %s|%s)", width, WidthFixed, WidthAdaptive)
+	}
+	return s, nil
+}
+
+// Name returns "<inner>+<width>", e.g. "least-loaded+adaptive".
+func (s *Spatial) Name() string { return s.inner.Name() + "+" + s.width }
+
+// Parts returns the per-device slot count the wrapper was built for.
+func (s *Spatial) Parts() int { return s.parts }
+
+// Inner returns the wrapped device-level placement policy.
+func (s *Spatial) Inner() Placer { return s.inner }
+
+// Width returns the canonical width policy name.
+func (s *Spatial) Width() string { return s.width }
+
+// Place satisfies Placer over the lane-level view: lanes is indexed by
+// LaneOf and the return value is a lane index. Use Decide for the
+// structured form.
+func (s *Spatial) Place(r Request, lanes []Load) int {
+	return s.inner.Place(r, lanes)
+}
+
+// Decide places r on a lane and returns the full spatial decision.
+func (s *Spatial) Decide(r Request, lanes []Load) Decision {
+	lane := s.inner.Place(r, lanes)
+	dev, part := LaneDevice(lane, s.parts)
+	want := s.want
+	if part+want > s.parts {
+		// An adaptive hold anchored mid-device can only span to the last
+		// slot; asking past it would never be granted anyway.
+		want = s.parts - part
+	}
+	return Decision{
+		Device:    dev,
+		Partition: part,
+		Want:      want,
+		Fraction:  float64(want) / float64(s.parts),
+	}
+}
+
+// Resize forwards the membership change to the inner placer, translating
+// active device IDs into active lane IDs: a device leaving the fleet takes
+// all of its lanes with it. Elastic pools keep device IDs a contiguous
+// prefix, so lane IDs stay a contiguous prefix too.
+func (s *Spatial) Resize(active []int) {
+	lanes := make([]int, 0, len(active)*s.parts)
+	for _, dev := range active {
+		for p := 0; p < s.parts; p++ {
+			lanes = append(lanes, LaneOf(dev, p, s.parts))
+		}
+	}
+	s.inner.Resize(lanes)
+}

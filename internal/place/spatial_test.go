@@ -1,0 +1,172 @@
+package place
+
+import "testing"
+
+func TestNewSpatialValidation(t *testing.T) {
+	inner, _ := New(LeastLoaded, 2)
+	if _, err := NewSpatial(inner, 1, WidthFixed); err == nil {
+		t.Error("parts < 2 accepted")
+	}
+	if _, err := NewSpatial(inner, 2, "josek"); err == nil {
+		t.Error("unknown width accepted")
+	}
+	s, err := NewSpatial(inner, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width() != DefaultWidth {
+		t.Errorf("default width = %q, want %q", s.Width(), DefaultWidth)
+	}
+	if s.Name() != "least-loaded+adaptive" {
+		t.Errorf("name = %q", s.Name())
+	}
+}
+
+func TestLaneIndexRoundTrip(t *testing.T) {
+	const parts = 3
+	for dev := 0; dev < 4; dev++ {
+		for p := 0; p < parts; p++ {
+			lane := LaneOf(dev, p, parts)
+			gd, gp := LaneDevice(lane, parts)
+			if gd != dev || gp != p {
+				t.Fatalf("lane %d round-tripped to (%d,%d), want (%d,%d)", lane, gd, gp, dev, p)
+			}
+		}
+	}
+}
+
+// TestSpatialDecide: the inner policy picks among lanes; the wrapper maps
+// the pick to (device, partition) and applies the width policy.
+func TestSpatialDecide(t *testing.T) {
+	inner, _ := New(LeastLoaded, 2) // fleet size is per-lane below
+	s, err := NewSpatial(inner, 2, WidthFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := idle(4) // 2 devices x 2 slots
+	lanes[0].QueuedMs = 50
+	lanes[1].QueuedMs = 40
+	lanes[2].QueuedMs = 30
+	lanes[3].QueuedMs = 20
+	d := s.Decide(Request{}, lanes)
+	if d.Device != 1 || d.Partition != 1 {
+		t.Errorf("decision (%d,%d), want lane 3 = (1,1)", d.Device, d.Partition)
+	}
+	if d.Want != 1 || d.Fraction != 0.5 {
+		t.Errorf("fixed width want=%d frac=%v, want 1 slot = 1/2", d.Want, d.Fraction)
+	}
+
+	adaptive, _ := NewSpatial(inner, 4, WidthAdaptive)
+	// Anchored at slot 0: wants the whole device.
+	d = adaptive.Decide(Request{}, idle(4))
+	if d.Want != 4 || d.Fraction != 1 {
+		t.Errorf("adaptive at slot 0: want=%d frac=%v, want full width", d.Want, d.Fraction)
+	}
+	// Anchored mid-device: the want clamps to the slots above the anchor.
+	lanes = idle(4)
+	lanes[0].QueuedMs, lanes[1].QueuedMs = 10, 10
+	lanes[2].QueuedMs, lanes[3].QueuedMs = 5, 10
+	d = adaptive.Decide(Request{}, lanes)
+	if d.Device != 0 || d.Partition != 2 || d.Want != 2 || d.Fraction != 0.5 {
+		t.Errorf("adaptive at slot 2: %+v, want device 0 partition 2 want 2", d)
+	}
+}
+
+// TestSpatialResizeForwardsLanes: a device leaving the active set takes
+// all its lanes with it, so inner placers see a contiguous lane prefix.
+func TestSpatialResizeForwardsLanes(t *testing.T) {
+	inner, _ := New(Affinity, 8) // 4 devices x 2 slots
+	s, err := NewSpatial(inner, 2, WidthFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight models fill the eight lanes.
+	models := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i, m := range models {
+		if lane := s.Place(Request{ID: i, Model: m}, idle(8)); lane != i {
+			t.Fatalf("model %s homed on lane %d, want %d", m, lane, i)
+		}
+	}
+	// Scale in to 2 devices = 4 lanes: models homed on lanes 4..7 evict.
+	s.Resize([]int{0, 1})
+	for i, m := range models[:4] {
+		if lane := s.Place(Request{ID: 20 + i, Model: m}, idle(4)); lane != i {
+			t.Errorf("surviving model %s moved to lane %d", m, lane)
+		}
+	}
+	for i, m := range models[4:] {
+		lane := s.Place(Request{ID: 30 + i, Model: m}, idle(4))
+		if lane < 0 || lane >= 4 {
+			t.Errorf("evicted model %s re-homed outside the live lanes: %d", m, lane)
+		}
+	}
+}
+
+// TestAffinityEvictedRehomesLeastLoaded pins the S2 fix at the unit level:
+// a model evicted by scale-in re-homes on the least-loaded survivor, not
+// on the fewest-warm one — at scale-in the fewest-warm survivor is often
+// exactly the device absorbing the drained backlog.
+func TestAffinityEvictedRehomesLeastLoaded(t *testing.T) {
+	p, err := New(Affinity, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home a and b on device 0 and 1; c claims device 2.
+	for i, m := range []string{"a", "b", "c"} {
+		if dev := p.Place(Request{ID: i, Model: m}, idle(3)); dev != i {
+			t.Fatalf("model %s homed on %d, want %d", m, dev, i)
+		}
+	}
+	// Device 2 drains and releases; its backlog lands on device 0, which now
+	// has warm count 1 like device 1 but far more queued work.
+	p.Resize(prefix(2))
+	fleet := idle(2)
+	fleet[0].QueuedMs = 500
+	fleet[1].QueuedMs = 20
+	if dev := p.Place(Request{ID: 10, Model: "c"}, fleet); dev != 1 {
+		t.Errorf("evicted model c re-homed on %d, want least-loaded 1", dev)
+	}
+	// The re-home sticks: later arrivals of c stay on 1 even when its load
+	// grows past device 0's.
+	fleet[1].QueuedMs = 900
+	if dev := p.Place(Request{ID: 11, Model: "c"}, fleet); dev != 1 {
+		t.Errorf("re-homed model c moved to %d", dev)
+	}
+	// A brand-new model still uses the fewest-warm first-sighting rule
+	// (device 0 has warm 1, device 1 now has warm 2): load must not leak
+	// into first sightings, which would break sim/serve parity for fresh
+	// models.
+	if dev := p.Place(Request{ID: 12, Model: "z"}, fleet); dev != 0 {
+		t.Errorf("fresh model z homed on %d, want fewest-warm 0", dev)
+	}
+}
+
+// TestAffinityScaleInThenBurst is the scale-in-then-burst regression shape:
+// many models evicted at once re-home across survivors by load, spreading
+// the burst instead of stampeding one device.
+func TestAffinityScaleInThenBurst(t *testing.T) {
+	p, err := New(Affinity, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []string{"m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"}
+	for i, m := range models {
+		p.Place(Request{ID: i, Model: m}, idle(4))
+	}
+	// Devices 2 and 3 release: m2,m3,m6,m7 evict. The burst arrives with
+	// device 0 heavily backlogged.
+	p.Resize(prefix(2))
+	fleet := idle(2)
+	fleet[0].QueuedMs = 300
+	got := make(map[int]int)
+	for i, m := range []string{"m2", "m3", "m6", "m7"} {
+		dev := p.Place(Request{ID: 20 + i, Model: m}, fleet)
+		got[dev]++
+		fleet[dev].QueuedMs += 100 // each re-home adds its burst backlog
+	}
+	// With load-aware re-homing: m2,m3,m6 fill device 1 up to 300, then m7
+	// breaks the 300-vs-300 tie toward device 0's smaller warm set.
+	if got[1] != 3 || got[0] != 1 {
+		t.Errorf("burst spread %v, want 3 on device 1 and 1 on device 0", got)
+	}
+}

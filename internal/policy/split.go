@@ -76,6 +76,22 @@ type Split struct {
 	// BatchCost prices batched block execution; the zero value means
 	// gpusim.DefaultBatchCost(). Ignored unless BatchMax > 1.
 	BatchCost gpusim.BatchCost
+	// Partitions enables spatial sharing when > 1: every device is split
+	// into that many concurrent partition slots (gpusim
+	// ConfigurePartitions), each with its own scheduling lane — queue,
+	// elastic state, executor — fed by lane-level placement. <= 1 — the
+	// default — keeps the temporal-only path and reproduces prior records
+	// and traces bit-for-bit.
+	Partitions int
+	// PartitionCost prices fractional-width block execution; the zero value
+	// means gpusim.DefaultPartitionCost(). Ignored unless Partitions > 1.
+	PartitionCost gpusim.PartitionCost
+	// PartitionWidth names the hold-width policy under spatial sharing:
+	// place.WidthFixed ("fixed", every hold takes one slot) or
+	// place.WidthAdaptive ("adaptive", holds take the contiguous free span
+	// at their anchor — full device width when idle). Empty selects
+	// place.DefaultWidth. Ignored unless Partitions > 1.
+	PartitionWidth string
 	// Fleet configures the elastic autoscaler: when enabled (Max > 0) the
 	// pool holds Fleet.Max devices of which [Min, Max] are active, scaled
 	// on queue-depth and rolling-QoS signals with drain-then-release
@@ -105,10 +121,21 @@ func (s *Split) Name() string {
 // device is one fleet member's scheduling state: the gpusim timeline plus
 // the per-device queue, token holder, and the reusable grant state that
 // keeps the steady-state grant loop allocation-free.
+// With spatial sharing every physical device contributes Partitions lanes
+// (all sharing one *gpusim.Device but anchored at distinct partition
+// slots); rn.devs is then the flat lane array indexed dev*parts + part.
+// Unpartitioned runs have one lane per device at part 0, so the lane array
+// IS the device array and every legacy index holds.
 type device struct {
 	d        *gpusim.Device
 	queue    *sched.Queue
 	inflight *sched.Request
+	// part is the lane's anchor partition slot; want is the hold width the
+	// lane requests at every grant (1 fixed, Partitions adaptive — the
+	// device clamps to the contiguous free span). Both 0 on unpartitioned
+	// runs.
+	part int
+	want int
 	// batch is the full membership of the current device grant when it is a
 	// micro-batch (inflight is then the leader); nil for scalar grants.
 	batch []*sched.Request
@@ -154,6 +181,13 @@ type splitRun struct {
 	planner   sched.BatchPlanner
 	batchCost gpusim.BatchCost
 	batchSeq  int // batch ids start at 1; 0 marks unbatched trace events
+	// Spatial-sharing state. parts is the per-device partition count (1
+	// when unpartitioned — every index formula degenerates to the device
+	// index); spatial is the lane-level placement wrapper, nil when
+	// unpartitioned (placer is then device-level, exactly as before).
+	parts    int
+	partCost gpusim.PartitionCost
+	spatial  *place.Spatial
 	// view is the fleet-load scratch fleetView refills per placement
 	// decision.
 	view []place.Load
@@ -201,8 +235,13 @@ type grant struct {
 	block   int
 	baseDur float64
 	// runDur is the per-attempt device time: baseDur for scalar grants,
-	// batchCost.BlockMs(baseDur, n) for batched ones.
-	runDur  float64
+	// batchCost.BlockMs(baseDur, n) for batched ones, and either stretched
+	// by partCost.BlockMs(·, frac) when the hold was granted a fractional
+	// device width.
+	runDur float64
+	// frac is the device fraction the current hold was granted (1 for
+	// whole-device holds).
+	frac    float64
 	attempt int
 	fault   gpusim.BlockFault
 	timer   func(now float64)
@@ -242,9 +281,25 @@ func (s *Split) RunWithStats(arrivals []workload.Arrival, catalog Catalog, tr *t
 			active = 1
 		}
 	}
-	placer, err := place.New(s.Placement, n)
+	parts := s.Partitions
+	if parts < 1 {
+		parts = 1
+	}
+	// Placement is lane-level under spatial sharing: the inner policy picks
+	// among n*parts lanes and the Spatial wrapper maps the pick to a
+	// (device, partition, width) decision. Unpartitioned, lanes == devices
+	// and the placer is exactly the device-level policy it always was.
+	placer, err := place.New(s.Placement, n*parts)
 	if err != nil {
 		panic(fmt.Sprintf("policy: %v", err))
+	}
+	var spatial *place.Spatial
+	if parts > 1 {
+		spatial, err = place.NewSpatial(placer, parts, s.PartitionWidth)
+		if err != nil {
+			panic(fmt.Sprintf("policy: %v", err))
+		}
+		placer = spatial
 	}
 	scaler, err := fleet.NewAutoscaler(s.Fleet)
 	if err != nil {
@@ -256,19 +311,25 @@ func (s *Split) RunWithStats(arrivals []workload.Arrival, catalog Catalog, tr *t
 	}
 	sim := gpusim.New()
 	pool := gpusim.NewElasticPool(sim, n, active, s.Faults)
+	if parts > 1 {
+		pool.ConfigurePartitions(parts)
+	}
 	rn := &splitRun{
 		cfg:     s,
 		sim:     sim,
 		tr:      tr,
 		tracing: tr != nil,
 		placer:  placer,
-		devs:    make([]*device, n),
+		devs:    make([]*device, n*parts),
 		// live tracks undecided requests (queued or in flight) for the
 		// cancellation hook, which routes by the request's placed device.
 		live:      make(map[int]*sched.Request, 8),
 		planner:   sched.BatchPlanner{Max: s.BatchMax},
 		batchCost: s.BatchCost.OrDefault(),
-		view:      make([]place.Load, n),
+		parts:     parts,
+		partCost:  s.PartitionCost.OrDefault(),
+		spatial:   spatial,
+		view:      make([]place.Load, n*parts),
 		pool:      pool,
 		active:    active,
 		scaler:    scaler,
@@ -282,10 +343,14 @@ func (s *Split) RunWithStats(arrivals []workload.Arrival, catalog Catalog, tr *t
 		rn.activeIDs = make([]int, 0, n)
 	}
 	rn.stats.MaxActive = active
+	laneWant := 1
+	if parts > 1 && s.PartitionWidth != place.WidthFixed {
+		laneWant = parts
+	}
 	for i := range rn.devs {
 		q := sched.NewQueue(s.Alpha)
 		q.StarveGuardRR = s.StarveGuardRR
-		dv := &device{d: pool.Device(i), queue: q}
+		dv := &device{d: pool.Device(i / parts), queue: q, part: i % parts, want: laneWant}
 		dv.g.rn = rn
 		dv.g.dv = dv
 		dv.g.timer = dv.g.onTimer
@@ -354,6 +419,13 @@ func (rn *splitRun) shed(now float64, r *sched.Request, outcome string) {
 //
 //lint:hotpath the grant decision runs at every block boundary
 func (rn *splitRun) startNext(dv *device, now float64) {
+	// Under spatial sharing a lane can be asked to start while its anchor
+	// slot is still covered by a sibling lane's wider hold; it simply waits
+	// for the next release. Unpartitioned, callers guarantee the device is
+	// free (the legacy invariant), so this never fires.
+	if rn.parts > 1 && dv.d.PartitionBusy(dv.part) {
+		return
+	}
 	// Shed doomed queued work before granting the token — an expired
 	// request must never occupy the device for another block. This
 	// mirrors serve.(*Server).pickLocked.
@@ -365,8 +437,11 @@ func (rn *splitRun) startNext(dv *device, now float64) {
 	if r == nil {
 		dv.inflight = nil
 		// A draining device (scaled in while loaded) detaches the moment
-		// its backlog empties — drain-then-release's release half.
-		if rn.scaler != nil && dv.d.ID >= rn.active && dv.d.Attached() {
+		// its backlog empties — drain-then-release's release half. Under
+		// spatial sharing every lane of the device must be drained and the
+		// device idle (a sibling lane may still hold its partition).
+		if rn.scaler != nil && dv.d.ID >= rn.active && dv.d.Attached() &&
+			!dv.d.Busy() && rn.deviceDrained(dv.d.ID) {
 			dv.d.Detach(now)
 		}
 		return
@@ -379,12 +454,17 @@ func (rn *splitRun) startNext(dv *device, now float64) {
 			return
 		}
 	}
-	dv.d.Acquire(now)
+	g := &dv.g
+	g.frac = 1
+	if rn.parts > 1 {
+		g.frac = dv.d.AcquirePartition(now, dv.part, dv.want)
+	} else {
+		dv.d.Acquire(now)
+	}
 	dv.inflight = r
 	if r.StartMs < 0 {
 		r.StartMs = now
 	}
-	g := &dv.g
 	g.r = r
 	g.batch = nil
 	g.id = 0
@@ -393,10 +473,52 @@ func (rn *splitRun) startNext(dv *device, now float64) {
 	g.runDur = g.baseDur
 	g.attempt = 0
 	r.Next++
-	if rn.tracing {
+	if rn.parts > 1 {
+		g.runDur = rn.partCost.BlockMs(g.baseDur, g.frac)
+		if rn.tracing {
+			rn.tr.PartRecordf(now, trace.StartBlock, r.Device, dv.part, r.ID, r.Model, g.block,
+				"dur=%.3f frac=%.2f", g.runDur, g.frac)
+		}
+	} else if rn.tracing {
 		rn.tr.DeviceRecordf(now, trace.StartBlock, r.Device, r.ID, r.Model, g.block, "dur=%.3f", g.baseDur)
 	}
 	g.begin(now)
+}
+
+// deviceDrained reports whether every lane of the given device has an
+// empty queue and no in-flight request — the release condition for
+// drain-then-release under spatial sharing.
+func (rn *splitRun) deviceDrained(devID int) bool {
+	base := devID * rn.parts
+	for i := 0; i < rn.parts; i++ {
+		lane := rn.devs[base+i]
+		if lane.inflight != nil || lane.queue.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// startLanes restarts the settled lane and, under spatial sharing, any
+// sibling lane whose anchor slot the finished hold uncovered: a wide
+// adaptive hold can span sibling anchors, so its release is their wake-up
+// signal. Siblings start first — they were waiting — which is what makes
+// the adaptive width shrink under contention: the settled lane's next
+// grant clamps at the slots the siblings just took.
+//
+//lint:hotpath runs at every block boundary
+func (rn *splitRun) startLanes(dv *device, now float64) {
+	if rn.parts > 1 {
+		base := dv.d.ID * rn.parts
+		for i := 0; i < rn.parts; i++ {
+			sib := rn.devs[base+i]
+			if sib != dv && sib.inflight == nil && sib.queue.Len() > 0 &&
+				!sib.d.PartitionBusy(sib.part) {
+				rn.startNext(sib, now)
+			}
+		}
+	}
+	rn.startNext(dv, now)
 }
 
 // runBatch executes one batched device grant: every member advances the
@@ -417,8 +539,14 @@ func (rn *splitRun) runBatch(dv *device, now float64, batch []*sched.Request) {
 	g.block = lead.Next
 	g.baseDur = lead.BlockTimes[g.block]
 	g.runDur = rn.batchCost.BlockMs(g.baseDur, n)
+	g.frac = 1
 	g.attempt = 0
-	dv.d.AcquireBatch(now, n)
+	if rn.parts > 1 {
+		g.frac = dv.d.AcquirePartitionBatch(now, dv.part, dv.want, n)
+		g.runDur = rn.partCost.BlockMs(g.runDur, g.frac)
+	} else {
+		dv.d.AcquireBatch(now, n)
+	}
 	dv.inflight = lead
 	dv.batch = batch
 	for _, m := range batch {
@@ -428,7 +556,7 @@ func (rn *splitRun) runBatch(dv *device, now float64, batch []*sched.Request) {
 		m.Next++
 		if rn.tracing {
 			rn.tr.Record(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: m.ID,
-				Model: m.Model, Block: g.block, Device: m.Device, Batch: g.id,
+				Model: m.Model, Block: g.block, Device: m.Device, Part: dv.part, Batch: g.id,
 				Detail: fmt.Sprintf("dur=%.3f n=%d", g.runDur, n)})
 		}
 	}
@@ -468,9 +596,13 @@ func (g *grant) onTimer(now float64) {
 //lint:hotpath closes the device hold at every scalar boundary
 func (g *grant) endBlock(now float64) {
 	if g.rn.tracing {
-		g.rn.tr.DeviceRecordf(now, trace.EndBlock, g.r.Device, g.r.ID, g.r.Model, g.block, "")
+		g.rn.tr.PartRecordf(now, trace.EndBlock, g.r.Device, g.dv.part, g.r.ID, g.r.Model, g.block, "")
 	}
-	g.dv.d.Release(now)
+	if g.rn.parts > 1 {
+		g.dv.d.ReleasePartition(now, g.dv.part)
+	} else {
+		g.dv.d.Release(now)
+	}
 	g.dv.inflight = nil
 }
 
@@ -488,7 +620,7 @@ func (g *grant) settleScalar(now float64) {
 			}
 			g.endBlock(now)
 			rn.shed(now, r, OutcomeDeviceFault)
-			rn.startNext(dv, now)
+			rn.startLanes(dv, now)
 			return
 		}
 		// An attempt boundary is a block boundary for lifecycle
@@ -501,7 +633,7 @@ func (g *grant) settleScalar(now float64) {
 				outcome = OutcomeCanceled
 			}
 			rn.shed(now, r, outcome)
-			rn.startNext(dv, now)
+			rn.startLanes(dv, now)
 			return
 		}
 		if rn.tracing {
@@ -539,7 +671,7 @@ func (g *grant) settleScalar(now float64) {
 			}
 		}
 	}
-	rn.startNext(dv, now)
+	rn.startLanes(dv, now)
 }
 
 // endBatch closes a batched device hold at a boundary.
@@ -549,10 +681,14 @@ func (g *grant) endBatch(now float64) {
 	if g.rn.tracing {
 		for _, m := range g.batch {
 			g.rn.tr.Record(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: m.ID,
-				Model: m.Model, Block: g.block, Device: m.Device, Batch: g.id})
+				Model: m.Model, Block: g.block, Device: m.Device, Part: g.dv.part, Batch: g.id})
 		}
 	}
-	g.dv.d.Release(now)
+	if g.rn.parts > 1 {
+		g.dv.d.ReleasePartition(now, g.dv.part)
+	} else {
+		g.dv.d.Release(now)
+	}
 	g.dv.inflight = nil
 	g.dv.batch = nil
 }
@@ -575,7 +711,7 @@ func (g *grant) settleBatch(now float64) {
 			for _, m := range g.batch {
 				rn.shed(now, m, OutcomeDeviceFault)
 			}
-			rn.startNext(dv, now)
+			rn.startLanes(dv, now)
 			return
 		}
 		if rn.tracing {
@@ -615,28 +751,35 @@ func (g *grant) settleBatch(now float64) {
 			}
 		}
 	}
-	rn.startNext(dv, now)
+	rn.startLanes(dv, now)
 }
 
-// fleetView snapshots the active devices' placement-relevant load into the
+// fleetView snapshots the active lanes' placement-relevant load into the
 // reusable view buffer. Both sides of the parity guarantee compute the
 // in-flight remainder the same way: the executing request's uncommitted
 // blocks. Draining and detached devices are excluded — placement must
-// never target them.
+// never target them. Unpartitioned, lanes == devices and the view is
+// exactly the per-device one it always was; under spatial sharing Busy is
+// the lane's anchor-slot occupancy.
 func (rn *splitRun) fleetView() []place.Load {
-	for i := 0; i < rn.active; i++ {
+	lanes := rn.active * rn.parts
+	for i := 0; i < lanes; i++ {
 		dv := rn.devs[i]
+		busy := dv.d.Busy()
+		if rn.parts > 1 {
+			busy = dv.d.PartitionBusy(dv.part)
+		}
 		rn.view[i] = place.Load{
 			Device:   i,
 			Queued:   dv.queue.Len(),
 			QueuedMs: dv.queue.TotalRemainingMs(),
-			Busy:     dv.d.Busy(),
+			Busy:     busy,
 		}
 		if dv.inflight != nil {
 			rn.view[i].InflightMs = dv.inflight.RemainingMs()
 		}
 	}
-	return rn.view[:rn.active]
+	return rn.view[:lanes]
 }
 
 // admitView assembles the admission gate's fleet view from the active
@@ -644,7 +787,7 @@ func (rn *splitRun) fleetView() []place.Load {
 // mutex, which is what makes admission decisions parity-comparable.
 func (rn *splitRun) admitView() fleet.View {
 	v := fleet.View{ActiveDevices: rn.active, ShortestBacklogMs: math.MaxFloat64}
-	for i := 0; i < rn.active; i++ {
+	for i := 0; i < rn.active*rn.parts; i++ {
 		dv := rn.devs[i]
 		v.QueueDepth += dv.queue.Len()
 		backlog := dv.queue.TotalRemainingMs()
@@ -669,7 +812,7 @@ func (rn *splitRun) autoscale(now float64) {
 		return
 	}
 	depth, inflight := 0, 0
-	for i := 0; i < rn.active; i++ {
+	for i := 0; i < rn.active*rn.parts; i++ {
 		depth += rn.devs[i].queue.Len()
 		if rn.devs[i].inflight != nil {
 			inflight++
@@ -680,7 +823,7 @@ func (rn *splitRun) autoscale(now float64) {
 		Inflight: inflight, ViolRate: rn.window.Rate(),
 	}) {
 	case fleet.ScaleOut:
-		dv := rn.devs[rn.active]
+		dv := rn.devs[rn.active*rn.parts] // first lane of the joining device
 		if !dv.d.Attached() {
 			// Re-including a device that never finished draining skips
 			// the attach: its timeline never left the fleet.
@@ -696,13 +839,17 @@ func (rn *splitRun) autoscale(now float64) {
 	case fleet.ScaleIn:
 		rn.active--
 		rn.resizePlacer()
-		dv := rn.devs[rn.active]
+		dv := rn.devs[rn.active*rn.parts] // first lane of the draining device
+		drain := 0
+		for p := 0; p < rn.parts; p++ {
+			drain += rn.devs[rn.active*rn.parts+p].queue.Len()
+		}
 		rn.tr.Record(trace.Event{AtMs: now, Kind: trace.ScaleIn, ReqID: -1,
-			Device: dv.d.ID, Detail: fmt.Sprintf("active=%d drain=%d", rn.active, dv.queue.Len())})
+			Device: dv.d.ID, Detail: fmt.Sprintf("active=%d drain=%d", rn.active, drain)})
 		// Drain-then-release: an idle empty device detaches now; a busy
-		// one keeps running and detaches when startNext finds its queue
-		// empty.
-		if dv.d.Attached() && !dv.d.Busy() && dv.queue.Len() == 0 {
+		// one keeps running and detaches when startNext finds every lane
+		// drained.
+		if dv.d.Attached() && !dv.d.Busy() && rn.deviceDrained(dv.d.ID) {
 			dv.d.Detach(now)
 		}
 	}
@@ -748,16 +895,22 @@ func (rn *splitRun) arrive(a workload.Arrival, catalog Catalog, now float64) {
 	}
 	rn.autoscale(now)
 	view := rn.fleetView()
-	devID := rn.placer.Place(place.Request{
-		ID: a.ID, Model: a.Model, ExtMs: info.ExtMs, PlannedMs: planned,
-	}, view)
-	if devID < 0 || devID >= len(view) {
-		panic(fmt.Sprintf("policy: placer %q chose device %d of %d", rn.placer.Name(), devID, len(view)))
+	preq := place.Request{ID: a.ID, Model: a.Model, ExtMs: info.ExtMs, PlannedMs: planned}
+	var devID, lane int
+	if rn.spatial != nil {
+		dec := rn.spatial.Decide(preq, view)
+		devID, lane = dec.Device, place.LaneOf(dec.Device, dec.Partition, rn.parts)
+	} else {
+		devID = rn.placer.Place(preq, view)
+		lane = devID
 	}
-	dv := rn.devs[devID]
-	if len(rn.devs) > 1 {
+	if lane < 0 || lane >= len(view) {
+		panic(fmt.Sprintf("policy: placer %q chose lane %d of %d", rn.placer.Name(), lane, len(view)))
+	}
+	dv := rn.devs[lane]
+	if rn.pool.Len() > 1 || rn.parts > 1 {
 		rn.tr.Record(trace.Event{AtMs: now, Kind: trace.Place, ReqID: a.ID, Model: a.Model,
-			Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", rn.placer.Name(), view[devID].Queued)})
+			Device: devID, Part: dv.part, Detail: fmt.Sprintf("policy=%s depth=%d", rn.placer.Name(), view[lane].Queued)})
 	}
 	blocks := plan
 	if len(blocks) > 1 && !s.Elastic.ShouldSplitWith(dv.queue, a.Model, dv.inflight) {
@@ -765,6 +918,7 @@ func (rn *splitRun) arrive(a workload.Arrival, catalog Catalog, now float64) {
 	}
 	r := sched.NewRequest(a.ID, a.Model, info.Class, now, info.ExtMs, blocks)
 	r.Device = devID
+	r.Partition = dv.part
 	if alpha, ok := s.AlphaByClass[info.Class]; ok {
 		r.AlphaOverride = alpha
 	}
@@ -778,13 +932,17 @@ func (rn *splitRun) arrive(a workload.Arrival, catalog Catalog, now float64) {
 	if rn.tracing { // tracer active: record Algorithm 1's scan length
 		var decisions []sched.Decision
 		pos, decisions = dv.queue.InsertGreedyExplain(now, r)
-		rn.tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0,
+		rn.tr.PartRecordf(now, trace.Arrive, devID, dv.part, r.ID, r.Model, 0,
 			"pos=%d blocks=%d scanned=%d qlen=%d", pos, len(blocks), len(decisions), dv.queue.Len()-1)
 	} else {
 		pos = dv.queue.InsertGreedy(now, r)
-		rn.tr.DeviceRecordf(now, trace.Arrive, devID, r.ID, r.Model, 0, "pos=%d blocks=%d", pos, len(blocks))
+		rn.tr.PartRecordf(now, trace.Arrive, devID, dv.part, r.ID, r.Model, 0, "pos=%d blocks=%d", pos, len(blocks))
 	}
-	if !dv.d.Busy() {
+	if rn.parts > 1 {
+		if !dv.d.PartitionBusy(dv.part) {
+			rn.startNext(dv, now)
+		}
+	} else if !dv.d.Busy() {
 		rn.startNext(dv, now)
 	}
 }
@@ -795,16 +953,16 @@ func (rn *splitRun) cancel(id int, now float64) {
 	if r == nil {
 		return // already completed or shed
 	}
-	dv := rn.devs[r.Device]
+	dv := rn.devs[r.Device*rn.parts+r.Partition]
 	if removed := dv.queue.Remove(id); removed != nil {
 		r.Canceled = true
-		rn.tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "queued")
+		rn.tr.PartRecordf(now, trace.Cancel, r.Device, r.Partition, id, r.Model, r.Next, "queued")
 		rn.shed(now, r, OutcomeCanceled)
 		return
 	}
 	// In flight (scalar or batch member): shed at the next block boundary.
 	if dv.executing(r) && !r.Canceled {
 		r.Canceled = true
-		rn.tr.DeviceRecordf(now, trace.Cancel, r.Device, id, r.Model, r.Next, "inflight")
+		rn.tr.PartRecordf(now, trace.Cancel, r.Device, r.Partition, id, r.Model, r.Next, "inflight")
 	}
 }

@@ -64,6 +64,11 @@ type Request struct {
 	// but executors and cancellation paths route by it. 0 on a
 	// single-device deployment.
 	Device int
+	// Partition is the device partition slot the placement layer assigned
+	// the request to under spatial sharing; cancellation routes by
+	// (Device, Partition) since each lane has its own queue. 0 on
+	// unpartitioned deployments.
+	Partition int
 }
 
 // NewRequest builds a request with sentinel times set.

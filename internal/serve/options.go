@@ -18,10 +18,13 @@ import (
 // AlphaByClass) so a tuned policy.Split carries over verbatim; version 4
 // added arrival record/replay (ArrivalRecorder); version 5 added the
 // elastic control plane as nested sub-structs (FleetOptions via WithFleet,
-// AdmissionOptions via WithAdmission). The version is recorded on the
-// built Options so deployment tooling can assert which schema a server was
-// configured under.
-const OptionsVersion = 5
+// AdmissionOptions via WithAdmission); version 6 added spatial sharing
+// (Partitions, PartitionCost, PartitionWidth via WithPartitions /
+// WithPartitionCost / WithPartitionWidth), mirroring the simulator's
+// partition knobs. The version is recorded on the built Options so
+// deployment tooling can assert which schema a server was configured
+// under.
+const OptionsVersion = 6
 
 // FleetOptions is the nested autoscaler option block WithFleet installs —
 // the same watermark/hysteresis configuration the simulator takes as
@@ -154,6 +157,30 @@ func WithBatching(max int) Option {
 // no effect unless WithBatching enables batching.
 func WithBatchCost(c gpusim.BatchCost) Option {
 	return func(o *Options) { o.BatchCost = c }
+}
+
+// WithPartitions enables spatial sharing: every device is split into m
+// concurrent partition slots, each a scheduling lane with its own queue
+// and executor goroutine. m <= 1 keeps the temporal-only path (the
+// default) and reproduces unpartitioned behavior exactly. Mirrors
+// policy.Split.Partitions.
+func WithPartitions(m int) Option {
+	return func(o *Options) { o.Partitions = m }
+}
+
+// WithPartitionCost sets the fractional-width efficiency curve (the zero
+// value means gpusim.DefaultPartitionCost()). It has no effect unless
+// WithPartitions enables spatial sharing. Mirrors
+// policy.Split.PartitionCost.
+func WithPartitionCost(c gpusim.PartitionCost) Option {
+	return func(o *Options) { o.PartitionCost = c }
+}
+
+// WithPartitionWidth selects the hold-width policy under spatial sharing:
+// place.WidthFixed or place.WidthAdaptive; empty selects
+// place.DefaultWidth. Mirrors policy.Split.PartitionWidth.
+func WithPartitionWidth(width string) Option {
+	return func(o *Options) { o.PartitionWidth = width }
 }
 
 // WithStarveGuard enables the starvation-guard extension: a waiting

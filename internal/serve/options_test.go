@@ -82,6 +82,9 @@ func TestShimMapsEveryConfigField(t *testing.T) {
 		Placement:        place.Affinity,
 		BatchMax:         4,
 		BatchCost:        gpusim.BatchCost{SetupFrac: 0.2, EffGain: 0.3},
+		Partitions:       2,
+		PartitionCost:    gpusim.PartitionCost{Beta: 0.7},
+		PartitionWidth:   place.WidthFixed,
 		Fleet:            fleet.AutoscaleConfig{Min: 1, Max: 3, EvalEveryMs: 50},
 		Admission:        fleet.AdmissionConfig{Mode: fleet.AdmitTokenBucket, RatePerSec: 5, Burst: 2},
 	}

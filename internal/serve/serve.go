@@ -203,6 +203,22 @@ type Config struct {
 	// BatchCost prices batched block execution; the zero value means
 	// gpusim.DefaultBatchCost(). Ignored unless BatchMax > 1.
 	BatchCost gpusim.BatchCost
+	// Partitions enables spatial sharing when > 1: every device is split
+	// into that many concurrent partition slots, each with its own
+	// scheduling lane — queue, elastic state, executor goroutine — fed by
+	// lane-level placement. <= 1 — the default — keeps the temporal-only
+	// path and today's exact behavior. Mirrors policy.Split.Partitions so
+	// sim experiments carry over.
+	Partitions int
+	// PartitionCost prices fractional-width block execution; the zero value
+	// means gpusim.DefaultPartitionCost(). Ignored unless Partitions > 1.
+	// Mirrors policy.Split.PartitionCost.
+	PartitionCost gpusim.PartitionCost
+	// PartitionWidth names the hold-width policy under spatial sharing:
+	// place.WidthFixed or place.WidthAdaptive; empty selects
+	// place.DefaultWidth. Ignored unless Partitions > 1. Mirrors
+	// policy.Split.PartitionWidth.
+	PartitionWidth string
 	// Fleet configures the elastic autoscaler: when enabled (Max > 0) the
 	// server runs Fleet.Max executors of which [Min, Max] are actively
 	// placed, scaled on queue-depth and rolling-QoS signals with
@@ -234,12 +250,24 @@ type delivery struct {
 	out outcome
 }
 
-// srvDevice is one fleet member of the serving path: its own scheduler
-// queue, fault schedule, and executor goroutine, all sharing the server
-// mutex. With one device the server degenerates to the paper's single
-// shared GPU.
+// srvDevice is one scheduling lane of the serving path — one (device,
+// partition) pair with its own scheduler queue, fault schedule, and
+// executor goroutine, all sharing the server mutex. Unpartitioned
+// (Partitions <= 1) a lane IS a device and the server degenerates to the
+// paper's single shared GPU; under spatial sharing the sibling lanes of a
+// device coordinate through the shared slot ledger.
 type srvDevice struct {
-	id     int
+	// id is the physical device ID; part is the partition anchor slot on
+	// it (always 0 unpartitioned); lane is the flat index id*parts+part.
+	id   int
+	part int
+	lane int
+	// want is the requested hold width in slots (1 fixed, parts adaptive);
+	// the ledger clamps it to the contiguous free span at grant time.
+	want int
+	// ledger is the physical device's partition slot ledger, shared by its
+	// sibling lanes and mutated only with s.mu held; nil unpartitioned.
+	ledger *gpusim.Device
 	queue  *sched.Queue
 	faults *gpusim.FaultInjector
 	busy   bool
@@ -284,6 +312,13 @@ type Server struct {
 	// them and is only called with mu held (placers are not concurrency-safe).
 	devs   []*srvDevice
 	placer place.Placer
+	// parts is the per-device partition slot count (1 unpartitioned);
+	// len(devs) is then Devices*parts lanes. spatial is the width-aware
+	// placement wrapper and partCost the efficiency curve, both nil/zero
+	// unless parts > 1.
+	parts    int
+	partCost gpusim.PartitionCost
+	spatial  *place.Spatial
 	// active is the size of the actively placed device prefix devs[:active].
 	// Executors at or past active keep draining their queues (drain-then-
 	// release) but receive no new placements. Without the autoscaler it is
@@ -381,6 +416,9 @@ func (cfg Config) options() []Option {
 		WithPlacement(cfg.Placement),
 		WithBatching(cfg.BatchMax),
 		WithBatchCost(cfg.BatchCost),
+		WithPartitions(cfg.Partitions),
+		WithPartitionCost(cfg.PartitionCost),
+		WithPartitionWidth(cfg.PartitionWidth),
 		WithStarveGuard(cfg.StarveGuardRR),
 		WithAlphaByClass(cfg.AlphaByClass),
 		WithArrivalRecorder(cfg.ArrivalRecorder),
@@ -418,9 +456,21 @@ func newServer(o Options) (*Server, error) {
 			active = 1
 		}
 	}
-	placer, err := place.New(cfg.Placement, cfg.Devices)
+	parts := cfg.Partitions
+	if parts < 1 {
+		parts = 1
+	}
+	placer, err := place.New(cfg.Placement, cfg.Devices*parts)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var spatial *place.Spatial
+	if parts > 1 {
+		spatial, err = place.NewSpatial(placer, parts, cfg.PartitionWidth)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		placer = spatial
 	}
 	scaler, err := fleet.NewAutoscaler(cfg.Fleet)
 	if err != nil {
@@ -434,6 +484,9 @@ func newServer(o Options) (*Server, error) {
 		cfg:        cfg,
 		tracing:    cfg.Sink != nil,
 		placer:     placer,
+		parts:      parts,
+		partCost:   cfg.PartitionCost.OrDefault(),
+		spatial:    spatial,
 		planner:    sched.BatchPlanner{Max: cfg.BatchMax},
 		batchCost:  cfg.BatchCost.OrDefault(),
 		waiters:    make(map[int]chan outcome),
@@ -450,17 +503,40 @@ func newServer(o Options) (*Server, error) {
 		s.fwin = fleet.NewWindow(0)
 		s.activeIDs = make([]int, 0, cfg.Devices)
 	}
-	s.devs = make([]*srvDevice, cfg.Devices)
+	// One slot ledger per physical device, shared by its sibling lanes:
+	// the same gpusim bookkeeping the simulator uses, so grant widths
+	// clamp identically in both layers. Unpartitioned the ledgers stay
+	// nil and the serving path is exactly the pre-partition one.
+	var ledgers []*gpusim.Device
+	if parts > 1 {
+		ledgers = make([]*gpusim.Device, cfg.Devices)
+		for i := range ledgers {
+			d := &gpusim.Device{ID: i}
+			d.Attach(0)
+			d.ConfigurePartitions(parts)
+			ledgers[i] = d
+		}
+	}
+	laneWant := 1
+	if parts > 1 && spatial.Width() != place.WidthFixed {
+		laneWant = parts
+	}
+	s.devs = make([]*srvDevice, cfg.Devices*parts)
 	for i := range s.devs {
-		dv := &srvDevice{id: i, queue: sched.NewQueue(cfg.Alpha), faults: cfg.Faults.ForDevice(i)}
+		dev, part := i/parts, i%parts
+		dv := &srvDevice{id: dev, part: part, lane: i, want: laneWant,
+			queue: sched.NewQueue(cfg.Alpha), faults: cfg.Faults.ForDevice(dev)}
+		if parts > 1 {
+			dv.ledger = ledgers[dev]
+		}
 		dv.queue.StarveGuardRR = cfg.StarveGuardRR
 		if cfg.Sink != nil {
-			dv.queue.Sink = queueSink{s, i}
+			dv.queue.Sink = queueSink{s, dev, part}
 		}
 		s.devs[i] = dv
 	}
 	if cfg.Obs != nil {
-		s.met = newServeMetrics(cfg.Obs, cfg.Catalog, cfg.Devices, s.planner.Enabled(),
+		s.met = newServeMetrics(cfg.Obs, cfg.Catalog, cfg.Devices, parts, s.planner.Enabled(),
 			scaler != nil, admit != nil)
 		if s.met.fleetActive != nil {
 			s.met.fleetActive.SetInt(s.active)
@@ -491,20 +567,26 @@ func (s *Server) anyBusyLocked() bool {
 	return false
 }
 
-// fleetViewLocked snapshots per-device load for the placer, computed with
+// fleetViewLocked snapshots per-lane load for the placer, computed with
 // the exact formula the fleet simulator uses (queued remaining ms plus the
 // in-flight request's uncommitted blocks) so sim and serve make identical
-// placement decisions. Only the active prefix is visible — placement must
-// never target a draining device. Caller holds s.mu.
+// placement decisions. Only the active device prefix is visible —
+// placement must never target a draining device. Under spatial sharing
+// Busy is the lane's anchor-slot occupancy, mirroring splitRun.fleetView.
+// Caller holds s.mu.
 func (s *Server) fleetViewLocked() []place.Load {
-	view := make([]place.Load, s.active)
+	view := make([]place.Load, s.active*s.parts)
 	for i := range view {
 		dv := s.devs[i]
+		busy := dv.busy
+		if s.parts > 1 {
+			busy = dv.ledger.PartitionBusy(dv.part)
+		}
 		view[i] = place.Load{
 			Device:   i,
 			Queued:   dv.queue.Len(),
 			QueuedMs: dv.queue.TotalRemainingMs(),
-			Busy:     dv.busy,
+			Busy:     busy,
 		}
 		if dv.inflight != nil {
 			view[i].InflightMs = dv.inflight.RemainingMs()
@@ -518,7 +600,7 @@ func (s *Server) fleetViewLocked() []place.Load {
 // what makes admission decisions parity-comparable. Caller holds s.mu.
 func (s *Server) admitViewLocked() fleet.View {
 	v := fleet.View{ActiveDevices: s.active, ShortestBacklogMs: math.MaxFloat64}
-	for i := 0; i < s.active; i++ {
+	for i := 0; i < s.active*s.parts; i++ {
 		dv := s.devs[i]
 		v.QueueDepth += dv.queue.Len()
 		backlog := dv.queue.TotalRemainingMs()
@@ -542,7 +624,7 @@ func (s *Server) autoscaleLocked(now float64) {
 		return
 	}
 	depth, inflight := 0, 0
-	for i := 0; i < s.active; i++ {
+	for i := 0; i < s.active*s.parts; i++ {
 		depth += s.devs[i].queue.Len()
 		if s.devs[i].inflight != nil {
 			inflight++
@@ -564,15 +646,19 @@ func (s *Server) autoscaleLocked(now float64) {
 	case fleet.ScaleIn:
 		s.active--
 		s.resizePlacerLocked()
-		dv := s.devs[s.active]
+		dv := s.devs[s.active*s.parts] // first lane of the draining device
+		drain := 0
+		for p := 0; p < s.parts; p++ {
+			drain += s.devs[s.active*s.parts+p].queue.Len()
+		}
 		if s.met != nil && s.met.fleetActive != nil {
 			s.met.fleetActive.SetInt(s.active)
 			s.met.scaleIns.Inc()
 		}
-		// Drain-then-release: the device's executor keeps draining its queue
-		// and then idles; placement simply never targets it again.
+		// Drain-then-release: the device's executors keep draining their
+		// queues and then idle; placement simply never targets them again.
 		s.emit(trace.Event{AtMs: now, Kind: trace.ScaleIn, ReqID: -1,
-			Device: dv.id, Detail: fmt.Sprintf("active=%d drain=%d", s.active, dv.queue.Len())})
+			Device: dv.id, Detail: fmt.Sprintf("active=%d drain=%d", s.active, drain)})
 	}
 }
 
@@ -629,9 +715,16 @@ type serveMetrics struct {
 	scaleOuts   *obs.Counter
 	scaleIns    *obs.Counter
 	admitted    *obs.Counter
+	// Spatial-sharing families, indexed by lane (device*parts+part) and
+	// registered only when Partitions > 1, so temporal deployments keep
+	// their exact /metrics output. Busy-ms is pro-rated by the granted
+	// fraction; width is the slot count of the most recent hold.
+	partBusyMs []*obs.Gauge
+	partBlocks []*obs.Counter
+	partWidth  []*obs.Gauge
 }
 
-func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int, batching, elastic, admission bool) *serveMetrics {
+func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices, parts int, batching, elastic, admission bool) *serveMetrics {
 	m := &serveMetrics{
 		reg:         reg,
 		requests:    make(map[string]*obs.Counter, len(catalog)),
@@ -684,15 +777,36 @@ func newServeMetrics(reg *obs.Registry, catalog policy.Catalog, devices int, bat
 		m.admitted = reg.Counter(obs.MetricAdmittedTotal, "requests admitted through the front-door gate")
 		m.drops[DropAdmission] = reg.Counter(obs.MetricDropsTotal, dropsHelp, "reason", DropAdmission)
 	}
+	if parts > 1 {
+		for i := 0; i < devices; i++ {
+			for p := 0; p < parts; p++ {
+				d, pt := strconv.Itoa(i), strconv.Itoa(p)
+				m.partBusyMs = append(m.partBusyMs,
+					reg.Gauge(obs.MetricPartitionBusyMs, "virtual-ms occupancy per partition lane, pro-rated by granted fraction", "device", d, "part", pt))
+				m.partBlocks = append(m.partBlocks,
+					reg.Counter(obs.MetricPartitionBlocks, "blocks executed per partition lane", "device", d, "part", pt))
+				m.partWidth = append(m.partWidth,
+					reg.Gauge(obs.MetricPartitionWidth, "slot width of the lane's most recent hold", "device", d, "part", pt))
+			}
+		}
+	}
 	return m
 }
 
-// setDeviceDepth refreshes the per-device depth gauge on fleets. Caller
-// holds s.mu.
+// setDeviceDepth refreshes the per-device depth gauge on fleets, summing
+// the device's partition lanes when spatially shared. Caller holds s.mu.
 func (s *Server) setDeviceDepth(dv *srvDevice) {
-	if s.met != nil && len(s.met.deviceDepth) > 0 {
-		s.met.deviceDepth[dv.id].SetInt(dv.queue.Len())
+	if s.met == nil || len(s.met.deviceDepth) == 0 {
+		return
 	}
+	depth := dv.queue.Len()
+	if s.parts > 1 {
+		depth = 0
+		for p := 0; p < s.parts; p++ {
+			depth += s.devs[dv.id*s.parts+p].queue.Len()
+		}
+	}
+	s.met.deviceDepth[dv.id].SetInt(depth)
 }
 
 // dropCounter returns the drops counter for reason, registering reasons
@@ -721,12 +835,14 @@ func (s *Server) emit(e trace.Event) {
 // device: the queues are only ever mutated with s.mu held, so their
 // emissions must be buffered too.
 type queueSink struct {
-	s   *Server
-	dev int
+	s    *Server
+	dev  int
+	part int
 }
 
 func (qs queueSink) Emit(e trace.Event) {
 	e.Device = qs.dev
+	e.Part = qs.part
 	qs.s.pending = append(qs.s.pending, e)
 }
 
@@ -1008,7 +1124,7 @@ func (s *Server) cancelLocked(id int, why string) CancelState {
 		if r := dv.queue.Remove(id); r != nil {
 			r.Canceled = true
 			s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: r.Model,
-				Block: r.Next, Device: r.Device, Detail: "queued: " + why})
+				Block: r.Next, Device: r.Device, Part: r.Partition, Detail: "queued: " + why})
 			s.shedLocked(now, r, DropCanceled, ErrCanceled)
 			if s.met != nil {
 				s.met.queueDepth.SetInt(s.depthLocked())
@@ -1027,7 +1143,7 @@ func (s *Server) cancelLocked(id int, why string) CancelState {
 			if !m.Canceled {
 				m.Canceled = true
 				s.emit(trace.Event{AtMs: now, Kind: trace.Cancel, ReqID: id, Model: m.Model,
-					Block: m.Next, Device: dv.id, Detail: "inflight: " + why})
+					Block: m.Next, Device: dv.id, Part: dv.part, Detail: "inflight: " + why})
 				if s.cfg.ArrivalRecorder != nil {
 					s.cfg.ArrivalRecorder.ObserveCancel(id, now)
 				}
@@ -1084,7 +1200,10 @@ func (s *Server) executor(dv *srvDevice) {
 	for {
 		r := s.pickLocked(dv)
 		if r == nil {
-			if s.closed {
+			// pickLocked returns nil for an empty queue OR a covered anchor
+			// slot; a draining lane that still holds work is the latter and
+			// must wait for the sibling's release, not exit.
+			if s.closed && (!s.draining || dv.queue.Len() == 0) {
 				// Stopped, or draining with this device's backlog empty:
 				// exit. The last executor out of a drain owns the clean
 				// DrainEnd — earlier exits would end the drain while other
@@ -1134,6 +1253,19 @@ func (s *Server) executor(dv *srvDevice) {
 		if n > 1 {
 			runBase = s.batchCost.BlockMs(dur, n)
 		}
+		// Under spatial sharing the hold takes a slot span from the shared
+		// ledger — the identical clamping the simulator applies — and the
+		// block stretches by the efficiency curve at the granted fraction.
+		// frac stays exactly 1 unpartitioned, leaving runBase untouched.
+		frac := 1.0
+		if s.parts > 1 {
+			if n > 1 {
+				frac = dv.ledger.AcquirePartitionBatch(now, dv.part, dv.want, n)
+			} else {
+				frac = dv.ledger.AcquirePartition(now, dv.part, dv.want)
+			}
+			runBase = s.partCost.BlockMs(runBase, frac)
+		}
 		for _, m := range batch {
 			if m.StartMs < 0 {
 				m.StartMs = now
@@ -1156,7 +1288,7 @@ func (s *Server) executor(dv *srvDevice) {
 		s.setDeviceDepth(dv)
 		for _, m := range batch {
 			s.emit(trace.Event{AtMs: now, Kind: trace.StartBlock, ReqID: m.ID, Model: m.Model, Block: block,
-				Device: dv.id, Batch: batchID})
+				Device: dv.id, Part: dv.part, Batch: batchID})
 		}
 		blockOK := false
 		for attempt := 0; ; {
@@ -1211,16 +1343,28 @@ func (s *Server) executor(dv *srvDevice) {
 		dv.busy = false
 		dv.inflight = nil
 		dv.batch = nil
-		dv.busyMsTotal += now - blockStartMs
+		if s.parts > 1 {
+			dv.ledger.ReleasePartition(now, dv.part)
+			// Sibling lanes may have been waiting for covered anchor slots.
+			s.cond.Broadcast()
+		}
+		// Busy-ms pro-rates by the occupied fraction so per-device sums stay
+		// comparable between temporal and spatial runs (frac is 1 unpartitioned).
+		dv.busyMsTotal += (now - blockStartMs) * frac
 		//lint:ignore hotalloc lazy per-window busy buckets: one make per elapsed time window, not per hold
-		s.series.ObserveBusy(dv.id, blockStartMs, now)
+		s.series.ObserveBusyFrac(dv.id, blockStartMs, now, frac)
 		if s.met != nil && len(s.met.deviceBusyMs) > 0 {
-			s.met.deviceBusyMs[dv.id].Add(now - blockStartMs)
+			s.met.deviceBusyMs[dv.id].Add((now - blockStartMs) * frac)
 			s.met.deviceBlocks[dv.id].Inc()
+		}
+		if s.met != nil && len(s.met.partBusyMs) > 0 {
+			s.met.partBusyMs[dv.lane].Add((now - blockStartMs) * frac)
+			s.met.partBlocks[dv.lane].Inc()
+			s.met.partWidth[dv.lane].SetInt(int(frac*float64(s.parts) + 0.5))
 		}
 		for _, m := range batch {
 			s.emit(trace.Event{AtMs: now, Kind: trace.EndBlock, ReqID: m.ID, Model: m.Model, Block: block,
-				Device: dv.id, Batch: batchID})
+				Device: dv.id, Part: dv.part, Batch: batchID})
 		}
 		// Settle in grant (FIFO) order so completions and re-inserts keep
 		// the arrival order the batch was formed under.
@@ -1242,6 +1386,12 @@ func (s *Server) executor(dv *srvDevice) {
 //
 //lint:hotpath every device grant starts with the boundary sweep and pop
 func (s *Server) pickLocked(dv *srvDevice) *sched.Request {
+	// A lane whose anchor slot is covered by a sibling's wide hold must
+	// wait for that hold's release (which broadcasts) — popping now would
+	// panic the ledger's exclusivity invariant.
+	if s.parts > 1 && dv.ledger.PartitionBusy(dv.part) {
+		return nil
+	}
 	now := s.nowMs()
 	//lint:ignore hotalloc SweepExpired allocates only when something actually expired — the shed path, not the steady grant loop
 	if shed := dv.queue.SweepExpired(now, s.cfg.PredictiveShed); len(shed) > 0 {
@@ -1412,14 +1562,22 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 		planned += b
 	}
 	view := s.fleetViewLocked()
-	devID := s.placer.Place(place.Request{ID: id, Model: modelName, ExtMs: info.ExtMs, PlannedMs: planned}, view)
-	if devID < 0 || devID >= len(view) {
-		devID = 0
+	preq := place.Request{ID: id, Model: modelName, ExtMs: info.ExtMs, PlannedMs: planned}
+	var devID, lane int
+	if s.spatial != nil {
+		dec := s.spatial.Decide(preq, view)
+		devID, lane = dec.Device, place.LaneOf(dec.Device, dec.Partition, s.parts)
+	} else {
+		devID = s.placer.Place(preq, view)
+		lane = devID
 	}
-	dv := s.devs[devID]
+	if lane < 0 || lane >= len(view) {
+		devID, lane = 0, 0
+	}
+	dv := s.devs[lane]
 	if len(s.devs) > 1 && s.tracing {
 		s.emit(trace.Event{AtMs: now, Kind: trace.Place, ReqID: id, Model: modelName,
-			Device: devID, Detail: fmt.Sprintf("policy=%s depth=%d", s.placer.Name(), view[devID].Queued)})
+			Device: devID, Part: dv.part, Detail: fmt.Sprintf("policy=%s depth=%d", s.placer.Name(), view[lane].Queued)})
 	}
 	blocks := plan
 	if len(blocks) > 1 {
@@ -1434,6 +1592,7 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 	}
 	r := sched.NewRequest(id, modelName, info.Class, now, info.ExtMs, blocks)
 	r.Device = devID
+	r.Partition = dv.part
 	if alpha, ok := s.cfg.AlphaByClass[info.Class]; ok {
 		r.AlphaOverride = alpha
 	}
@@ -1446,7 +1605,7 @@ func (s *Server) enqueueLocked(modelName string, deadlineMs float64) (int, chan 
 		s.met.requests[modelName].Inc()
 	}
 	s.emit(trace.Event{AtMs: now, Kind: trace.Arrive, ReqID: id, Model: modelName,
-		Device: devID, Detail: fmt.Sprintf("blocks=%d", len(blocks))})
+		Device: devID, Part: dv.part, Detail: fmt.Sprintf("blocks=%d", len(blocks))})
 	dv.queue.InsertGreedy(now, r)
 	s.series.ObserveArrival(now)
 	s.series.ObserveDepth(now, s.depthLocked())
@@ -1506,13 +1665,19 @@ type QueuedRequest struct {
 	// Device is the fleet device the request is queued on (omitted on
 	// single-device deployments, where it is always 0).
 	Device int `json:"device,omitempty"`
+	// Part is the partition lane the request is queued on (omitted on
+	// unpartitioned deployments, where it is always 0).
+	Part int `json:"part,omitempty"`
 }
 
 // DeviceSnapshot is one fleet device's live state in a QueueSnapshot.
 type DeviceSnapshot struct {
-	Device int  `json:"device"`
-	Depth  int  `json:"depth"`
-	Busy   bool `json:"busy"`
+	Device int `json:"device"`
+	// Part is the partition lane this row describes; unpartitioned fleets
+	// have one row per device with Part 0 (omitted).
+	Part  int  `json:"part,omitempty"`
+	Depth int  `json:"depth"`
+	Busy  bool `json:"busy"`
 	// InflightID is the executing request's ID, -1 while idle.
 	InflightID int `json:"inflight_id"`
 	// BusyMsTotal is cumulative virtual-ms block occupancy.
@@ -1571,6 +1736,7 @@ func (s *Server) QueueSnapshot() QueueSnapshot {
 				Preemptions: r.Preemptions,
 				DeadlineMs:  r.DeadlineMs,
 				Device:      r.Device,
+				Part:        r.Partition,
 			})
 		}
 	}
@@ -1580,7 +1746,7 @@ func (s *Server) QueueSnapshot() QueueSnapshot {
 	if len(s.devs) > 1 {
 		snap.Placement = s.placer.Name()
 		for _, dv := range s.devs {
-			ds := DeviceSnapshot{Device: dv.id, Depth: dv.queue.Len(), Busy: dv.busy,
+			ds := DeviceSnapshot{Device: dv.id, Part: dv.part, Depth: dv.queue.Len(), Busy: dv.busy,
 				InflightID: -1, BusyMsTotal: dv.busyMsTotal}
 			if dv.inflight != nil {
 				ds.InflightID = dv.inflight.ID
@@ -1883,11 +2049,12 @@ func (r *Responder) ModelStats(_ struct{}, reply *ModelStatsReply) error {
 // against v1 servers it falls back to prefix-matching the stable error
 // messages.
 type Client struct {
-	rpc       *rpc.Client
-	proto     int
-	caps      map[string]bool
-	devices   int
-	placement string
+	rpc        *rpc.Client
+	proto      int
+	caps       map[string]bool
+	devices    int
+	placement  string
+	partitions int
 }
 
 // Dial connects to a SPLIT server and negotiates the protocol version.
@@ -1908,6 +2075,7 @@ func Dial(addr string) (*Client, error) {
 		}
 		c.devices = hello.Devices
 		c.placement = hello.Placement
+		c.partitions = hello.Partitions
 	}
 	return c, nil
 }
@@ -1924,6 +2092,10 @@ func (c *Client) Has(capability string) bool { return c.caps[capability] }
 func (c *Client) Fleet() (devices int, placement string) {
 	return c.devices, c.placement
 }
+
+// Partitions reports the server's spatial-sharing lane count per device as
+// advertised by the handshake (0 against unpartitioned or older servers).
+func (c *Client) Partitions() int { return c.partitions }
 
 // Infer runs one request synchronously.
 func (c *Client) Infer(modelName string) (InferReply, error) {

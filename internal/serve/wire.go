@@ -49,8 +49,14 @@ type HelloArgs struct {
 type HelloReply struct {
 	Version      int
 	Capabilities []string
-	Devices      int
-	Placement    string
+	// Devices is the physical device count; Placement the device-level
+	// placement policy. Partition lanes are an implementation detail of the
+	// server and never leak into the fleet shape.
+	Devices   int
+	Placement string
+	// Partitions is the spatial-sharing lane count per device (0 or 1 on
+	// unpartitioned servers; absent entirely against older servers).
+	Partitions int
 }
 
 // Hello negotiates the protocol version: the server answers with the
@@ -68,8 +74,12 @@ func (r *Responder) Hello(args HelloArgs, reply *HelloReply) error {
 	reply.Version = v
 	reply.Capabilities = []string{CapPlacement, CapAsync, CapCancel, CapErrCodes}
 	r.srv.mu.Lock()
-	reply.Devices = len(r.srv.devs)
+	reply.Devices = len(r.srv.devs) / r.srv.parts
 	reply.Placement = r.srv.placer.Name()
+	if r.srv.spatial != nil {
+		reply.Placement = r.srv.spatial.Inner().Name()
+		reply.Partitions = r.srv.parts
+	}
 	r.srv.mu.Unlock()
 	return nil
 }

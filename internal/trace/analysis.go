@@ -12,7 +12,9 @@ type Span struct {
 	Model string
 	Block int
 	// Device is the fleet device the block ran on (0 single-device).
-	Device  int
+	Device int
+	// Part is the device partition the block ran on (0 unpartitioned).
+	Part    int
 	StartMs float64
 	EndMs   float64
 }
@@ -28,6 +30,7 @@ func (t *Tracer) Spans() []Span {
 		at     float64
 		block  int
 		device int
+		part   int
 		model  string
 	}
 	pending := map[int]open{}
@@ -35,7 +38,7 @@ func (t *Tracer) Spans() []Span {
 	for _, e := range t.Events() {
 		switch e.Kind {
 		case StartBlock:
-			pending[e.ReqID] = open{at: e.AtMs, block: e.Block, device: e.Device, model: e.Model}
+			pending[e.ReqID] = open{at: e.AtMs, block: e.Block, device: e.Device, part: e.Part, model: e.Model}
 		case EndBlock:
 			if o, ok := pending[e.ReqID]; ok {
 				spans = append(spans, Span{
@@ -43,6 +46,7 @@ func (t *Tracer) Spans() []Span {
 					Model:   o.model,
 					Block:   o.block,
 					Device:  o.device,
+					Part:    o.part,
 					StartMs: o.at,
 					EndMs:   e.AtMs,
 				})

@@ -43,12 +43,24 @@ const usPerMs = 1000.0
 // synthetic "queue" process (pid = -1 shifted to the max device + 1, since
 // the format wants non-negative pids); exec intervals live under their
 // device's pid so each device reads as one occupancy lane.
+//
+// On spatially shared fleets (any exec interval carrying a non-zero
+// partition) each device's process is subdivided into per-partition
+// threads — tid = partition slot, the request in args — so concurrent
+// partition holds render as parallel tracks inside the device lane.
+// Unpartitioned trees keep tid = request, byte-identical to before.
 func (t *SpanTree) WritePerfetto(w io.Writer) error {
 	maxDev := 0
+	partitioned := false
 	for i := range t.Requests {
 		for _, d := range t.Requests[i].Devices {
 			if d > maxDev {
 				maxDev = d
+			}
+		}
+		for _, iv := range t.Requests[i].Intervals {
+			if iv.Part != 0 {
+				partitioned = true
 			}
 		}
 	}
@@ -59,6 +71,7 @@ func (t *SpanTree) WritePerfetto(w io.Writer) error {
 		"requests": len(t.Requests),
 	}}
 	devSeen := map[int]bool{}
+	laneSeen := map[laneKey]bool{}
 	add := func(e perfettoEvent) { f.TraceEvents = append(f.TraceEvents, e) }
 
 	for i := range t.Requests {
@@ -77,10 +90,16 @@ func (t *SpanTree) WritePerfetto(w io.Writer) error {
 				if iv.Detail != "" {
 					args["detail"] = iv.Detail
 				}
+				tid := sp.ReqID
+				if partitioned {
+					tid = iv.Part
+					args["part"] = iv.Part
+					laneSeen[laneKey{iv.Device, iv.Part}] = true
+				}
 				add(perfettoEvent{
 					Name: fmt.Sprintf("%s/b%d", sp.Model, iv.Block), Cat: "exec", Phase: "X",
 					TsUs: iv.StartMs * usPerMs, DurUs: iv.DurationMs() * usPerMs,
-					PID: iv.Device, TID: sp.ReqID, Args: args,
+					PID: iv.Device, TID: tid, Args: args,
 				})
 			default: // wait, preempted
 				add(perfettoEvent{
@@ -110,6 +129,24 @@ func (t *SpanTree) WritePerfetto(w io.Writer) error {
 	for _, d := range devs {
 		add(perfettoEvent{Name: "process_name", Phase: "M", PID: d, TID: 0,
 			Args: map[string]any{"name": fmt.Sprintf("device %d", d)}})
+	}
+	if partitioned {
+		// Label each partition sub-lane so Perfetto renders "partition p"
+		// tracks inside the device process.
+		lanes := make([]laneKey, 0, len(laneSeen))
+		for l := range laneSeen {
+			lanes = append(lanes, l)
+		}
+		sort.Slice(lanes, func(i, j int) bool {
+			if lanes[i].dev != lanes[j].dev {
+				return lanes[i].dev < lanes[j].dev
+			}
+			return lanes[i].part < lanes[j].part
+		})
+		for _, l := range lanes {
+			add(perfettoEvent{Name: "thread_name", Phase: "M", PID: l.dev, TID: l.part,
+				Args: map[string]any{"name": fmt.Sprintf("partition %d", l.part)}})
+		}
 	}
 	add(perfettoEvent{Name: "process_name", Phase: "M", PID: queuePID, TID: 0,
 		Args: map[string]any{"name": "queue"}})

@@ -22,7 +22,10 @@ type Interval struct {
 	Block int `json:"block"`
 	// Device is the fleet device (exec intervals; -1 for wait/preempted,
 	// which happen in the queue, not on a device).
-	Device  int     `json:"device"`
+	Device int `json:"device"`
+	// Part is the device partition slot for exec intervals on spatially
+	// shared fleets; 0 otherwise.
+	Part    int     `json:"part,omitempty"`
 	Batch   int     `json:"batch,omitempty"`
 	StartMs float64 `json:"start_ms"`
 	EndMs   float64 `json:"end_ms"`
@@ -123,6 +126,7 @@ type spanState struct {
 	openStart float64 // StartBlock time of the open grant, -1 when none
 	openBlock int
 	openDev   int
+	openPart  int
 	openBatch int
 	openDet   string
 	lastEnd   float64 // end of the last closed exec interval
@@ -139,6 +143,14 @@ type deviceHold struct {
 	batch          int
 }
 
+// laneKey identifies one occupancy lane for the overlap check: grants on
+// distinct partitions of one device legally overlap under spatial sharing,
+// so exclusivity is per (device, partition), not per device. Unpartitioned
+// streams carry part 0 everywhere and collapse to the per-device check.
+type laneKey struct {
+	dev, part int
+}
+
 // Build folds events into a SpanTree. The stream does not need to be
 // time-sorted across requests (ring snapshots are, tracer streams are),
 // but each request's own events must be in causal order — violations are
@@ -150,7 +162,7 @@ func (b SpanBuilder) Build(events []Event) *SpanTree {
 	}
 	t.FirstMs, t.LastMs = events[0].AtMs, events[0].AtMs
 	states := map[int]*spanState{}
-	holds := map[int][]deviceHold{}
+	holds := map[laneKey][]deviceHold{}
 	arrivalSeq := 0
 	get := func(e Event) *spanState {
 		st := states[e.ReqID]
@@ -220,6 +232,7 @@ func (b SpanBuilder) Build(events []Event) *SpanTree {
 			st.openStart = e.AtMs
 			st.openBlock = e.Block
 			st.openDev = e.Device
+			st.openPart = e.Part
 			st.openBatch = e.Batch
 			st.openDet = e.Detail
 		case EndBlock:
@@ -244,9 +257,10 @@ func (b SpanBuilder) Build(events []Event) *SpanTree {
 					StartMs: gapStart, EndMs: st.openStart})
 			}
 			sp.Intervals = append(sp.Intervals, Interval{Phase: PhaseExec, Block: st.openBlock,
-				Device: st.openDev, Batch: st.openBatch, StartMs: st.openStart, EndMs: e.AtMs,
-				Detail: st.openDet})
-			holds[st.openDev] = append(holds[st.openDev], deviceHold{st.openStart, e.AtMs, e.ReqID, st.openBatch})
+				Device: st.openDev, Part: st.openPart, Batch: st.openBatch,
+				StartMs: st.openStart, EndMs: e.AtMs, Detail: st.openDet})
+			lane := laneKey{st.openDev, st.openPart}
+			holds[lane] = append(holds[lane], deviceHold{st.openStart, e.AtMs, e.ReqID, st.openBatch})
 			sp.Blocks++
 			if len(sp.Devices) == 0 || sp.Devices[len(sp.Devices)-1] != st.openDev {
 				if st.executed {
@@ -336,8 +350,8 @@ func (b SpanBuilder) Build(events []Event) *SpanTree {
 			// In-flight at stream end: legal for live snapshots; represent
 			// the open grant as an exec interval up to the stream horizon.
 			sp.Intervals = append(sp.Intervals, Interval{Phase: PhaseExec, Block: st.openBlock,
-				Device: st.openDev, Batch: st.openBatch, StartMs: st.openStart, EndMs: t.LastMs,
-				Detail: st.openDet})
+				Device: st.openDev, Part: st.openPart, Batch: st.openBatch,
+				StartMs: st.openStart, EndMs: t.LastMs, Detail: st.openDet})
 			sp.Blocks++
 			sp.DoneMs = t.LastMs
 		}
@@ -357,27 +371,37 @@ func (b SpanBuilder) Build(events []Event) *SpanTree {
 		t.Requests = append(t.Requests, *sp)
 	}
 
-	// Per-device overlap check: two closed grants on one device may not
-	// overlap unless they belong to the same micro-batch.
+	// Per-lane overlap check: two closed grants on one (device, partition)
+	// lane may not overlap unless they belong to the same micro-batch.
+	// Grants on distinct partitions of one device are concurrent by design.
 	const eps = 1e-9
-	devs := make([]int, 0, len(holds))
-	for d := range holds {
-		devs = append(devs, d)
+	lanes := make([]laneKey, 0, len(holds))
+	for l := range holds {
+		lanes = append(lanes, l)
 	}
-	sort.Ints(devs)
-	for _, d := range devs {
-		hs := holds[d]
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].dev != lanes[j].dev {
+			return lanes[i].dev < lanes[j].dev
+		}
+		return lanes[i].part < lanes[j].part
+	})
+	for _, l := range lanes {
+		hs := holds[l]
 		sort.Slice(hs, func(i, j int) bool {
 			if hs[i].startMs != hs[j].startMs {
 				return hs[i].startMs < hs[j].startMs
 			}
 			return hs[i].endMs < hs[j].endMs
 		})
+		lane := fmt.Sprintf("device %d", l.dev)
+		if l.part != 0 {
+			lane = fmt.Sprintf("device %d part %d", l.dev, l.part)
+		}
 		for i := 1; i < len(hs); i++ {
 			prev, cur := hs[i-1], hs[i]
 			if cur.startMs < prev.endMs-eps && !(cur.batch != 0 && cur.batch == prev.batch) {
-				problemf("device %d: grants overlap: req %d [%.3f, %.3f] and req %d [%.3f, %.3f]",
-					d, prev.req, prev.startMs, prev.endMs, cur.req, cur.startMs, cur.endMs)
+				problemf("%s: grants overlap: req %d [%.3f, %.3f] and req %d [%.3f, %.3f]",
+					lane, prev.req, prev.startMs, prev.endMs, cur.req, cur.startMs, cur.endMs)
 			}
 		}
 	}

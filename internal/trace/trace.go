@@ -70,7 +70,12 @@ type Event struct {
 	// grant: every member of a micro-batch carries the same non-zero id.
 	// 0 (and omitted from JSON) means an unbatched scalar grant, so traces
 	// from runs without batching are byte-identical to before.
-	Batch  int    `json:"batch,omitempty"`
+	Batch int `json:"batch,omitempty"`
+	// Part is the device partition slot the event happened on when the
+	// fleet runs spatial sharing; 0 (and omitted from JSON) on
+	// unpartitioned deployments, so temporal-only traces are byte-identical
+	// to before.
+	Part   int    `json:"part,omitempty"`
 	Detail string `json:"detail,omitempty"`
 }
 
@@ -144,6 +149,18 @@ func (t *Tracer) DeviceRecordf(atMs float64, kind EventKind, device, reqID int, 
 	}
 	t.Record(Event{AtMs: atMs, Kind: kind, ReqID: reqID, Model: model, Block: block,
 		Device: device, Detail: fmt.Sprintf(format, args...)})
+}
+
+// PartRecordf is DeviceRecordf with an explicit partition slot, for events
+// emitted by spatial-sharing lanes. part 0 produces the event
+// DeviceRecordf would, so unpartitioned call sites can route through
+// either.
+func (t *Tracer) PartRecordf(atMs float64, kind EventKind, device, part, reqID int, model string, block int, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Record(Event{AtMs: atMs, Kind: kind, ReqID: reqID, Model: model, Block: block,
+		Device: device, Part: part, Detail: fmt.Sprintf(format, args...)})
 }
 
 // Events returns the recorded events in insertion order. Nil-safe.

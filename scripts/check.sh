@@ -25,6 +25,7 @@ go test ./internal/policy -run '^$' -fuzz FuzzPlacement -fuzztime "${FUZZTIME:-2
 go test ./internal/trace -run '^$' -fuzz FuzzSpanBuilder -fuzztime "${FUZZTIME:-2s}"
 go test ./internal/workload -run '^$' -fuzz FuzzWorkloadTrace -fuzztime "${FUZZTIME:-2s}"
 go test ./internal/fleet -run '^$' -fuzz FuzzAdmission -fuzztime "${FUZZTIME:-2s}"
+go test ./internal/gpusim -run '^$' -fuzz FuzzPartitionTimeline -fuzztime "${FUZZTIME:-2s}"
 
 # Bench trajectory gate: compares the committed BENCH_1.json baseline
 # against the latest recorded BENCH_<n>.json (from `make bench`). With only
